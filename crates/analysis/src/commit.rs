@@ -1,0 +1,404 @@
+//! Figures 4 and 5: transaction inclusion/commit delays and the effect of
+//! out-of-order arrival.
+//!
+//! Figure 4: "the difference between the time when a transaction was first
+//! observed by our measurement nodes to the time at which it was included
+//! in a block", plus the extra wait for 3/12/15/36 confirmation blocks.
+//! Figure 5: the same commit delay split by whether the transaction
+//! arrived in nonce order — out-of-order transactions "must wait for their
+//! delayed predecessors before committing".
+//!
+//! Delays here span tens to hundreds of seconds, so the sub-100ms NTP
+//! error is immaterial; we use true timestamps for cross-observer minima
+//! and each observer's own log for the per-observer ordering split.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ethmeter_measure::CampaignData;
+use ethmeter_stats::table::pct;
+use ethmeter_stats::Cdf;
+use ethmeter_types::{AccountId, BlockNumber, SimTime, TxId};
+
+/// The confirmation depths Figure 4 plots.
+pub const CONFIRMATION_DEPTHS: [u64; 4] = [3, 12, 15, 36];
+
+/// Figure 4's series.
+#[derive(Debug, Clone)]
+pub struct CommitReport {
+    /// Delay from first tx observation to inclusion-block observation (s).
+    pub inclusion: Cdf,
+    /// Delay to the k-th confirmation, for k in
+    /// [`CONFIRMATION_DEPTHS`] order (s).
+    pub confirmations: Vec<(u64, Cdf)>,
+    /// Committed transactions measured.
+    pub txs_measured: u64,
+    /// Transactions skipped (unobserved before inclusion, or past the
+    /// campaign's confirmation horizon for every depth).
+    pub txs_skipped: u64,
+}
+
+impl CommitReport {
+    /// The headline number: median 12-confirmation commit delay (paper:
+    /// 189 s). `None` if no transaction reached 12 confirmations.
+    pub fn median_commit_12(&self) -> Option<f64> {
+        self.confirmations
+            .iter()
+            .find(|(k, _)| *k == 12)
+            .filter(|(_, cdf)| !cdf.is_empty())
+            .map(|(_, cdf)| cdf.quantile(0.5))
+    }
+}
+
+/// Per-block observation index: height -> earliest true observation.
+fn block_observations(data: &CampaignData) -> HashMap<BlockNumber, SimTime> {
+    let mut obs: HashMap<BlockNumber, SimTime> = HashMap::new();
+    for block in data.truth.tree.canonical_blocks() {
+        if block.number() == 0 {
+            continue;
+        }
+        let earliest = data
+            .main_observers()
+            .filter_map(|(_, log)| log.block(block.hash()))
+            .map(|r| r.first_true)
+            .min();
+        if let Some(t) = earliest {
+            obs.insert(block.number(), t);
+        }
+    }
+    obs
+}
+
+/// Earliest true observation of each transaction across main observers.
+fn tx_observations(data: &CampaignData) -> HashMap<TxId, SimTime> {
+    let mut obs: HashMap<TxId, SimTime> = HashMap::new();
+    for (_, log) in data.main_observers() {
+        for r in log.txs() {
+            obs.entry(r.id)
+                .and_modify(|t| {
+                    if r.first_true < *t {
+                        *t = r.first_true;
+                    }
+                })
+                .or_insert(r.first_true);
+        }
+    }
+    obs
+}
+
+/// Computes Figure 4.
+pub fn analyze(data: &CampaignData) -> CommitReport {
+    let block_obs = block_observations(data);
+    let tx_obs = tx_observations(data);
+    let mut inclusion = Vec::new();
+    let mut confs: Vec<(u64, Vec<f64>)> = CONFIRMATION_DEPTHS
+        .iter()
+        .map(|&k| (k, Vec::new()))
+        .collect();
+    let mut measured = 0u64;
+    let mut skipped = 0u64;
+    let mut seen: std::collections::HashSet<TxId> = std::collections::HashSet::new();
+    for block in data.truth.tree.canonical_blocks() {
+        if block.number() == 0 {
+            continue;
+        }
+        let h = block.number();
+        let Some(&t_inc) = block_obs.get(&h) else {
+            skipped += block.txs().len() as u64;
+            continue;
+        };
+        for &txid in block.txs() {
+            if !seen.insert(txid) {
+                continue; // double inclusion across a reorg: count once
+            }
+            let Some(&t_tx) = tx_obs.get(&txid) else {
+                skipped += 1;
+                continue;
+            };
+            if t_tx > t_inc {
+                // Observed only after inclusion (e.g. miner-private tx):
+                // the paper cannot measure these either.
+                skipped += 1;
+                continue;
+            }
+            measured += 1;
+            inclusion.push((t_inc - t_tx).as_secs_f64());
+            for (k, sink) in &mut confs {
+                if let Some(&t_k) = block_obs.get(&(h + *k)) {
+                    sink.push((t_k - t_tx).as_secs_f64());
+                }
+            }
+        }
+    }
+    CommitReport {
+        inclusion: Cdf::from_values(inclusion),
+        confirmations: confs
+            .into_iter()
+            .map(|(k, v)| (k, Cdf::from_values(v)))
+            .collect(),
+        txs_measured: measured,
+        txs_skipped: skipped,
+    }
+}
+
+impl fmt::Display for CommitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 4 — transaction inclusion and commit times ({} txs)",
+            self.txs_measured
+        )?;
+        writeln!(f, "inclusion: {}", self.inclusion)?;
+        for (k, cdf) in &self.confirmations {
+            writeln!(f, "{k:>2} confirmations: {cdf}")?;
+        }
+        if let Some(m) = self.median_commit_12() {
+            write!(f, "median 12-conf commit: {m:.0}s (paper: 189s)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Figure 5's split.
+#[derive(Debug, Clone)]
+pub struct OrderingReport {
+    /// Fraction of (observer, committed tx) samples that arrived out of
+    /// nonce order (paper: 11.54%).
+    pub ooo_fraction: f64,
+    /// 12-confirmation commit delay of in-order arrivals (s).
+    pub in_order: Cdf,
+    /// 12-confirmation commit delay of out-of-order arrivals (s).
+    pub out_of_order: Cdf,
+}
+
+/// Computes Figure 5. Classification is per observer — a transaction is
+/// out-of-order at an observer if some lower-nonce transaction from the
+/// same sender arrived later at *that* observer — and samples are pooled
+/// across the four main observers.
+pub fn ordering(data: &CampaignData) -> OrderingReport {
+    let block_obs = block_observations(data);
+    // Committed txs: id -> (sender, nonce, inclusion height).
+    let mut committed: HashMap<TxId, (AccountId, u64, BlockNumber)> = HashMap::new();
+    for block in data.truth.tree.canonical_blocks() {
+        for &txid in block.txs() {
+            if let Some(tx) = data.truth.txs.get(&txid) {
+                // First inclusion wins if a tx appears twice across a reorg.
+                committed
+                    .entry(txid)
+                    .or_insert((tx.sender, tx.nonce, block.number()));
+            }
+        }
+    }
+    let mut in_order = Vec::new();
+    let mut out_of_order = Vec::new();
+    let mut ooo_count = 0u64;
+    let mut total = 0u64;
+    for (_, log) in data.main_observers() {
+        // Per sender: the observed committed txs as (nonce, seq, id).
+        let mut by_sender: HashMap<AccountId, Vec<(u64, u64, TxId)>> = HashMap::new();
+        for r in log.txs() {
+            if let Some(&(sender, nonce, _)) = committed.get(&r.id) {
+                by_sender
+                    .entry(sender)
+                    .or_default()
+                    .push((nonce, r.arrival_seq, r.id));
+            }
+        }
+        for txs in by_sender.values_mut() {
+            txs.sort_unstable(); // by nonce
+            let mut max_seq_below = 0u64;
+            let mut any_below = false;
+            for &(_, seq, id) in txs.iter() {
+                let ooo = any_below && max_seq_below > seq;
+                total += 1;
+                if ooo {
+                    ooo_count += 1;
+                }
+                // Commit sample: 12-conf delay from this observer's own
+                // first arrival.
+                let (_, _, height) = committed[&id];
+                if let (Some(rec), Some(&t12)) = (log.tx(id), block_obs.get(&(height + 12))) {
+                    if rec.first_true <= t12 {
+                        let d = (t12 - rec.first_true).as_secs_f64();
+                        if ooo {
+                            out_of_order.push(d);
+                        } else {
+                            in_order.push(d);
+                        }
+                    }
+                }
+                if seq > max_seq_below {
+                    max_seq_below = seq;
+                }
+                any_below = true;
+            }
+        }
+    }
+    OrderingReport {
+        ooo_fraction: ooo_count as f64 / total.max(1) as f64,
+        in_order: Cdf::from_values(in_order),
+        out_of_order: Cdf::from_values(out_of_order),
+    }
+}
+
+impl fmt::Display for OrderingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Figure 5 — commit delay by arrival order")?;
+        writeln!(
+            f,
+            "out-of-order committed txs: {} (paper: 11.54%)",
+            pct(self.ooo_fraction)
+        )?;
+        writeln!(f, "in-order:     {}", self.in_order)?;
+        write!(f, "out-of-order: {}", self.out_of_order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil;
+    use ethmeter_chain::block::BlockBuilder;
+    use ethmeter_chain::tree::BlockTree;
+    use ethmeter_measure::{BlockMsgKind, CampaignData, ObserverLog, VantagePoint};
+    use ethmeter_types::{NodeId, PoolId, Region, SimDuration};
+
+    /// One observer, a 16-block chain; tx 1 in block 1, observed 5s before
+    /// its block; blocks observed at sealing time.
+    fn campaign_with_txs() -> CampaignData {
+        let mut tree = BlockTree::new();
+        let mut parent = tree.genesis_hash();
+        let ib = testutil::interblock();
+        let mut hashes = Vec::new();
+        for i in 0..16u64 {
+            let txs = if i == 0 { vec![TxId(1)] } else { vec![] };
+            let b = BlockBuilder::new(parent, i + 1, PoolId(0))
+                .mined_at(SimTime::ZERO + ib * (i + 1))
+                .txs(txs)
+                .salt(i)
+                .build();
+            parent = b.hash();
+            hashes.push(parent);
+            tree.insert(b).expect("ok");
+        }
+        let mut txs = HashMap::new();
+        let t_submit = SimTime::ZERO + ib - SimDuration::from_secs(5);
+        txs.insert(TxId(1), testutil::tx(1, 7, 0, t_submit));
+
+        let mut log = ObserverLog::new();
+        for (i, &h) in hashes.iter().enumerate() {
+            let t = SimTime::ZERO + ib * (i as u64 + 1);
+            log.record_block_msg(h, BlockMsgKind::FullBlock, NodeId(2), t, t);
+        }
+        log.record_tx(TxId(1), NodeId(3), t_submit, t_submit);
+
+        let vantage = VantagePoint {
+            name: "WE".into(),
+            region: Region::WesternEurope,
+            peer_target: 400,
+            default_peers: false,
+        };
+        CampaignData {
+            observers: vec![(vantage, log)],
+            truth: testutil::truth(tree, txs),
+        }
+    }
+
+    #[test]
+    fn inclusion_and_confirmation_delays() {
+        let data = campaign_with_txs();
+        let r = analyze(&data);
+        assert_eq!(r.txs_measured, 1);
+        // Inclusion: tx seen 5s before block 1 observed.
+        assert!((r.inclusion.quantile(0.5) - 5.0).abs() < 1e-9);
+        // 12 confirmations: block 13 observed at 13 * 13.3s; delay =
+        // 13*13.3 - (13.3 - 5).
+        let expect = 13.0 * 13.3 - (13.3 - 5.0);
+        let got = r.median_commit_12().expect("12-conf reached");
+        assert!((got - expect).abs() < 1e-6, "{got} vs {expect}");
+        // 36 confirmations unreachable in a 16-block campaign.
+        let c36 = r
+            .confirmations
+            .iter()
+            .find(|(k, _)| *k == 36)
+            .expect("row present");
+        assert!(c36.1.is_empty());
+        assert!(r.to_string().contains("Figure 4"));
+    }
+
+    #[test]
+    fn unobserved_txs_are_skipped() {
+        let mut data = campaign_with_txs();
+        // Remove the tx observation: the tx can no longer be measured.
+        data.observers[0].1 = {
+            let mut log = ObserverLog::new();
+            for block in data.truth.tree.canonical_blocks().skip(1) {
+                let t = block.mined_at();
+                log.record_block_msg(block.hash(), BlockMsgKind::FullBlock, NodeId(2), t, t);
+            }
+            log
+        };
+        let r = analyze(&data);
+        assert_eq!(r.txs_measured, 0);
+        assert_eq!(r.txs_skipped, 1);
+    }
+
+    /// Two txs from one sender, nonce 1 arriving before nonce 0.
+    fn campaign_with_ooo() -> CampaignData {
+        let mut data = campaign_with_txs();
+        let ib = testutil::interblock();
+        // Add tx 2 (nonce 1) also committed in block 1.
+        let t0 = SimTime::ZERO + ib - SimDuration::from_secs(5);
+        let t1 = SimTime::ZERO + ib - SimDuration::from_secs(4);
+        data.truth.txs.insert(TxId(2), testutil::tx(2, 7, 1, t1));
+        // Rebuild the tree so block 1 carries both txs.
+        let mut tree = BlockTree::new();
+        let mut parent = tree.genesis_hash();
+        for i in 0..16u64 {
+            let txs = if i == 0 {
+                vec![TxId(1), TxId(2)]
+            } else {
+                vec![]
+            };
+            let b = BlockBuilder::new(parent, i + 1, PoolId(0))
+                .mined_at(SimTime::ZERO + ib * (i + 1))
+                .txs(txs)
+                .salt(i)
+                .build();
+            parent = b.hash();
+            tree.insert(b).expect("ok");
+        }
+        // Observer sees nonce 1 BEFORE nonce 0.
+        let mut log = ObserverLog::new();
+        for block in tree.canonical_blocks().filter(|b| b.number() > 0) {
+            let t = block.mined_at();
+            log.record_block_msg(block.hash(), BlockMsgKind::FullBlock, NodeId(2), t, t);
+        }
+        log.record_tx(TxId(2), NodeId(3), t1, t1); // nonce 1 first
+        log.record_tx(TxId(1), NodeId(3), t0, t0); // nonce 0 second
+        data.observers[0].1 = log;
+        data.truth.tree = tree;
+        data
+    }
+
+    #[test]
+    fn out_of_order_detection_and_split() {
+        let data = campaign_with_ooo();
+        let r = ordering(&data);
+        // One of the two committed txs is OOO at the observer.
+        assert!((r.ooo_fraction - 0.5).abs() < 1e-9, "{}", r.ooo_fraction);
+        assert_eq!(r.in_order.count(), 1);
+        assert_eq!(r.out_of_order.count(), 1);
+        // The OOO tx (nonce 0, arrived later... no: nonce 1 arrived first,
+        // but its predecessor arrived later -> nonce 1 is the OOO one).
+        assert!(r.to_string().contains("Figure 5"));
+    }
+
+    #[test]
+    fn in_order_campaign_has_zero_ooo() {
+        let data = campaign_with_txs();
+        let r = ordering(&data);
+        assert_eq!(r.ooo_fraction, 0.0);
+        assert_eq!(r.out_of_order.count(), 0);
+    }
+}

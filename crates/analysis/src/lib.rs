@@ -1,0 +1,33 @@
+//! The processing pipeline: from raw observer logs to every table and
+//! figure of the paper's §III.
+//!
+//! Each module owns one experiment family and produces a typed report with
+//! a `Display` implementation that prints the paper-style table:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`propagation`] | Figure 1 (block propagation delay PDF) |
+//! | [`redundancy`] | Table II (redundant block receptions) |
+//! | [`first_observation`] | Figures 2 and 3 (geographic first-observation shares, per-pool breakdown) |
+//! | [`commit`] | Figures 4 and 5 (inclusion/commit CDFs, in- vs out-of-order) |
+//! | [`empty_blocks`] | Figure 6 (empty blocks per pool) |
+//! | [`forks`] | Table III and §III-C5 (fork census, one-miner forks) |
+//! | [`sequences`] | Figure 7 and §III-D (consecutive-block sequences, censorship windows) |
+//!
+//! All analyzers consume a [`ethmeter_measure::CampaignData`]; the
+//! sequence analyses additionally accept bare miner sequences so the fast
+//! chain-only simulator can feed them directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commit;
+pub mod empty_blocks;
+pub mod first_observation;
+pub mod forks;
+pub mod propagation;
+pub mod redundancy;
+pub mod sequences;
+
+#[cfg(test)]
+pub(crate) mod testutil;

@@ -1,0 +1,44 @@
+//! Simulator-throughput benchmarks: campaign execution, chain-only
+//! sequence generation (Figure 7 / §III-D's substrate), and the exact
+//! run-length theory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethmeter_core::chainonly::{run_chain_only, ChainOnlyConfig};
+use ethmeter_core::{run_campaign, Preset, Scenario};
+use ethmeter_stats::runs::{expected_maximal_runs, prob_run_at_least};
+use ethmeter_types::SimDuration;
+use std::hint::black_box;
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+
+    // A 3-simulated-minute micro-campaign: measures end-to-end event
+    // throughput (topology build + gossip + mining + analysis handoff).
+    let micro = Scenario::builder()
+        .preset(Preset::Tiny)
+        .seed(7)
+        .duration(SimDuration::from_mins(3))
+        .build();
+    g.bench_function("campaign_3min_60nodes", |b| {
+        b.iter(|| black_box(run_campaign(&micro)))
+    });
+
+    // Figure 7's substrate: a paper-month of block winners.
+    let month = ChainOnlyConfig::paper_month(1);
+    g.bench_function("chain_only_201k_blocks", |b| {
+        b.iter(|| black_box(run_chain_only(&month)))
+    });
+
+    // §III-D exact theory at paper scale.
+    g.bench_function("prob_run_at_least_201k", |b| {
+        b.iter(|| black_box(prob_run_at_least(201_086, 0.259, 12)))
+    });
+    g.bench_function("expected_maximal_runs", |b| {
+        b.iter(|| black_box(expected_maximal_runs(201_086, 0.259, 8)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

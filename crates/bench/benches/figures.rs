@@ -1,0 +1,57 @@
+//! One benchmark per paper table/figure: each measures the analyzer that
+//! regenerates the artifact, over a shared seeded campaign (the campaign
+//! itself is benchmarked separately in `engine.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethmeter_analysis::{
+    commit, empty_blocks, first_observation, forks, propagation, redundancy, sequences,
+};
+use ethmeter_bench::bench_scenario;
+use ethmeter_core::experiments;
+use ethmeter_core::run_campaign;
+use ethmeter_measure::CampaignData;
+use std::hint::black_box;
+
+fn campaign() -> CampaignData {
+    run_campaign(&bench_scenario(42)).campaign
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let data = campaign();
+    let mut g = c.benchmark_group("figures");
+
+    g.bench_function("table1_infrastructure", |b| {
+        b.iter(|| black_box(experiments::table1(&data)))
+    });
+    g.bench_function("fig1_propagation", |b| {
+        b.iter(|| black_box(propagation::analyze(&data)))
+    });
+    g.bench_function("table2_redundancy", |b| {
+        b.iter(|| black_box(redundancy::analyze(&data)))
+    });
+    g.bench_function("fig2_geo_first_observation", |b| {
+        b.iter(|| black_box(first_observation::geo(&data)))
+    });
+    g.bench_function("fig3_pool_first_observation", |b| {
+        b.iter(|| black_box(first_observation::by_pool(&data, 15)))
+    });
+    g.bench_function("fig4_commit_times", |b| {
+        b.iter(|| black_box(commit::analyze(&data)))
+    });
+    g.bench_function("fig5_ordering", |b| {
+        b.iter(|| black_box(commit::ordering(&data)))
+    });
+    g.bench_function("fig6_empty_blocks", |b| {
+        b.iter(|| black_box(empty_blocks::analyze(&data, 15)))
+    });
+    g.bench_function("table3_forks", |b| {
+        b.iter(|| black_box(forks::analyze(&data)))
+    });
+    g.bench_function("fig7_sequences_campaign", |b| {
+        b.iter(|| black_box(sequences::analyze(&data)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Substrate micro-benchmarks: the data structures under the measurement
+//! pipeline (block tree, mempool, topology, PRNG, distributions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ethmeter_chain::block::BlockBuilder;
+use ethmeter_chain::tree::BlockTree;
+use ethmeter_chain::tx::{Transaction, SIMPLE_TX_GAS};
+use ethmeter_sim::dist::{Exp, LogNormal, Zipf};
+use ethmeter_sim::{EventQueue, Xoshiro256};
+use ethmeter_types::{AccountId, BlockHash, ByteSize, NodeId, PoolId, SimTime, TxId};
+use std::hint::black_box;
+
+fn bench_blocktree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("blocktree");
+    g.bench_function("insert_1000_linear", |b| {
+        b.iter(|| {
+            let mut tree = BlockTree::new();
+            let mut parent = tree.genesis_hash();
+            for i in 0..1000u64 {
+                let block = BlockBuilder::new(parent, i + 1, PoolId(0)).salt(i).build();
+                parent = block.hash();
+                tree.insert(block).expect("linear insert");
+            }
+            black_box(tree.head_number())
+        })
+    });
+    g.bench_function("insert_with_forks_and_reorgs", |b| {
+        b.iter(|| {
+            let mut tree = BlockTree::new();
+            let mut parent = tree.genesis_hash();
+            let mut number = 0u64;
+            for i in 0..500u64 {
+                let prev = parent;
+                let prev_number = number;
+                number += 1;
+                let block = BlockBuilder::new(parent, number, PoolId(0)).salt(i).build();
+                parent = block.hash();
+                tree.insert(block).expect("main insert");
+                if i % 7 == 0 && i > 0 {
+                    // Competing sibling: occasionally wins via a child
+                    // (forcing a reorg of the last main block).
+                    let fork = BlockBuilder::new(prev, prev_number + 1, PoolId(1))
+                        .salt(10_000 + i)
+                        .build();
+                    let fh = fork.hash();
+                    tree.insert(fork).expect("fork insert");
+                    if i % 21 == 0 {
+                        number = prev_number + 2;
+                        let child = BlockBuilder::new(fh, number, PoolId(1))
+                            .salt(20_000 + i)
+                            .build();
+                        parent = child.hash();
+                        tree.insert(child).expect("reorg insert");
+                    }
+                }
+            }
+            black_box(tree.reorg_count())
+        })
+    });
+    g.finish();
+}
+
+fn bench_mempool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mempool");
+    let txs: Vec<Transaction> = (0..2_000u64)
+        .map(|i| Transaction {
+            id: TxId(i),
+            sender: AccountId((i % 97) as u32),
+            nonce: i / 97,
+            gas_price: (i * 31) % 100 + 1,
+            gas: SIMPLE_TX_GAS,
+            size: ByteSize::from_bytes(180),
+            submitted_at: SimTime::ZERO,
+            origin: NodeId(0),
+        })
+        .collect();
+    g.bench_function("add_2000_txs", |b| {
+        b.iter(|| {
+            let mut pool = ethmeter_txpool::Mempool::new();
+            for tx in &txs {
+                pool.add(tx);
+            }
+            black_box(pool.len())
+        })
+    });
+    g.bench_function("pack_8m_gas", |b| {
+        let mut pool = ethmeter_txpool::Mempool::new();
+        for tx in &txs {
+            pool.add(tx);
+        }
+        b.iter(|| black_box(pool.pack(8_000_000).len()))
+    });
+    g.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    g.bench_function("xoshiro_next_u64", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    g.bench_function("exp_sample", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let d = Exp::with_mean(13.3);
+        b.iter(|| black_box(d.sample(&mut rng)))
+    });
+    g.bench_function("lognormal_sample", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let d = LogNormal::with_median(1.0, 0.45);
+        b.iter(|| black_box(d.sample(&mut rng)))
+    });
+    g.bench_function("zipf_sample_10k", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let d = Zipf::new(10_000, 1.05);
+        b.iter(|| black_box(d.sample(&mut rng)))
+    });
+    g.bench_function("event_queue_push_pop_1k", |b| {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1_000u64 {
+                q.push(SimTime::from_nanos(rng.next_u64() >> 20), i);
+            }
+            let mut last = 0;
+            while let Some((_, e)) = q.pop() {
+                last = e;
+            }
+            black_box(last)
+        })
+    });
+    g.bench_function("block_hash_mix", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(BlockHash::mix(i))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_blocktree, bench_mempool, bench_primitives);
+criterion_main!(benches);

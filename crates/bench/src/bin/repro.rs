@@ -1,0 +1,157 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [EXPERIMENT] [--preset tiny|small|medium|paper] [--seed N]
+//!
+//! EXPERIMENT:
+//!   all        every experiment (default)
+//!   table1     measurement infrastructure
+//!   fig1       block propagation delay PDF
+//!   table2     redundant block receptions
+//!   fig2       first observations per vantage
+//!   fig3       first observations per origin pool
+//!   fig4       inclusion + confirmation CDFs
+//!   fig5       in-order vs out-of-order commit delay
+//!   fig6       empty blocks per pool
+//!   table3     fork census + one-miner forks
+//!   fig7       consecutive-block sequences (campaign + 201k-block month)
+//!   security   §III-D whole-chain sequence scan (7.7M blocks)
+//!   ablation   §V uncle-policy ablation
+//! ```
+
+use std::process::ExitCode;
+
+use ethmeter_bench::repro_scenario;
+use ethmeter_core::experiments::{self, Suite};
+use ethmeter_core::{run_campaign, Preset, Scenario};
+use ethmeter_measure::CampaignData;
+
+struct Args {
+    experiment: String,
+    preset: Preset,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut experiment = "all".to_owned();
+    let mut preset = Preset::Small;
+    let mut seed = 42u64;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--preset" => {
+                let v = argv.next().ok_or("--preset needs a value")?;
+                preset = match v.as_str() {
+                    "tiny" => Preset::Tiny,
+                    "small" => Preset::Small,
+                    "medium" => Preset::Medium,
+                    "paper" => Preset::PaperScaled,
+                    other => return Err(format!("unknown preset '{other}'")),
+                };
+            }
+            "--seed" => {
+                let v = argv.next().ok_or("--seed needs a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+            }
+            "--help" | "-h" => return Err(String::new()),
+            other if !other.starts_with('-') => experiment = other.to_owned(),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(Args {
+        experiment,
+        preset,
+        seed,
+    })
+}
+
+fn run_suite(scenario: &Scenario) -> (CampaignData, Suite) {
+    eprintln!(
+        "running campaign: {} ordinary nodes, {} simulated, seed {} ...",
+        scenario.ordinary_nodes, scenario.duration, scenario.seed
+    );
+    let outcome = run_campaign(scenario);
+    eprintln!(
+        "done: {} events, {} messages, {} blocks, {} txs",
+        outcome.events,
+        outcome.stats.messages,
+        outcome.campaign.truth.tree.head_number(),
+        outcome.stats.txs_submitted
+    );
+    let suite = Suite::from_campaign(&outcome.campaign);
+    (outcome.campaign, suite)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}");
+            }
+            eprintln!("usage: repro [EXPERIMENT] [--preset tiny|small|medium|paper] [--seed N]");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = repro_scenario(args.preset, args.seed);
+    let needs_campaign = matches!(
+        args.experiment.as_str(),
+        "all" | "table1" | "fig1" | "table2" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6"
+            | "table3" | "fig7"
+    );
+    let campaign_and_suite = needs_campaign.then(|| run_suite(&scenario));
+
+    let print_for = |name: &str, campaign: &CampaignData, suite: &Suite| match name {
+        "table1" => println!("{}\n", experiments::table1(campaign)),
+        "fig1" => println!("{}\n", suite.fig1),
+        "table2" => match &suite.table2 {
+            Ok(r) => println!("{r}\n"),
+            Err(e) => println!("Table II unavailable: {e}\n"),
+        },
+        "fig2" => println!("{}\n", suite.fig2),
+        "fig3" => println!("{}\n", suite.fig3),
+        "fig4" => println!("{}\n", suite.fig4),
+        "fig5" => println!("{}\n", suite.fig5),
+        "fig6" => println!("{}\n", suite.fig6),
+        "table3" => println!("{}\n", suite.table3),
+        "fig7" => {
+            println!("campaign-scale sequences:\n{}\n", suite.fig7);
+            println!(
+                "paper-scale month (201,086 blocks):\n{}\n",
+                experiments::fig7_month(args.seed)
+            );
+        }
+        _ => {}
+    };
+
+    match args.experiment.as_str() {
+        "all" => {
+            let (campaign, suite) = campaign_and_suite.as_ref().expect("campaign ran");
+            for name in [
+                "table1", "fig1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "table3",
+                "fig7",
+            ] {
+                print_for(name, campaign, suite);
+            }
+            println!("{}\n", experiments::security_whole_chain(args.seed));
+            println!(
+                "{}",
+                experiments::ablation_uncle_policy(&ethmeter_bench::bench_scenario(args.seed))
+            );
+        }
+        "security" => println!("{}", experiments::security_whole_chain(args.seed)),
+        "ablation" => println!(
+            "{}",
+            experiments::ablation_uncle_policy(&ethmeter_bench::bench_scenario(args.seed))
+        ),
+        name if campaign_and_suite.is_some() => {
+            let (campaign, suite) = campaign_and_suite.as_ref().expect("campaign ran");
+            print_for(name, campaign, suite);
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

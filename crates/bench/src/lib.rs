@@ -1,0 +1,39 @@
+//! Shared helpers for the benchmark harness and the `repro` binary.
+//!
+//! Benches and the reproduction CLI share scenario construction so the
+//! numbers printed by `repro` and measured by `cargo bench` come from the
+//! same configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ethmeter_core::{Preset, Scenario};
+use ethmeter_types::SimDuration;
+
+/// The scenario used by per-figure Criterion benches: small enough to run
+/// in a bench iteration, large enough that every analyzer has data.
+pub fn bench_scenario(seed: u64) -> Scenario {
+    Scenario::builder()
+        .preset(Preset::Tiny)
+        .seed(seed)
+        .duration(SimDuration::from_mins(10))
+        .build()
+}
+
+/// The scenario used for figure-quality runs in `repro` (overridable by
+/// CLI flags).
+pub fn repro_scenario(preset: Preset, seed: u64) -> Scenario {
+    Scenario::builder().preset(preset).seed(seed).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scenario_is_small() {
+        let s = bench_scenario(1);
+        assert!(s.ordinary_nodes <= 100);
+        assert_eq!(s.duration, SimDuration::from_mins(10));
+    }
+}

@@ -1,0 +1,49 @@
+//! Blockchain substrate: blocks, transactions, the block tree, fork choice,
+//! uncles, rewards, and fork classification.
+//!
+//! This crate implements the ledger layer the paper's measurements sit on:
+//!
+//! - [`block`]: headers, bodies, and size accounting (why empty blocks are
+//!   small and fast);
+//! - [`tx`]: transactions with per-sender nonces (the mechanism behind
+//!   out-of-order commits, §III-C2);
+//! - [`tree`]: the block tree with total-difficulty fork choice, canonical
+//!   chain maintenance, and reorg tracking;
+//! - [`uncles`]: Ethereum's uncle-validity rules and reference policies,
+//!   including the paper's proposed mitigation (§V) that forbids uncles
+//!   from a miner that already holds the same-height main block;
+//! - [`rewards`]: the post-Constantinople reward schedule used to reason
+//!   about why one-miner forks are profitable;
+//! - [`forks`]: extraction and classification of forks from a complete
+//!   block set (Table III, §III-C4/C5).
+//!
+//! # Example
+//!
+//! ```
+//! use ethmeter_chain::block::BlockBuilder;
+//! use ethmeter_chain::tree::BlockTree;
+//! use ethmeter_types::PoolId;
+//!
+//! let mut tree = BlockTree::new();
+//! let genesis = tree.genesis_hash();
+//! let b1 = BlockBuilder::new(genesis, 1, PoolId(0)).build();
+//! let h1 = b1.hash();
+//! tree.insert(b1)?;
+//! assert_eq!(tree.head(), h1);
+//! # Ok::<(), ethmeter_chain::tree::InsertError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod forks;
+pub mod rewards;
+pub mod tree;
+pub mod tx;
+pub mod uncles;
+
+pub use block::{Block, BlockBuilder, BlockHeader};
+pub use tree::{BlockTree, InsertError, InsertOutcome};
+pub use tx::Transaction;
+pub use uncles::UnclePolicy;

@@ -1,0 +1,148 @@
+//! The post-Constantinople reward schedule (EIP-1234, in force during the
+//! paper's April 2019 window) and per-pool reward accounting.
+//!
+//! Rewards explain the selfish behaviors the paper documents: an empty
+//! block forfeits only transaction fees (small) while keeping the 2 ETH
+//! base reward (large) — "miners are penalized by not collecting
+//! transaction fees ... they still get the mining reward which is, on
+//! average, considerably higher" (§III-C3). One-miner forks harvest uncle
+//! rewards: up to 7/8 of a block reward for a duplicate block (§III-C5).
+
+use std::collections::HashMap;
+
+use ethmeter_types::{BlockNumber, PoolId};
+
+/// Milli-ether: rewards are tracked in integer thousandths of an ETH so the
+/// ledger stays exact.
+pub type MilliEther = u64;
+
+/// Base block reward after Constantinople: 2 ETH.
+pub const BLOCK_REWARD: MilliEther = 2_000;
+
+/// Reward for an uncle at generation gap `k = nephew.number - uncle.number`
+/// (1..=6): `(8 - k) / 8 * BLOCK_REWARD`.
+///
+/// Returns 0 outside the valid window.
+pub fn uncle_reward(nephew: BlockNumber, uncle: BlockNumber) -> MilliEther {
+    if uncle >= nephew {
+        return 0;
+    }
+    let k = nephew - uncle;
+    if k > 6 {
+        return 0;
+    }
+    BLOCK_REWARD * (8 - k) / 8
+}
+
+/// Reward paid to the *nephew* for each uncle it references:
+/// `BLOCK_REWARD / 32`.
+pub const NEPHEW_REWARD: MilliEther = BLOCK_REWARD / 32;
+
+/// Average transaction fee revenue per full block during the window, used
+/// to quantify what an empty block forfeits (~0.15 ETH at April 2019 gas
+/// prices).
+pub const AVG_FEES_PER_FULL_BLOCK: MilliEther = 150;
+
+/// Per-pool reward ledger.
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    entries: HashMap<PoolId, PoolEarnings>,
+}
+
+/// Cumulative earnings of one pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolEarnings {
+    /// Canonical blocks mined.
+    pub blocks: u64,
+    /// Uncles credited.
+    pub uncles: u64,
+    /// Total reward, in milli-ether.
+    pub reward: MilliEther,
+}
+
+impl Ledger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Credits a canonical block (base reward + nephew bonus + fees).
+    pub fn credit_block(&mut self, miner: PoolId, uncles_referenced: usize, fees: MilliEther) {
+        let e = self.entries.entry(miner).or_default();
+        e.blocks += 1;
+        e.reward += BLOCK_REWARD + NEPHEW_REWARD * uncles_referenced as MilliEther + fees;
+    }
+
+    /// Credits an uncle reward.
+    pub fn credit_uncle(&mut self, miner: PoolId, nephew: BlockNumber, uncle: BlockNumber) {
+        let e = self.entries.entry(miner).or_default();
+        e.uncles += 1;
+        e.reward += uncle_reward(nephew, uncle);
+    }
+
+    /// The earnings of a pool (zeroes if never credited).
+    pub fn earnings(&self, pool: PoolId) -> PoolEarnings {
+        self.entries.get(&pool).copied().unwrap_or_default()
+    }
+
+    /// Iterates over all pools with any earnings.
+    pub fn iter(&self) -> impl Iterator<Item = (PoolId, &PoolEarnings)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Total reward issued, in milli-ether.
+    pub fn total_reward(&self) -> MilliEther {
+        self.entries.values().map(|e| e.reward).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncle_reward_schedule() {
+        // Gap 1: 7/8 of 2 ETH = 1.75 ETH.
+        assert_eq!(uncle_reward(10, 9), 1_750);
+        // Gap 2: 6/8 = 1.5 ETH.
+        assert_eq!(uncle_reward(10, 8), 1_500);
+        // Gap 6: 2/8 = 0.5 ETH.
+        assert_eq!(uncle_reward(10, 4), 500);
+        // Out of window.
+        assert_eq!(uncle_reward(10, 3), 0);
+        assert_eq!(uncle_reward(10, 10), 0);
+        assert_eq!(uncle_reward(10, 11), 0);
+    }
+
+    #[test]
+    fn nephew_reward_is_one_thirty_second() {
+        assert_eq!(NEPHEW_REWARD, 62); // 2000/32 = 62.5 truncated
+    }
+
+    #[test]
+    fn one_miner_fork_profitability() {
+        // The paper's §III-C5 economics: a duplicate block recognized as a
+        // gap-1 uncle earns 1.75 ETH -- 87.5% of a main block. That dwarfs
+        // the fee income it forfeits, which is why duplicates pay off.
+        assert!(uncle_reward(5, 4) > 10 * AVG_FEES_PER_FULL_BLOCK);
+    }
+
+    #[test]
+    fn ledger_accumulates() {
+        let mut ledger = Ledger::new();
+        let p = PoolId(1);
+        ledger.credit_block(p, 0, AVG_FEES_PER_FULL_BLOCK);
+        ledger.credit_block(p, 2, 0); // empty block with two uncle refs
+        ledger.credit_uncle(p, 10, 9);
+        let e = ledger.earnings(p);
+        assert_eq!(e.blocks, 2);
+        assert_eq!(e.uncles, 1);
+        assert_eq!(
+            e.reward,
+            2 * BLOCK_REWARD + 2 * NEPHEW_REWARD + AVG_FEES_PER_FULL_BLOCK + 1_750
+        );
+        assert_eq!(ledger.total_reward(), e.reward);
+        assert_eq!(ledger.earnings(PoolId(9)), PoolEarnings::default());
+        assert_eq!(ledger.iter().count(), 1);
+    }
+}

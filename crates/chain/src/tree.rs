@@ -1,0 +1,596 @@
+//! The block tree: every observed block, with total-difficulty fork choice.
+//!
+//! Matches the Ethereum yellow paper's view of a "block tree" over which a
+//! fork is "a disagreement between nodes as to which root-to-leaf path down
+//! the block tree is the best blockchain" (§III-C4). Each node of the
+//! simulated network owns one `BlockTree`; the measurement pipeline also
+//! builds a global one from ground truth.
+//!
+//! Fork choice: the chain with the greatest total difficulty wins; ties
+//! keep the incumbent (first-seen), which is Geth's behavior under constant
+//! difficulty.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use ethmeter_types::{BlockHash, BlockNumber, PoolId};
+
+use crate::block::{Block, BlockBuilder};
+
+/// Miner id used for the synthetic genesis block.
+pub const GENESIS_MINER: PoolId = PoolId(u16::MAX);
+
+/// Result of inserting a block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The block attached to the tree.
+    Attached {
+        /// True if this block (or an orphan it connected) became the head.
+        new_head: bool,
+        /// Number of canonical blocks replaced (0 for a plain extension).
+        reorg_depth: u64,
+        /// Hashes of previously orphaned blocks that this insertion
+        /// connected (in connection order, not including the block itself).
+        connected_orphans: Vec<BlockHash>,
+    },
+    /// The parent is unknown; the block was buffered and will connect
+    /// automatically when its parent arrives.
+    Orphaned,
+}
+
+/// Why an insertion was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertError {
+    /// The block (by hash) is already present.
+    Duplicate(BlockHash),
+    /// `number` is not `parent.number + 1`.
+    HeightMismatch {
+        /// The offending block.
+        hash: BlockHash,
+        /// Height the parent implies.
+        expected: BlockNumber,
+        /// Height the block claims.
+        got: BlockNumber,
+    },
+}
+
+impl fmt::Display for InsertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InsertError::Duplicate(h) => write!(f, "duplicate block {h}"),
+            InsertError::HeightMismatch {
+                hash,
+                expected,
+                got,
+            } => write!(
+                f,
+                "block {hash} claims height {got}, parent implies {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InsertError {}
+
+/// A tree of blocks with canonical-chain tracking.
+#[derive(Debug, Clone)]
+pub struct BlockTree {
+    blocks: HashMap<BlockHash, Block>,
+    children: HashMap<BlockHash, Vec<BlockHash>>,
+    total_difficulty: HashMap<BlockHash, u128>,
+    /// canonical[n] = hash of the canonical block at height n.
+    canonical: Vec<BlockHash>,
+    head: BlockHash,
+    genesis: BlockHash,
+    /// uncle hash -> the canonical-chain block that referenced it first.
+    included_uncles: HashMap<BlockHash, BlockHash>,
+    /// parent hash -> blocks waiting for that parent.
+    orphans: HashMap<BlockHash, Vec<Block>>,
+    reorg_count: u64,
+}
+
+impl BlockTree {
+    /// Creates a tree containing only the genesis block.
+    pub fn new() -> Self {
+        let genesis = BlockBuilder::new(BlockHash::ZERO, 0, GENESIS_MINER).build();
+        let gh = genesis.hash();
+        let mut blocks = HashMap::new();
+        blocks.insert(gh, genesis);
+        let mut total_difficulty = HashMap::new();
+        total_difficulty.insert(gh, 0u128);
+        BlockTree {
+            blocks,
+            children: HashMap::new(),
+            total_difficulty,
+            canonical: vec![gh],
+            head: gh,
+            genesis: gh,
+            included_uncles: HashMap::new(),
+            orphans: HashMap::new(),
+            reorg_count: 0,
+        }
+    }
+
+    /// The genesis hash (same for every tree: all nodes share one genesis).
+    pub fn genesis_hash(&self) -> BlockHash {
+        self.genesis
+    }
+
+    /// The current best block.
+    pub fn head(&self) -> BlockHash {
+        self.head
+    }
+
+    /// The height of the current best block.
+    pub fn head_number(&self) -> BlockNumber {
+        self.canonical.len() as BlockNumber - 1
+    }
+
+    /// Total number of attached blocks, including genesis and forks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True if only genesis is present.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.len() == 1
+    }
+
+    /// Number of blocks buffered waiting for a parent.
+    pub fn orphan_count(&self) -> usize {
+        self.orphans.values().map(Vec::len).sum()
+    }
+
+    /// How many reorgs (head switches replacing ≥1 canonical block) have
+    /// happened.
+    pub fn reorg_count(&self) -> u64 {
+        self.reorg_count
+    }
+
+    /// Looks up a block.
+    pub fn get(&self, hash: BlockHash) -> Option<&Block> {
+        self.blocks.get(&hash)
+    }
+
+    /// True if the block is attached (orphans don't count).
+    pub fn contains(&self, hash: BlockHash) -> bool {
+        self.blocks.contains_key(&hash)
+    }
+
+    /// Total difficulty of an attached block.
+    pub fn total_difficulty(&self, hash: BlockHash) -> Option<u128> {
+        self.total_difficulty.get(&hash).copied()
+    }
+
+    /// The canonical hash at `number`, if the chain reaches that height.
+    pub fn canonical_hash(&self, number: BlockNumber) -> Option<BlockHash> {
+        self.canonical.get(number as usize).copied()
+    }
+
+    /// True if `hash` is on the canonical chain.
+    pub fn is_canonical(&self, hash: BlockHash) -> bool {
+        self.blocks
+            .get(&hash)
+            .is_some_and(|b| self.canonical_hash(b.number()) == Some(hash))
+    }
+
+    /// Blocks of the canonical chain in height order (including genesis).
+    pub fn canonical_blocks(&self) -> impl Iterator<Item = &Block> + '_ {
+        self.canonical
+            .iter()
+            .map(move |h| self.blocks.get(h).expect("canonical entries attached"))
+    }
+
+    /// All attached blocks in arbitrary order.
+    pub fn all_blocks(&self) -> impl Iterator<Item = &Block> + '_ {
+        self.blocks.values()
+    }
+
+    /// Attached blocks not on the canonical chain (fork blocks), excluding
+    /// genesis, in arbitrary order.
+    pub fn non_canonical_blocks(&self) -> impl Iterator<Item = &Block> + '_ {
+        self.blocks
+            .values()
+            .filter(move |b| !self.is_canonical(b.hash()))
+    }
+
+    /// Children of a block.
+    pub fn children_of(&self, hash: BlockHash) -> &[BlockHash] {
+        self.children.get(&hash).map_or(&[], Vec::as_slice)
+    }
+
+    /// The ancestor of `hash` at height `number`, walking parent links.
+    pub fn ancestor_at(&self, hash: BlockHash, number: BlockNumber) -> Option<BlockHash> {
+        let mut cur = self.blocks.get(&hash)?;
+        if number > cur.number() {
+            return None;
+        }
+        while cur.number() > number {
+            cur = self.blocks.get(&cur.parent())?;
+        }
+        Some(cur.hash())
+    }
+
+    /// True if `ancestor` is an ancestor of (or equal to) `descendant`.
+    pub fn is_ancestor(&self, ancestor: BlockHash, descendant: BlockHash) -> bool {
+        let Some(a) = self.blocks.get(&ancestor) else {
+            return false;
+        };
+        self.ancestor_at(descendant, a.number()) == Some(ancestor)
+    }
+
+    /// Confirmations of a canonical block: `head_number - number`.
+    /// `None` if the block is unknown or currently off-chain.
+    pub fn confirmations(&self, hash: BlockHash) -> Option<u64> {
+        if self.is_canonical(hash) {
+            let n = self.blocks[&hash].number();
+            Some(self.head_number() - n)
+        } else {
+            None
+        }
+    }
+
+    /// The canonical block that referenced `hash` as an uncle, if any.
+    pub fn uncle_included_in(&self, hash: BlockHash) -> Option<BlockHash> {
+        self.included_uncles.get(&hash).copied()
+    }
+
+    /// True if `hash` has been referenced as an uncle by any inserted block.
+    pub fn is_recognized_uncle(&self, hash: BlockHash) -> bool {
+        self.included_uncles.contains_key(&hash)
+    }
+
+    /// Inserts a block.
+    ///
+    /// Unknown-parent blocks are buffered ([`InsertOutcome::Orphaned`]) and
+    /// automatically connected when the parent arrives — mirroring Geth's
+    /// fetcher queue.
+    ///
+    /// # Errors
+    ///
+    /// [`InsertError::Duplicate`] if the hash is already attached or
+    /// buffered; [`InsertError::HeightMismatch`] if `number` disagrees with
+    /// the parent.
+    pub fn insert(&mut self, block: Block) -> Result<InsertOutcome, InsertError> {
+        let hash = block.hash();
+        if self.blocks.contains_key(&hash)
+            || self
+                .orphans
+                .values()
+                .any(|v| v.iter().any(|b| b.hash() == hash))
+        {
+            return Err(InsertError::Duplicate(hash));
+        }
+        let parent_hash = block.parent();
+        let Some(parent) = self.blocks.get(&parent_hash) else {
+            self.orphans.entry(parent_hash).or_default().push(block);
+            return Ok(InsertOutcome::Orphaned);
+        };
+        let expected = parent.number() + 1;
+        if block.number() != expected {
+            return Err(InsertError::HeightMismatch {
+                hash,
+                expected,
+                got: block.number(),
+            });
+        }
+
+        let mut new_head = false;
+        let mut reorg_depth = 0u64;
+        self.attach(block, &mut new_head, &mut reorg_depth);
+
+        // Connect any orphans now reachable, breadth-first.
+        let mut connected = Vec::new();
+        let mut frontier = vec![hash];
+        while let Some(parent) = frontier.pop() {
+            let Some(waiting) = self.orphans.remove(&parent) else {
+                continue;
+            };
+            for orphan in waiting {
+                let oh = orphan.hash();
+                // Height mismatches among orphans are discarded silently:
+                // they can only come from a corrupted producer, which the
+                // simulator never creates.
+                if orphan.number() == self.blocks[&parent].number() + 1 {
+                    self.attach(orphan, &mut new_head, &mut reorg_depth);
+                    connected.push(oh);
+                    frontier.push(oh);
+                }
+            }
+        }
+
+        Ok(InsertOutcome::Attached {
+            new_head,
+            reorg_depth,
+            connected_orphans: connected,
+        })
+    }
+
+    /// Attaches a block whose parent is present, updating fork choice.
+    fn attach(&mut self, block: Block, new_head: &mut bool, reorg_depth: &mut u64) {
+        let hash = block.hash();
+        let parent_hash = block.parent();
+        let td = self.total_difficulty[&parent_hash] + u128::from(block.header().difficulty());
+        for &u in block.uncles() {
+            self.included_uncles.entry(u).or_insert(hash);
+        }
+        self.children.entry(parent_hash).or_default().push(hash);
+        self.total_difficulty.insert(hash, td);
+        self.blocks.insert(hash, block);
+
+        // Strictly-greater total difficulty wins; ties keep the incumbent.
+        if td > self.total_difficulty[&self.head] {
+            let depth = self.switch_head(hash);
+            *new_head = true;
+            if depth > 0 {
+                *reorg_depth = (*reorg_depth).max(depth);
+                self.reorg_count += 1;
+            }
+        }
+    }
+
+    /// Makes `new_head` canonical; returns how many previously canonical
+    /// blocks were replaced.
+    fn switch_head(&mut self, new_head: BlockHash) -> u64 {
+        // Collect the non-canonical suffix of the new head's chain.
+        let mut path = Vec::new();
+        let mut cur = new_head;
+        loop {
+            let b = &self.blocks[&cur];
+            let n = b.number() as usize;
+            if self.canonical.get(n) == Some(&cur) {
+                break;
+            }
+            path.push(cur);
+            cur = b.parent();
+        }
+        let fork_height = self.blocks[&cur].number(); // last common block
+        let old_len = self.canonical.len() as u64;
+        let replaced = old_len.saturating_sub(fork_height + 1);
+        self.canonical.truncate(fork_height as usize + 1);
+        self.canonical.extend(path.iter().rev());
+        self.head = new_head;
+        replaced
+    }
+}
+
+impl Default for BlockTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethmeter_types::TxId;
+
+    fn child(tree: &BlockTree, parent: BlockHash, miner: u16, salt: u64) -> Block {
+        let number = tree.get(parent).expect("parent").number() + 1;
+        BlockBuilder::new(parent, number, PoolId(miner))
+            .salt(salt)
+            .build()
+    }
+
+    fn extend(tree: &mut BlockTree, parent: BlockHash, miner: u16, salt: u64) -> BlockHash {
+        let b = child(tree, parent, miner, salt);
+        let h = b.hash();
+        match tree.insert(b) {
+            Ok(InsertOutcome::Attached { .. }) => h,
+            other => panic!("unexpected insert outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linear_chain_extends_head() {
+        let mut tree = BlockTree::new();
+        let mut cur = tree.genesis_hash();
+        for i in 0..10 {
+            cur = extend(&mut tree, cur, 0, i);
+            assert_eq!(tree.head(), cur);
+            assert_eq!(tree.head_number(), i + 1);
+            assert!(tree.is_canonical(cur));
+        }
+        assert_eq!(tree.len(), 11);
+        assert_eq!(tree.reorg_count(), 0);
+        assert_eq!(tree.canonical_blocks().count(), 11);
+    }
+
+    #[test]
+    fn fork_does_not_displace_equal_td_head() {
+        let mut tree = BlockTree::new();
+        let g = tree.genesis_hash();
+        let a = extend(&mut tree, g, 0, 1);
+        // Competing block at the same height: same TD, head must stay.
+        let b = child(&tree, tree.genesis_hash(), 1, 2);
+        let bh = b.hash();
+        let out = tree.insert(b).expect("attached");
+        assert!(matches!(
+            out,
+            InsertOutcome::Attached {
+                new_head: false,
+                ..
+            }
+        ));
+        assert_eq!(tree.head(), a);
+        assert!(!tree.is_canonical(bh));
+        assert_eq!(tree.non_canonical_blocks().count(), 1);
+    }
+
+    #[test]
+    fn longer_fork_triggers_reorg() {
+        let mut tree = BlockTree::new();
+        let g = tree.genesis_hash();
+        let a1 = extend(&mut tree, g, 0, 1);
+        let _a2 = extend(&mut tree, a1, 0, 2);
+        // Fork from genesis, three blocks long: must displace the 2-chain.
+        let b1 = extend(&mut tree, g, 1, 3);
+        assert_eq!(tree.head_number(), 2, "2-chain still best");
+        let b2 = extend(&mut tree, b1, 1, 4);
+        assert_eq!(tree.head_number(), 2, "tie keeps incumbent");
+        let b3 = extend(&mut tree, b2, 1, 5);
+        assert_eq!(tree.head(), b3);
+        assert_eq!(tree.head_number(), 3);
+        assert!(tree.is_canonical(b1) && tree.is_canonical(b2));
+        assert!(!tree.is_canonical(a1));
+        assert_eq!(tree.reorg_count(), 1);
+        assert_eq!(tree.canonical_hash(1), Some(b1));
+    }
+
+    #[test]
+    fn reorg_depth_is_reported() {
+        let mut tree = BlockTree::new();
+        let g = tree.genesis_hash();
+        let a1 = extend(&mut tree, g, 0, 1);
+        let _a2 = extend(&mut tree, a1, 0, 2);
+        let b1 = extend(&mut tree, g, 1, 3);
+        let b2 = extend(&mut tree, b1, 1, 4);
+        let b3 = child(&tree, b2, 1, 5);
+        match tree.insert(b3).expect("ok") {
+            InsertOutcome::Attached {
+                new_head,
+                reorg_depth,
+                ..
+            } => {
+                assert!(new_head);
+                assert_eq!(reorg_depth, 2); // a1, a2 replaced
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn orphans_buffer_and_connect() {
+        let mut tree = BlockTree::new();
+        let g = tree.genesis_hash();
+        let b1 = child(&tree, g, 0, 1);
+        let b1h = b1.hash();
+        let b2 = BlockBuilder::new(b1h, 2, PoolId(0)).salt(2).build();
+        let b2h = b2.hash();
+        let b3 = BlockBuilder::new(b2h, 3, PoolId(0)).salt(3).build();
+        let b3h = b3.hash();
+
+        // Arrive out of order: 3, 2, then 1.
+        assert_eq!(tree.insert(b3).expect("ok"), InsertOutcome::Orphaned);
+        assert_eq!(tree.insert(b2).expect("ok"), InsertOutcome::Orphaned);
+        assert_eq!(tree.orphan_count(), 2);
+        match tree.insert(b1).expect("ok") {
+            InsertOutcome::Attached {
+                new_head,
+                connected_orphans,
+                ..
+            } => {
+                assert!(new_head);
+                assert_eq!(connected_orphans, vec![b2h, b3h]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(tree.orphan_count(), 0);
+        assert_eq!(tree.head(), b3h);
+        assert_eq!(tree.head_number(), 3);
+    }
+
+    #[test]
+    fn duplicate_rejected_even_while_orphaned() {
+        let mut tree = BlockTree::new();
+        let stranger = BlockBuilder::new(BlockHash(123), 5, PoolId(0)).build();
+        assert_eq!(
+            tree.insert(stranger.clone()).expect("ok"),
+            InsertOutcome::Orphaned
+        );
+        assert!(matches!(
+            tree.insert(stranger.clone()),
+            Err(InsertError::Duplicate(_))
+        ));
+        // Also duplicate of an attached block.
+        let g = tree.genesis_hash();
+        let b = child(&tree, g, 0, 1);
+        tree.insert(b.clone()).expect("ok");
+        assert!(matches!(tree.insert(b), Err(InsertError::Duplicate(_))));
+    }
+
+    #[test]
+    fn height_mismatch_rejected() {
+        let mut tree = BlockTree::new();
+        let bad = BlockBuilder::new(tree.genesis_hash(), 5, PoolId(0)).build();
+        match tree.insert(bad) {
+            Err(InsertError::HeightMismatch { expected, got, .. }) => {
+                assert_eq!(expected, 1);
+                assert_eq!(got, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ancestry_queries() {
+        let mut tree = BlockTree::new();
+        let g = tree.genesis_hash();
+        let b1 = extend(&mut tree, g, 0, 1);
+        let b2 = extend(&mut tree, b1, 0, 2);
+        let b3 = extend(&mut tree, b2, 0, 3);
+        assert_eq!(tree.ancestor_at(b3, 1), Some(b1));
+        assert_eq!(tree.ancestor_at(b3, 3), Some(b3));
+        assert_eq!(tree.ancestor_at(b1, 3), None);
+        assert!(tree.is_ancestor(b1, b3));
+        assert!(tree.is_ancestor(b3, b3));
+        assert!(!tree.is_ancestor(b3, b1));
+        assert!(tree.is_ancestor(g, b3));
+    }
+
+    #[test]
+    fn confirmations_track_head() {
+        let mut tree = BlockTree::new();
+        let g = tree.genesis_hash();
+        let b1 = extend(&mut tree, g, 0, 1);
+        assert_eq!(tree.confirmations(b1), Some(0));
+        let mut cur = b1;
+        for i in 0..12 {
+            cur = extend(&mut tree, cur, 0, 100 + i);
+        }
+        assert_eq!(tree.confirmations(b1), Some(12));
+        // A fork block has no confirmations.
+        let f = child(&tree, g, 9, 999);
+        let fh = f.hash();
+        tree.insert(f).expect("ok");
+        assert_eq!(tree.confirmations(fh), None);
+    }
+
+    #[test]
+    fn uncle_bookkeeping() {
+        let mut tree = BlockTree::new();
+        let g = tree.genesis_hash();
+        let a1 = extend(&mut tree, g, 0, 1);
+        let f1 = child(&tree, g, 1, 2);
+        let f1h = f1.hash();
+        tree.insert(f1).expect("ok");
+        assert!(!tree.is_recognized_uncle(f1h));
+        // a2 references f1 as uncle.
+        let a2 = BlockBuilder::new(a1, 2, PoolId(0))
+            .uncles(vec![f1h])
+            .build();
+        let a2h = a2.hash();
+        tree.insert(a2).expect("ok");
+        assert!(tree.is_recognized_uncle(f1h));
+        assert_eq!(tree.uncle_included_in(f1h), Some(a2h));
+    }
+
+    #[test]
+    fn tx_accessors_preserved_through_tree() {
+        let mut tree = BlockTree::new();
+        let g = tree.genesis_hash();
+        let b = BlockBuilder::new(g, 1, PoolId(4))
+            .txs(vec![TxId(1), TxId(2)])
+            .build();
+        let h = b.hash();
+        tree.insert(b).expect("ok");
+        assert_eq!(tree.get(h).expect("present").txs(), &[TxId(1), TxId(2)]);
+    }
+
+    #[test]
+    fn default_is_new() {
+        let tree = BlockTree::default();
+        assert!(tree.is_empty());
+        assert_eq!(tree.head(), tree.genesis_hash());
+    }
+}

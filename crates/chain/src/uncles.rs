@@ -1,0 +1,281 @@
+//! Uncle validity and reference policies.
+//!
+//! Ethereum rewards "uncles" — valid blocks that lost a fork race — to
+//! compensate miners for propagation unfairness. The paper shows the
+//! mechanism is being gamed: "the uncle block rewarding system, which was
+//! intentionally meant to help less powerful miners, is effectively helping
+//! the most powerful mining pools to unethically profit from multiple
+//! rewards, by mining multiple versions of the highest block in parallel"
+//! (§III-C5). §V proposes forbidding uncles mined by a miner that already
+//! mined the same-height main block; [`UnclePolicy::ForbidSameMinerHeight`]
+//! implements that mitigation for the ablation experiment.
+
+use ethmeter_types::{BlockHash, BlockNumber};
+
+use crate::tree::BlockTree;
+
+/// Maximum uncles one block may reference (yellow paper).
+pub const MAX_UNCLES: usize = 2;
+
+/// Maximum generation gap between an uncle and its nephew: an uncle's
+/// height must satisfy `nephew.number - uncle.number <= MAX_UNCLE_DEPTH`.
+pub const MAX_UNCLE_DEPTH: u64 = 6;
+
+/// Which uncles a miner will reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnclePolicy {
+    /// Standard Ethereum rules.
+    #[default]
+    Standard,
+    /// The paper's §V mitigation: additionally reject an uncle whose miner
+    /// also mined the canonical block at the uncle's height ("the Ethereum
+    /// protocol should forbid referencing uncles mined by miners that have
+    /// already mined a main block of the same height").
+    ForbidSameMinerHeight,
+}
+
+/// Checks whether `uncle` may be referenced by a block extending `parent`
+/// at height `parent.number + 1`, under Ethereum's rules:
+///
+/// 1. the uncle is known and is **not** an ancestor of the new block;
+/// 2. the uncle's *parent* is an ancestor of the new block (so the uncle is
+///    a "sibling branch" of length exactly one — this is what makes deeper
+///    fork blocks structurally unreferenceable, Table III);
+/// 3. the generation gap is at most [`MAX_UNCLE_DEPTH`];
+/// 4. the uncle has not been referenced before (per the tree's records).
+///
+/// The optional `policy` adds the §V restriction.
+pub fn is_valid_uncle(
+    tree: &BlockTree,
+    parent: BlockHash,
+    uncle: BlockHash,
+    policy: UnclePolicy,
+) -> bool {
+    let Some(u) = tree.get(uncle) else {
+        return false;
+    };
+    let Some(p) = tree.get(parent) else {
+        return false;
+    };
+    let new_number: BlockNumber = p.number() + 1;
+    // Generation gap: 1 <= gap <= MAX_UNCLE_DEPTH.
+    if u.number() >= new_number || new_number - u.number() > MAX_UNCLE_DEPTH {
+        return false;
+    }
+    // Not already included.
+    if tree.is_recognized_uncle(uncle) {
+        return false;
+    }
+    // Not an ancestor of the new block.
+    if tree.ancestor_at(parent, u.number()) == Some(uncle) {
+        return false;
+    }
+    // The uncle's parent must be an ancestor of the new block.
+    if tree.ancestor_at(parent, u.number().saturating_sub(1)) != Some(u.parent()) {
+        return false;
+    }
+    if policy == UnclePolicy::ForbidSameMinerHeight {
+        // Reject if the same miner produced the new block's chain at the
+        // uncle's height.
+        if let Some(main_at_height) = tree.ancestor_at(parent, u.number()) {
+            if let Some(main) = tree.get(main_at_height) {
+                if main.miner() == u.miner() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Selects up to [`MAX_UNCLES`] referenceable uncles for a block extending
+/// `parent`, scanning the recent non-canonical blocks the local tree knows.
+///
+/// Candidates are ordered deepest-first (oldest uncles claim the smallest
+/// reward, so real miners prefer recent ones — we order recent-first) and
+/// ties broken by hash for determinism.
+pub fn select_uncles(tree: &BlockTree, parent: BlockHash, policy: UnclePolicy) -> Vec<BlockHash> {
+    let Some(p) = tree.get(parent) else {
+        return Vec::new();
+    };
+    let new_number = p.number() + 1;
+    let min_number = new_number.saturating_sub(MAX_UNCLE_DEPTH);
+    let mut candidates: Vec<(BlockNumber, BlockHash)> = tree
+        .non_canonical_blocks()
+        .filter(|b| b.number() >= min_number && b.number() < new_number)
+        .map(|b| (b.number(), b.hash()))
+        .filter(|&(_, h)| is_valid_uncle(tree, parent, h, policy))
+        .collect();
+    // Recent first, then by hash for a stable order.
+    candidates.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    candidates
+        .into_iter()
+        .take(MAX_UNCLES)
+        .map(|(_, h)| h)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BlockBuilder;
+    use ethmeter_types::PoolId;
+
+    /// Builds: genesis -> a1 -> a2 -> ... (main, miner 0) with a fork block
+    /// f1 (miner 1) competing with a1.
+    fn forked_tree(main_len: u64) -> (BlockTree, Vec<BlockHash>, BlockHash) {
+        let mut tree = BlockTree::new();
+        let g = tree.genesis_hash();
+        let mut main = Vec::new();
+        let mut cur = g;
+        for i in 0..main_len {
+            let b = BlockBuilder::new(cur, i + 1, PoolId(0)).salt(i).build();
+            cur = b.hash();
+            main.push(cur);
+            tree.insert(b).expect("ok");
+        }
+        let f1 = BlockBuilder::new(g, 1, PoolId(1)).salt(999).build();
+        let f1h = f1.hash();
+        tree.insert(f1).expect("ok");
+        (tree, main, f1h)
+    }
+
+    #[test]
+    fn sibling_fork_block_is_valid_uncle() {
+        let (tree, main, f1) = forked_tree(1);
+        assert!(is_valid_uncle(&tree, main[0], f1, UnclePolicy::Standard));
+        let picked = select_uncles(&tree, main[0], UnclePolicy::Standard);
+        assert_eq!(picked, vec![f1]);
+    }
+
+    #[test]
+    fn ancestor_cannot_be_uncle() {
+        let (tree, main, _) = forked_tree(3);
+        assert!(!is_valid_uncle(
+            &tree,
+            main[2],
+            main[1],
+            UnclePolicy::Standard
+        ));
+    }
+
+    #[test]
+    fn depth_window_enforced() {
+        // Fork at height 1, main chain grows: referencing from height 8
+        // means gap 7 > 6 -> invalid.
+        let (tree, main, f1) = forked_tree(7);
+        // Parent = main[5] => new block number 7, gap = 6: valid.
+        assert!(is_valid_uncle(&tree, main[5], f1, UnclePolicy::Standard));
+        // Parent = main[6] => new block number 8, gap = 7: invalid.
+        assert!(!is_valid_uncle(&tree, main[6], f1, UnclePolicy::Standard));
+    }
+
+    #[test]
+    fn second_block_of_length_two_fork_is_structurally_invalid() {
+        // This is the mechanism behind Table III's "0 recognized" for
+        // length >= 2 forks.
+        let (mut tree, main, f1) = forked_tree(3);
+        let f2 = BlockBuilder::new(f1, 2, PoolId(1)).salt(1000).build();
+        let f2h = f2.hash();
+        tree.insert(f2).expect("ok");
+        // f1's parent (genesis) is an ancestor of main -> f1 valid.
+        assert!(is_valid_uncle(&tree, main[2], f1, UnclePolicy::Standard));
+        // f2's parent (f1) is NOT an ancestor of main -> f2 invalid, at any
+        // parent.
+        for &p in &main {
+            assert!(!is_valid_uncle(&tree, p, f2h, UnclePolicy::Standard));
+        }
+    }
+
+    #[test]
+    fn already_included_uncle_rejected() {
+        let (mut tree, main, f1) = forked_tree(2);
+        let nephew = BlockBuilder::new(main[1], 3, PoolId(0))
+            .uncles(vec![f1])
+            .salt(5)
+            .build();
+        let nh = nephew.hash();
+        tree.insert(nephew).expect("ok");
+        assert!(!is_valid_uncle(&tree, nh, f1, UnclePolicy::Standard));
+        assert!(select_uncles(&tree, nh, UnclePolicy::Standard).is_empty());
+    }
+
+    #[test]
+    fn unknown_blocks_are_invalid() {
+        let (tree, main, _) = forked_tree(1);
+        assert!(!is_valid_uncle(
+            &tree,
+            main[0],
+            BlockHash(424242),
+            UnclePolicy::Standard
+        ));
+        assert!(!is_valid_uncle(
+            &tree,
+            BlockHash(424242),
+            main[0],
+            UnclePolicy::Standard
+        ));
+    }
+
+    #[test]
+    fn forbid_same_miner_policy_blocks_one_miner_forks() {
+        // Miner 0 mines both the canonical block at height 1 and a
+        // competing block at height 1 (a one-miner fork).
+        let mut tree = BlockTree::new();
+        let g = tree.genesis_hash();
+        let a1 = BlockBuilder::new(g, 1, PoolId(0)).salt(1).build();
+        let a1h = a1.hash();
+        tree.insert(a1).expect("ok");
+        let dup = BlockBuilder::new(g, 1, PoolId(0)).salt(2).build();
+        let duph = dup.hash();
+        tree.insert(dup).expect("ok");
+
+        // Standard Ethereum accepts the duplicate as an uncle...
+        assert!(is_valid_uncle(&tree, a1h, duph, UnclePolicy::Standard));
+        // ...the paper's mitigation rejects it.
+        assert!(!is_valid_uncle(
+            &tree,
+            a1h,
+            duph,
+            UnclePolicy::ForbidSameMinerHeight
+        ));
+        // A different miner's fork block is still fine under the policy.
+        let other = BlockBuilder::new(g, 1, PoolId(1)).salt(3).build();
+        let otherh = other.hash();
+        tree.insert(other).expect("ok");
+        assert!(is_valid_uncle(
+            &tree,
+            a1h,
+            otherh,
+            UnclePolicy::ForbidSameMinerHeight
+        ));
+    }
+
+    #[test]
+    fn select_uncles_caps_at_two_and_prefers_recent() {
+        let mut tree = BlockTree::new();
+        let g = tree.genesis_hash();
+        // Main chain of 3 (miner 0); forks at heights 1, 2, 3 (miner 1..3).
+        let mut main = Vec::new();
+        let mut cur = g;
+        for i in 0..3u64 {
+            let b = BlockBuilder::new(cur, i + 1, PoolId(0)).salt(i).build();
+            cur = b.hash();
+            main.push(cur);
+            tree.insert(b).expect("ok");
+        }
+        let mut fork_hashes = Vec::new();
+        for i in 0..3u64 {
+            let parent = if i == 0 { g } else { main[(i - 1) as usize] };
+            let f = BlockBuilder::new(parent, i + 1, PoolId(1 + i as u16))
+                .salt(100 + i)
+                .build();
+            fork_hashes.push(f.hash());
+            tree.insert(f).expect("ok");
+        }
+        let picked = select_uncles(&tree, main[2], UnclePolicy::Standard);
+        assert_eq!(picked.len(), 2);
+        // Most recent fork (height 3) must be picked first.
+        assert_eq!(picked[0], fork_hashes[2]);
+    }
+}

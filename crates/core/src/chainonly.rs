@@ -1,0 +1,141 @@
+//! The chain-only fast path: block-producer sequences without a network.
+//!
+//! Figure 7 and the §III-D security analysis are statements about the
+//! *canonical miner sequence* — who mined block N — over months (201,086
+//! blocks) or the whole chain's life (7.7M blocks). At those scales the
+//! network layer is irrelevant to the statistic and unaffordable to
+//! simulate, so this runner draws the winner of each height directly from
+//! the hash-power distribution. PoW makes this exact: each block is an
+//! independent race won with probability equal to the share.
+
+use ethmeter_analysis::sequences::{analyze_sequence, SequenceReport};
+use ethmeter_mining::PoolDirectory;
+use ethmeter_sim::Xoshiro256;
+use ethmeter_types::{PoolId, SimDuration};
+
+/// Configuration of a chain-only run.
+#[derive(Debug, Clone)]
+pub struct ChainOnlyConfig {
+    /// Blocks to draw (the paper's month = 201,086; whole chain = 7.7M).
+    pub blocks: u64,
+    /// The pool directory supplying shares and names.
+    pub pools: PoolDirectory,
+    /// Mean inter-block time (for censorship-window conversion).
+    pub interblock: SimDuration,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl ChainOnlyConfig {
+    /// The paper's one-month window: 201,086 main blocks at 13.3 s.
+    pub fn paper_month(seed: u64) -> Self {
+        ChainOnlyConfig {
+            blocks: 201_086,
+            pools: PoolDirectory::paper_dsn2020(),
+            interblock: SimDuration::from_secs_f64(13.3),
+            seed,
+        }
+    }
+
+    /// The whole-chain horizon the paper scans for 10+-block sequences
+    /// (~7.7M blocks up to May 2019).
+    pub fn paper_whole_chain(seed: u64) -> Self {
+        ChainOnlyConfig {
+            blocks: 7_700_000,
+            pools: PoolDirectory::paper_dsn2020(),
+            interblock: SimDuration::from_secs_f64(13.3),
+            seed,
+        }
+    }
+}
+
+/// The raw result of a chain-only run.
+#[derive(Debug, Clone)]
+pub struct ChainOnlyResult {
+    /// The block-producer sequence.
+    pub sequence: Vec<PoolId>,
+    /// Pool names by id.
+    pub names: Vec<String>,
+    /// Pool shares by id.
+    pub shares: Vec<f64>,
+    /// Inter-block time.
+    pub interblock: SimDuration,
+}
+
+impl ChainOnlyResult {
+    /// Runs the sequence analysis (Figure 7 / §III-D) over this result.
+    pub fn report(&self) -> SequenceReport {
+        analyze_sequence(&self.sequence, &self.names, &self.shares, self.interblock)
+    }
+}
+
+/// Draws the miner sequence.
+pub fn run_chain_only(cfg: &ChainOnlyConfig) -> ChainOnlyResult {
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let mut sequence = Vec::with_capacity(cfg.blocks as usize);
+    for _ in 0..cfg.blocks {
+        sequence.push(cfg.pools.sample_winner(&mut rng));
+    }
+    ChainOnlyResult {
+        sequence,
+        names: cfg.pools.iter().map(|p| p.name.clone()).collect(),
+        shares: cfg.pools.iter().map(|p| p.share).collect(),
+        interblock: cfg.interblock,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn month_scale_matches_paper_shapes() {
+        let result = run_chain_only(&ChainOnlyConfig::paper_month(2020));
+        assert_eq!(result.sequence.len(), 201_086);
+        let report = result.report();
+        // Ethermine (25.32%) should mine ~51k blocks.
+        let ethermine = report
+            .pools
+            .iter()
+            .find(|p| p.name == "Ethermine")
+            .expect("present");
+        let frac = ethermine.blocks as f64 / 201_086.0;
+        assert!((frac - 0.2532).abs() < 0.01, "share {frac}");
+        // The paper observed runs of 8 (Ethermine) and 9 (Sparkpool); at
+        // these shares the longest run over a month is typically 7..=11.
+        assert!(
+            (6..=12).contains(&ethermine.longest),
+            "longest {}",
+            ethermine.longest
+        );
+        // Censorship window of an 8-run ~ 106s: minutes, not seconds.
+        let w = report.censorship_window(8).as_secs_f64();
+        assert!((100.0..115.0).contains(&w));
+    }
+
+    #[test]
+    fn deterministic_sequences() {
+        let a = run_chain_only(&ChainOnlyConfig::paper_month(1));
+        let b = run_chain_only(&ChainOnlyConfig::paper_month(1));
+        assert_eq!(a.sequence[..100], b.sequence[..100]);
+        let c = run_chain_only(&ChainOnlyConfig::paper_month(2));
+        assert_ne!(a.sequence[..100], c.sequence[..100]);
+    }
+
+    #[test]
+    fn small_uniform_run() {
+        let cfg = ChainOnlyConfig {
+            blocks: 10_000,
+            pools: PoolDirectory::uniform(4, 1),
+            interblock: SimDuration::from_secs_f64(13.3),
+            seed: 9,
+        };
+        let result = run_chain_only(&cfg);
+        let report = result.report();
+        assert_eq!(report.total_blocks, 10_000);
+        for p in &report.pools {
+            let frac = p.blocks as f64 / 10_000.0;
+            assert!((frac - 0.25).abs() < 0.02, "{frac}");
+        }
+    }
+}

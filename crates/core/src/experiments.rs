@@ -1,0 +1,250 @@
+//! One entry point per table/figure — shared by the examples, the bench
+//! harness, and the `repro` binary.
+
+use std::fmt;
+
+use ethmeter_analysis::commit::{CommitReport, OrderingReport};
+use ethmeter_analysis::empty_blocks::EmptyBlockReport;
+use ethmeter_analysis::first_observation::{GeoReport, PoolReport};
+use ethmeter_analysis::forks::ForkReport;
+use ethmeter_analysis::propagation::PropagationReport;
+use ethmeter_analysis::redundancy::{RedundancyError, RedundancyReport};
+use ethmeter_analysis::sequences::SequenceReport;
+use ethmeter_analysis::{
+    commit, empty_blocks, first_observation, forks, propagation, redundancy, sequences,
+};
+use ethmeter_chain::rewards::{uncle_reward, MilliEther};
+use ethmeter_chain::uncles::UnclePolicy;
+use ethmeter_measure::CampaignData;
+use ethmeter_stats::table::{grouped, pct, Table};
+
+use crate::chainonly::{run_chain_only, ChainOnlyConfig};
+use crate::runner::run_campaign;
+use crate::scenario::Scenario;
+
+/// Every campaign-derived report in one bundle.
+#[derive(Debug)]
+pub struct Suite {
+    /// Figure 1.
+    pub fig1: PropagationReport,
+    /// Table II (absent when the campaign has no default-peers observer).
+    pub table2: Result<RedundancyReport, RedundancyError>,
+    /// Figure 2.
+    pub fig2: GeoReport,
+    /// Figure 3.
+    pub fig3: PoolReport,
+    /// Figure 4.
+    pub fig4: CommitReport,
+    /// Figure 5.
+    pub fig5: OrderingReport,
+    /// Figure 6.
+    pub fig6: EmptyBlockReport,
+    /// Table III + §III-C5.
+    pub table3: ForkReport,
+    /// Figure 7 over the campaign's own (short) chain.
+    pub fig7: SequenceReport,
+}
+
+impl Suite {
+    /// Runs every analyzer over one campaign.
+    pub fn from_campaign(data: &CampaignData) -> Suite {
+        Suite {
+            fig1: propagation::analyze(data),
+            table2: redundancy::analyze(data),
+            fig2: first_observation::geo(data),
+            fig3: first_observation::by_pool(data, 15),
+            fig4: commit::analyze(data),
+            fig5: commit::ordering(data),
+            fig6: empty_blocks::analyze(data, 15),
+            table3: forks::analyze(data),
+            fig7: sequences::analyze(data),
+        }
+    }
+}
+
+/// Figure 7 at the paper's exact scale: 201,086 blocks.
+pub fn fig7_month(seed: u64) -> SequenceReport {
+    run_chain_only(&ChainOnlyConfig::paper_month(seed)).report()
+}
+
+/// §III-D whole-chain scan (7.7M blocks): the 10/11/12/14-run regime.
+pub fn security_whole_chain(seed: u64) -> SequenceReport {
+    run_chain_only(&ChainOnlyConfig::paper_whole_chain(seed)).report()
+}
+
+/// Table I: the measurement-deployment description.
+pub fn table1(data: &CampaignData) -> String {
+    let mut t = Table::new(vec!["Location", "Peers", "Bandwidth", "Role"]);
+    for (v, _) in &data.observers {
+        t.row(vec![
+            v.name.clone(),
+            v.peer_target.to_string(),
+            "10 Gbps (backbone)".into(),
+            if v.default_peers {
+                "redundancy (Table II)".into()
+            } else {
+                "main campaign".into()
+            },
+        ]);
+    }
+    format!("Table I — measurement infrastructure\n{t}")
+}
+
+/// The §V ablation: standard uncle rules vs. forbidding same-miner
+/// same-height uncles.
+#[derive(Debug, Clone)]
+pub struct AblationReport {
+    /// `(policy label, duplicates produced, duplicates recognized,
+    /// duplicate uncle rewards in milli-ether, fork blocks, total blocks)`
+    pub arms: Vec<AblationArm>,
+}
+
+/// One policy arm of the ablation.
+#[derive(Debug, Clone)]
+pub struct AblationArm {
+    /// Policy under test.
+    pub policy: UnclePolicy,
+    /// One-miner duplicate blocks produced.
+    pub duplicates: u64,
+    /// Duplicates that earned an uncle reward.
+    pub duplicates_recognized: u64,
+    /// Uncle rewards collected by duplicates (milli-ether).
+    pub duplicate_rewards: MilliEther,
+    /// Non-canonical blocks (wasted work).
+    pub fork_blocks: u64,
+    /// Canonical blocks.
+    pub main_blocks: u64,
+}
+
+impl AblationArm {
+    /// Fraction of total produced work that went to forks.
+    pub fn wasted_fraction(&self) -> f64 {
+        self.fork_blocks as f64 / (self.fork_blocks + self.main_blocks).max(1) as f64
+    }
+}
+
+/// Runs the uncle-policy ablation: the same seeded scenario under both
+/// policies (applied network-wide, as the §V protocol change would be).
+pub fn ablation_uncle_policy(base: &Scenario) -> AblationReport {
+    let mut arms = Vec::new();
+    for policy in [UnclePolicy::Standard, UnclePolicy::ForbidSameMinerHeight] {
+        let mut scenario = base.clone();
+        let mut pools = scenario.pools.clone();
+        for i in 0..pools.len() {
+            let p = pools.pool_mut(ethmeter_types::PoolId(i as u16));
+            p.strategy = p.strategy.with_uncle_policy(policy);
+        }
+        scenario.pools = pools;
+        let outcome = run_campaign(&scenario);
+        let tree = &outcome.campaign.truth.tree;
+        let groups = ethmeter_chain::forks::one_miner_groups(tree);
+        let mut duplicates = 0u64;
+        let mut recognized = 0u64;
+        let mut rewards: MilliEther = 0;
+        for g in &groups {
+            duplicates += g.duplicates;
+            recognized += g.recognized_duplicates;
+            for &h in &g.blocks {
+                if tree.is_canonical(h) {
+                    continue;
+                }
+                if let Some(nephew) = tree.uncle_included_in(h) {
+                    let (Some(n), Some(u)) = (tree.get(nephew), tree.get(h)) else {
+                        continue;
+                    };
+                    rewards += uncle_reward(n.number(), u.number());
+                }
+            }
+        }
+        let census = ethmeter_chain::forks::census(tree);
+        arms.push(AblationArm {
+            policy,
+            duplicates,
+            duplicates_recognized: recognized,
+            duplicate_rewards: rewards,
+            fork_blocks: census.recognized_uncles + census.unrecognized,
+            main_blocks: census.main,
+        });
+    }
+    AblationReport { arms }
+}
+
+impl fmt::Display for AblationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "§V ablation — uncle policy vs one-miner fork profits")?;
+        let mut t = Table::new(vec![
+            "Policy",
+            "Duplicates",
+            "Recognized",
+            "Dup rewards (mETH)",
+            "Fork blocks",
+            "Wasted work",
+        ]);
+        for arm in &self.arms {
+            t.row(vec![
+                format!("{:?}", arm.policy),
+                arm.duplicates.to_string(),
+                arm.duplicates_recognized.to_string(),
+                grouped(arm.duplicate_rewards),
+                arm.fork_blocks.to_string(),
+                pct(arm.wasted_fraction()),
+            ]);
+        }
+        write!(f, "{t}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Preset;
+    use ethmeter_types::SimDuration;
+
+    fn small_campaign() -> CampaignData {
+        let scenario = Scenario::builder()
+            .preset(Preset::Tiny)
+            .seed(5)
+            .duration(SimDuration::from_mins(10))
+            .build();
+        run_campaign(&scenario).campaign
+    }
+
+    #[test]
+    fn suite_runs_every_analyzer() {
+        let data = small_campaign();
+        let suite = Suite::from_campaign(&data);
+        assert!(suite.fig1.blocks_measured > 0, "fig1 empty");
+        assert!(suite.table2.is_ok(), "table2: {:?}", suite.table2);
+        assert!(suite.fig2.blocks > 0);
+        assert!(!suite.fig3.pools.is_empty());
+        assert!(suite.fig6.total_blocks > 0);
+        assert!(suite.fig7.total_blocks > 0);
+        // Displays all render.
+        let _ = format!(
+            "{}{}{}{}{}{}{}{}",
+            suite.fig1,
+            suite.fig2,
+            suite.fig3,
+            suite.fig4,
+            suite.fig5,
+            suite.fig6,
+            suite.table3,
+            suite.fig7
+        );
+    }
+
+    #[test]
+    fn table1_lists_all_observers() {
+        let data = small_campaign();
+        let t = table1(&data);
+        assert!(t.contains("Table I"));
+        assert!(t.contains("NA") && t.contains("EA"));
+        assert!(t.contains("redundancy"));
+    }
+
+    #[test]
+    fn fig7_month_is_paper_scale() {
+        let report = fig7_month(1);
+        assert_eq!(report.total_blocks, 201_086);
+    }
+}

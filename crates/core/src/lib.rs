@@ -1,0 +1,64 @@
+//! Campaign orchestration: scenarios, the simulation world, runners, and
+//! per-experiment entry points.
+//!
+//! This crate wires every substrate together:
+//!
+//! - [`scenario`]: declarative experiment descriptions with calibrated
+//!   presets (from [`Preset::Tiny`] smoke runs to the
+//!   paper-shaped [`Preset::PaperScaled`]);
+//! - [`world`]: the discrete-event [`world::SimWorld`] — nodes gossiping
+//!   over geographic links, pools racing for blocks from geo-located
+//!   gateways, the transaction workload, and the instrumented observers;
+//! - [`runner`]: one-call campaign execution returning
+//!   [`ethmeter_measure::CampaignData`];
+//! - [`chainonly`]: the fast block-sequence simulator for month- and
+//!   chain-lifetime-scale sequence analyses (Figure 7, §III-D);
+//! - [`experiments`]: one function per table/figure, shared by the
+//!   examples, the benches, and the `repro` binary.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ethmeter_core::prelude::*;
+//!
+//! let scenario = Scenario::builder().preset(Preset::Tiny).seed(7).build();
+//! let outcome = run_campaign(&scenario);
+//! assert!(outcome.campaign.truth.tree.head_number() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chainonly;
+pub mod experiments;
+pub mod runner;
+pub mod scenario;
+pub mod world;
+
+pub use runner::{run_campaign, CampaignOutcome};
+pub use scenario::{Preset, Scenario, ScenarioBuilder};
+pub use world::{RunStats, SimWorld};
+
+// Re-export the sub-crates under their natural names so downstream users
+// need only depend on the facade.
+pub use ethmeter_analysis as analysis;
+pub use ethmeter_chain as chain;
+pub use ethmeter_geo as geo;
+pub use ethmeter_measure as measure;
+pub use ethmeter_mining as mining;
+pub use ethmeter_net as net;
+pub use ethmeter_sim as sim;
+pub use ethmeter_stats as stats;
+pub use ethmeter_txpool as txpool;
+pub use ethmeter_types as types;
+pub use ethmeter_workload as workload;
+
+/// The most common imports, re-exported for `use ethmeter_core::prelude::*`.
+pub mod prelude {
+    pub use crate::chainonly::{run_chain_only, ChainOnlyConfig};
+    pub use crate::runner::{run_campaign, CampaignOutcome};
+    pub use crate::scenario::{Preset, Scenario};
+    pub use crate::{analysis, chain, geo, measure, mining, net, sim, stats, types, workload};
+    pub use ethmeter_measure::CampaignData;
+    pub use ethmeter_types::{Region, SimDuration, SimTime};
+}

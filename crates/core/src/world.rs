@@ -1,0 +1,915 @@
+//! The discrete-event simulation world.
+//!
+//! [`SimWorld`] owns every entity of a campaign — the P2P nodes (ordinary
+//! peers, pool gateways, instrumented observers), the global block and
+//! transaction registries, the ground-truth block tree, the mining races,
+//! and the workload generator — and interprets the [`Event`] alphabet for
+//! the [`ethmeter_sim::Engine`].
+//!
+//! Timing model per message: fixed processing overhead + sender-uplink
+//! serialization + sampled geographic link latency + receiver-downlink
+//! serialization. Block imports additionally pay a validation delay that
+//! grows with transaction count (why empty blocks win races), and pools
+//! re-target their miners a sampled lag after their gateway switches heads
+//! (the stale-mining window behind the fork rate).
+
+use std::collections::{HashMap, HashSet};
+
+use ethmeter_chain::block::{Block, BlockBuilder};
+use ethmeter_chain::tree::BlockTree;
+use ethmeter_chain::tx::Transaction;
+use ethmeter_geo::{BandwidthClass, ClockSkew};
+use ethmeter_measure::{BlockMsgKind, ObserverLog, VantagePoint};
+use ethmeter_mining::{next_block_delay, BlockPlan, PoolDirectory};
+use ethmeter_net::topology::DegreePlan;
+use ethmeter_net::{ImportAction, Message, Node, Send, Topology};
+use ethmeter_sim::dist::{Exp, LogNormal};
+use ethmeter_sim::engine::Scheduler;
+use ethmeter_sim::{World, Xoshiro256};
+use ethmeter_types::{
+    BlockHash, BlockNumber, ByteSize, NodeId, PoolId, Region, SimDuration, SimTime, TxId,
+};
+
+use crate::scenario::Scenario;
+
+/// The event alphabet of a campaign.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// A message arrives at a node.
+    Deliver {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Payload.
+        msg: Message,
+    },
+    /// A node finishes validating/importing a block.
+    ImportDone {
+        /// The importing node.
+        node: NodeId,
+        /// The block.
+        hash: BlockHash,
+    },
+    /// A fetcher timeout fires.
+    FetchTimeout {
+        /// The fetching node.
+        node: NodeId,
+        /// The block being fetched.
+        hash: BlockHash,
+    },
+    /// A pool's miners solve a block at their current target.
+    PoolSolve {
+        /// The pool.
+        pool: PoolId,
+    },
+    /// A pool re-reads its primary gateway's head (post-lag).
+    PoolRetarget {
+        /// The pool.
+        pool: PoolId,
+    },
+    /// A freshly mined block reaches one of the pool's gateways.
+    InjectBlock {
+        /// The gateway node.
+        node: NodeId,
+        /// The block.
+        hash: BlockHash,
+    },
+    /// The workload generator plans its next submission.
+    NextSubmission,
+    /// A planned transaction enters the network at its origin node.
+    InjectTx {
+        /// The transaction.
+        id: TxId,
+    },
+}
+
+/// Counters accumulated during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Bytes moved (wire sizes).
+    pub bytes: u64,
+    /// Blocks produced by miners (including duplicates/malfunctions).
+    pub blocks_produced: u64,
+    /// Duplicate (one-miner fork) blocks produced.
+    pub duplicates_produced: u64,
+    /// Transactions submitted.
+    pub txs_submitted: u64,
+    /// Block imports completed across all nodes.
+    pub imports: u64,
+}
+
+#[derive(Debug, Clone)]
+struct DupState {
+    parent: BlockHash,
+    height: BlockNumber,
+    original: BlockHash,
+    same_txs: bool,
+    txs: Vec<TxId>,
+}
+
+struct ObserverState {
+    skew: ClockSkew,
+}
+
+/// The campaign world (see module docs).
+pub struct SimWorld {
+    // Configuration (copied out of the scenario).
+    net: ethmeter_net::NetConfig,
+    latency: ethmeter_geo::LatencyModel,
+    interblock: SimDuration,
+    gas_limit: u64,
+    miner_lag: Exp,
+    import_jitter: LogNormal,
+    duration: SimDuration,
+
+    // Entities.
+    nodes: Vec<Node>,
+    node_meta: Vec<(Region, BandwidthClass)>,
+    gateway_pool: Vec<Option<PoolId>>,
+    observer_slot: Vec<Option<usize>>,
+    observers: Vec<ObserverState>,
+    logs: Vec<ObserverLog>,
+    vantages: Vec<VantagePoint>,
+
+    // Registries and ground truth.
+    blocks: HashMap<BlockHash, Block>,
+    txs: HashMap<TxId, Transaction>,
+    truth: BlockTree,
+
+    // Mining.
+    pools: PoolDirectory,
+    gateways: Vec<Vec<NodeId>>,
+    pool_target: Vec<(BlockHash, BlockNumber)>,
+    dup_state: Vec<Option<DupState>>,
+
+    // Workload. Accounts are multi-homed: exchanges and wallet backends
+    // submit through several geographically distinct nodes, which is what
+    // lets burst transactions race each other onto different gossip paths
+    // and arrive out of nonce order (§III-C2).
+    generator: ethmeter_workload::TxGenerator,
+    account_homes: Vec<[NodeId; 3]>,
+    next_tx_id: u64,
+
+    // Randomness (one decoupled stream per subsystem).
+    rng_net: Xoshiro256,
+    rng_mining: Xoshiro256,
+    rng_workload: Xoshiro256,
+    rng_latency: Xoshiro256,
+    rng_clock: Xoshiro256,
+
+    block_salt: u64,
+    /// Run counters.
+    pub stats: RunStats,
+}
+
+impl std::fmt::Debug for SimWorld {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SimWorld {{ nodes: {}, pools: {}, blocks: {}, txs: {} }}",
+            self.nodes.len(),
+            self.pools.len(),
+            self.blocks.len(),
+            self.txs.len()
+        )
+    }
+}
+
+impl SimWorld {
+    /// Builds the world for a scenario (topology, node placement, gateway
+    /// wiring, observers) without scheduling anything.
+    pub fn new(scenario: &Scenario) -> Self {
+        let mut root = Xoshiro256::seed_from_u64(scenario.seed);
+        let mut rng_topo = root.fork("topology");
+        let mut rng_place = root.fork("placement");
+        let rng_net = root.fork("net");
+        let rng_mining = root.fork("mining");
+        let rng_workload = root.fork("workload");
+        let rng_latency = root.fork("latency");
+        let mut rng_clock = root.fork("clock");
+
+        let pools = scenario.pools.clone();
+        let n_ordinary = scenario.ordinary_nodes;
+        let total_gateways: usize = pools.iter().map(|p| p.gateway_count).sum();
+        let n_obs = scenario.vantages.len();
+        let n = n_ordinary + total_gateways + n_obs;
+
+        // Regions and bandwidth per node.
+        let region_weights: Vec<f64> = scenario.region_weights.iter().map(|&(_, w)| w).collect();
+        let regions: Vec<Region> = scenario.region_weights.iter().map(|&(r, _)| r).collect();
+        let mut node_meta: Vec<(Region, BandwidthClass)> = Vec::with_capacity(n);
+        for _ in 0..n_ordinary {
+            let region = regions[rng_place.choose_weighted(&region_weights)];
+            node_meta.push((region, BandwidthClass::sample_ordinary(&mut rng_place)));
+        }
+        let mut gateways: Vec<Vec<NodeId>> = vec![Vec::new(); pools.len()];
+        let mut gateway_pool: Vec<Option<PoolId>> = vec![None; n_ordinary];
+        for pool in pools.iter() {
+            for region in pool.plan_gateway_regions() {
+                let id = NodeId(node_meta.len() as u32);
+                node_meta.push((region, BandwidthClass::Backbone));
+                gateway_pool.push(Some(pool.id));
+                gateways[pool.id.index()].push(id);
+            }
+        }
+        let mut observer_slot: Vec<Option<usize>> = vec![None; node_meta.len()];
+        let mut observers = Vec::new();
+        let mut logs = Vec::new();
+        for (slot, v) in scenario.vantages.iter().enumerate() {
+            let id = NodeId(node_meta.len() as u32);
+            node_meta.push((v.region, BandwidthClass::Backbone));
+            gateway_pool.push(None);
+            observer_slot.push(Some(slot));
+            observers.push(ObserverState {
+                skew: scenario.clock.skew(&mut rng_clock),
+            });
+            logs.push(ObserverLog::new());
+            let _ = id;
+        }
+
+        // Topology: dial targets per role.
+        let mut targets = Vec::with_capacity(n);
+        let mut caps = Vec::with_capacity(n);
+        for i in 0..node_meta.len() {
+            if let Some(slot) = observer_slot[i] {
+                // The paper's main observers ran "unlimited" peers, which
+                // on mainnet meant holding a few percent of the ~15,000
+                // nodes. We scale that adjacency *fraction*: observers
+                // connect to about a fifth of the network (at least 32
+                // peers), so first receptions still travel through public
+                // intermediate hops rather than teleporting one hop from
+                // every gateway. The redundancy observer keeps Geth's
+                // default 25 peers.
+                let v = &scenario.vantages[slot];
+                let scaled_cap = (node_meta.len() / 3).max(32);
+                let t = if v.default_peers {
+                    v.peer_target
+                } else {
+                    v.peer_target.min(scaled_cap)
+                };
+                targets.push(t);
+                caps.push(t + 16);
+            } else if gateway_pool[i].is_some() {
+                targets.push(scenario.gateway_degree);
+                caps.push(scenario.gateway_degree * 2);
+            } else {
+                // Ordinary Geth: ~half the peer budget is outbound dials.
+                targets.push(scenario.net.default_peer_target / 2 + 1);
+                caps.push(scenario.net.max_peer_cap);
+            }
+        }
+        // Pool gateways are hidden infrastructure: observers cannot peer
+        // with them directly, so measurements see blocks only after at
+        // least one public hop — as in the real network.
+        let is_observer = |v: usize| observer_slot[v].is_some();
+        let is_gateway = |v: usize| gateway_pool[v].is_some();
+        let topo = Topology::random_with_constraint(
+            &DegreePlan { targets, caps },
+            &mut rng_topo,
+            |a, b| {
+                !((is_observer(a) && is_gateway(b)) || (is_observer(b) && is_gateway(a)))
+            },
+        );
+
+        let truth = BlockTree::new();
+        let genesis = truth.genesis_hash();
+        let mut nodes: Vec<Node> = (0..node_meta.len())
+            .map(|i| {
+                Node::new(
+                    NodeId(i as u32),
+                    node_meta[i].0,
+                    node_meta[i].1,
+                    genesis,
+                    &scenario.net,
+                )
+            })
+            .collect();
+        for i in 0..node_meta.len() {
+            for &j in topo.neighbors(NodeId(i as u32)) {
+                if j.index() > i {
+                    nodes[i].connect(j, &scenario.net);
+                    nodes[j.index()].connect(NodeId(i as u32), &scenario.net);
+                }
+            }
+        }
+        for list in &gateways {
+            for &g in list {
+                nodes[g.index()].enable_mempool();
+            }
+        }
+
+        // Accounts live on ordinary nodes, three submission points each.
+        let mut account_homes = Vec::with_capacity(scenario.workload.accounts);
+        for _ in 0..scenario.workload.accounts {
+            account_homes.push([
+                NodeId(rng_place.index(n_ordinary.max(1)) as u32),
+                NodeId(rng_place.index(n_ordinary.max(1)) as u32),
+                NodeId(rng_place.index(n_ordinary.max(1)) as u32),
+            ]);
+        }
+
+        let pool_count = pools.len();
+        SimWorld {
+            net: scenario.net.clone(),
+            latency: scenario.latency.clone(),
+            interblock: scenario.interblock,
+            gas_limit: scenario.gas_limit,
+            miner_lag: Exp::with_mean(scenario.miner_lag_mean.as_secs_f64().max(1e-6)),
+            import_jitter: LogNormal::with_median(1.0, scenario.net.import_jitter_sigma),
+            duration: scenario.duration,
+            nodes,
+            node_meta,
+            gateway_pool,
+            observer_slot,
+            observers,
+            logs,
+            vantages: scenario.vantages.clone(),
+            blocks: HashMap::new(),
+            txs: HashMap::new(),
+            truth,
+            pool_target: vec![(genesis, 1); pool_count],
+            dup_state: vec![None; pool_count],
+            pools,
+            gateways,
+            generator: ethmeter_workload::TxGenerator::new(scenario.workload.clone()),
+            account_homes,
+            next_tx_id: 1,
+            rng_net,
+            rng_mining,
+            rng_workload,
+            rng_latency,
+            rng_clock,
+            block_salt: 1,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// The events that bootstrap a run (one solve per pool, the workload
+    /// pump).
+    pub fn initial_events(&mut self) -> Vec<(SimTime, Event)> {
+        let mut evs = Vec::new();
+        for pool in 0..self.pools.len() {
+            let pid = PoolId(pool as u16);
+            let share = self.pools.pool(pid).share;
+            if share <= 0.0 {
+                continue;
+            }
+            let d = next_block_delay(share, self.interblock, &mut self.rng_mining);
+            evs.push((SimTime::ZERO + d, Event::PoolSolve { pool: pid }));
+        }
+        evs.push((SimTime::ZERO, Event::NextSubmission));
+        evs
+    }
+
+    /// Finishes the campaign: hands out observer logs and ground truth.
+    pub fn into_campaign(self, duration: SimDuration) -> ethmeter_measure::CampaignData {
+        ethmeter_measure::CampaignData {
+            observers: self.vantages.into_iter().zip(self.logs).collect(),
+            truth: ethmeter_measure::GroundTruth {
+                tree: self.truth,
+                txs: self.txs,
+                pool_names: self.pools.iter().map(|p| p.name.clone()).collect(),
+                pool_shares: self.pools.iter().map(|p| p.share).collect(),
+                interblock: self.interblock,
+                duration,
+            },
+        }
+    }
+
+    /// Number of nodes in the world.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Ground-truth tree (for in-flight inspection).
+    pub fn truth(&self) -> &BlockTree {
+        &self.truth
+    }
+
+    /// Gateway placement per pool: `(pool name, regions of its gateways)`.
+    /// Useful for diagnosing geographic calibration.
+    pub fn gateway_placement(&self) -> Vec<(String, Vec<Region>)> {
+        self.pools
+            .iter()
+            .map(|p| {
+                let regions = self.gateways[p.id.index()]
+                    .iter()
+                    .map(|g| self.node_meta[g.index()].0)
+                    .collect();
+                (p.name.clone(), regions)
+            })
+            .collect()
+    }
+
+    fn primary_gateway(&self, pool: PoolId) -> NodeId {
+        self.gateways[pool.index()][0]
+    }
+
+    fn import_duration(&mut self, node: NodeId, hash: BlockHash) -> SimDuration {
+        let tx_count = self
+            .blocks
+            .get(&hash)
+            .map(|b| b.txs().len() as u64)
+            .unwrap_or(0);
+        let base = self.net.import_base + self.net.import_per_tx * tx_count;
+        let hw = self.node_meta[node.index()].1.import_factor();
+        base.mul_f64(hw * self.import_jitter.sample(&mut self.rng_net))
+    }
+
+    /// Applies link timing and schedules delivery of a node's sends.
+    fn dispatch_sends(&mut self, from: NodeId, sends: Vec<Send>, sched: &mut Scheduler<Event>) {
+        let (from_region, from_bw) = self.node_meta[from.index()];
+        for send in sends {
+            let size = {
+                let blocks = &self.blocks;
+                let txs = &self.txs;
+                send.msg.size(
+                    |h| blocks.get(&h).map(|b| b.size()).unwrap_or(ByteSize::ZERO),
+                    |t| txs.get(&t).map(|x| x.size).unwrap_or(ByteSize::ZERO),
+                )
+            };
+            let (to_region, to_bw) = self.node_meta[send.to.index()];
+            let delay = self.net.proc_overhead
+                + from_bw.transfer_time(size)
+                + self.latency.sample(&mut self.rng_latency, from_region, to_region)
+                + to_bw.transfer_time(size);
+            self.stats.bytes += size.as_bytes();
+            sched.after(
+                delay,
+                Event::Deliver {
+                    from,
+                    to: send.to,
+                    msg: send.msg,
+                },
+            );
+        }
+    }
+
+    /// Transactions already included in the last few ancestors of `parent`
+    /// (guards against double inclusion while imports are in flight).
+    fn recent_ancestor_txs(&self, parent: BlockHash) -> HashSet<TxId> {
+        let mut out = HashSet::new();
+        let mut cur = parent;
+        for _ in 0..8 {
+            let Some(b) = self.blocks.get(&cur) else {
+                break;
+            };
+            out.extend(b.txs().iter().copied());
+            cur = b.parent();
+        }
+        out
+    }
+
+    fn pack_for(&mut self, pool: PoolId, parent: BlockHash) -> Vec<TxId> {
+        let gw = self.primary_gateway(pool);
+        let packed = self.nodes[gw.index()]
+            .mempool()
+            .map(|m| m.pack(self.gas_limit))
+            .unwrap_or_default();
+        let included = self.recent_ancestor_txs(parent);
+        packed
+            .into_iter()
+            .filter(|t| !included.contains(t))
+            .collect()
+    }
+
+    /// Registers a block in the registry and ground truth.
+    fn register_block(&mut self, block: Block) {
+        self.stats.blocks_produced += 1;
+        let _ = self.truth.insert(block.clone());
+        self.blocks.insert(block.hash(), block);
+    }
+
+    /// Injects a block at every gateway of its pool. Pools run dedicated
+    /// internal distribution (stratum relays), so each gateway — primary
+    /// included — receives the sealed block after a small independent
+    /// delay rather than via public gossip.
+    fn broadcast_from_gateways(
+        &mut self,
+        pool: PoolId,
+        hash: BlockHash,
+        sched: &mut Scheduler<Event>,
+    ) {
+        let gws = self.gateways[pool.index()].clone();
+        let intra = Exp::with_mean(0.015);
+        for &gw in &gws {
+            let delay = SimDuration::from_millis(5) + intra.sample_duration(&mut self.rng_latency);
+            sched.after(delay, Event::InjectBlock { node: gw, hash });
+        }
+    }
+
+    fn inject_block_at(&mut self, node: NodeId, hash: BlockHash, sched: &mut Scheduler<Event>) {
+        let (sends, action) = {
+            let Some(block) = self.blocks.get(&hash) else {
+                return;
+            };
+            self.nodes[node.index()].on_block_arrival(None, block, &self.net, &mut self.rng_net)
+        };
+        if let ImportAction::Schedule(h) = action {
+            let d = self.import_duration(node, h);
+            sched.after(d, Event::ImportDone { node, hash: h });
+        }
+        self.dispatch_sends(node, sends, sched);
+    }
+
+    /// Builds and publishes one block for `pool` at its current target.
+    fn solve_normal(&mut self, pool: PoolId, now: SimTime, sched: &mut Scheduler<Event>) {
+        let cfg = self.pools.pool(pool).clone();
+        let plan = BlockPlan::decide(&cfg, &mut self.rng_mining);
+        let (parent, number) = self.pool_target[pool.index()];
+        let gw = self.primary_gateway(pool);
+        let uncles = self.nodes[gw.index()]
+            .chain()
+            .select_uncles(parent, cfg.strategy.uncle_policy);
+        let txs = if plan.empty {
+            Vec::new()
+        } else {
+            self.pack_for(pool, parent)
+        };
+        let salt = self.block_salt;
+        self.block_salt += 1;
+        let block = BlockBuilder::new(parent, number, pool)
+            .mined_at(now)
+            .txs(txs.clone())
+            .uncles(uncles)
+            .salt(salt)
+            .build();
+        let hash = block.hash();
+        self.register_block(block);
+        self.broadcast_from_gateways(pool, hash, sched);
+
+        // Malfunction burst: extra same-height siblings released at once.
+        for k in 0..plan.malfunction_extra {
+            let sibling_txs = if self
+                .rng_mining
+                .chance(cfg.strategy.duplicate_same_txset_prob)
+            {
+                txs.clone()
+            } else {
+                txs.iter().copied().skip(k + 1).collect()
+            };
+            let salt = self.block_salt;
+            self.block_salt += 1;
+            let sib = BlockBuilder::new(parent, number, pool)
+                .mined_at(now)
+                .txs(sibling_txs)
+                .salt(salt)
+                .build();
+            let sh = sib.hash();
+            self.register_block(sib);
+            self.stats.duplicates_produced += 1;
+            self.broadcast_from_gateways(pool, sh, sched);
+        }
+
+        if plan.attempt_duplicate {
+            // Keep mining at this height: the next solve yields a
+            // duplicate (one-miner fork) instead of extending the chain.
+            self.dup_state[pool.index()] = Some(DupState {
+                parent,
+                height: number,
+                original: hash,
+                same_txs: plan.duplicate_same_txs,
+                txs,
+            });
+        } else {
+            self.pool_target[pool.index()] = (hash, number + 1);
+        }
+    }
+
+    /// Ends a duplication episode: resume mining at the freshest target.
+    fn resume_after_duplication(&mut self, pool: PoolId, ds: &DupState) {
+        let gw = self.primary_gateway(pool);
+        let head = self.nodes[gw.index()].chain().head();
+        let head_number = self.nodes[gw.index()].chain().head_number();
+        self.pool_target[pool.index()] = if head_number >= ds.height {
+            (head, head_number + 1)
+        } else {
+            (ds.original, ds.height + 1)
+        };
+    }
+
+    fn solve(&mut self, pool: PoolId, now: SimTime, sched: &mut Scheduler<Event>) {
+        // Renewal process: the pool mines continuously.
+        let share = self.pools.pool(pool).share;
+        let d = next_block_delay(share, self.interblock, &mut self.rng_mining);
+        sched.after(d, Event::PoolSolve { pool });
+
+        if let Some(ds) = self.dup_state[pool.index()].take() {
+            let gw = self.primary_gateway(pool);
+            let head_number = self.nodes[gw.index()].chain().head_number();
+            // Duplicate is only worth publishing while it can still become
+            // an uncle (within 6 generations).
+            if head_number < ds.height + 6 {
+                let cfg = self.pools.pool(pool).clone();
+                let txs = if ds.same_txs {
+                    ds.txs.clone()
+                } else {
+                    self.pack_for(pool, ds.parent)
+                };
+                let salt = self.block_salt;
+                self.block_salt += 1;
+                let dup = BlockBuilder::new(ds.parent, ds.height, pool)
+                    .mined_at(now)
+                    .txs(txs)
+                    .salt(salt)
+                    .build();
+                let dh = dup.hash();
+                self.register_block(dup);
+                self.stats.duplicates_produced += 1;
+                self.broadcast_from_gateways(pool, dh, sched);
+                if BlockPlan::continue_duplicating(&cfg, &mut self.rng_mining) {
+                    self.dup_state[pool.index()] = Some(ds);
+                } else {
+                    self.resume_after_duplication(pool, &ds);
+                }
+                return;
+            }
+            // Window closed: fall through to a normal solve.
+            self.resume_after_duplication(pool, &ds);
+        }
+        self.solve_normal(pool, now, sched);
+    }
+
+    fn record_observation(&mut self, slot: usize, from: NodeId, msg: &Message, now: SimTime) {
+        let local = self.observers[slot].skew.read(now, &mut self.rng_clock);
+        match msg {
+            Message::Announce(hashes) => {
+                for &h in hashes {
+                    self.logs[slot].record_block_msg(h, BlockMsgKind::Announce, from, local, now);
+                }
+            }
+            Message::NewBlock(h) | Message::BlockBody(h) => {
+                self.logs[slot].record_block_msg(*h, BlockMsgKind::FullBlock, from, local, now);
+            }
+            Message::Transactions(ids) => {
+                for &id in ids {
+                    self.logs[slot].record_tx(id, from, local, now);
+                }
+            }
+            Message::GetBlock(_) => {}
+        }
+    }
+
+    fn on_deliver(
+        &mut self,
+        now: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: Message,
+        sched: &mut Scheduler<Event>,
+    ) {
+        self.stats.messages += 1;
+        if let Some(slot) = self.observer_slot[to.index()] {
+            self.record_observation(slot, from, &msg, now);
+        }
+        match msg {
+            Message::Announce(hashes) => {
+                let sends = self.nodes[to.index()].on_announce(from, &hashes);
+                for s in &sends {
+                    if let Message::GetBlock(h) = s.msg {
+                        sched.after(self.net.fetch_timeout, Event::FetchTimeout { node: to, hash: h });
+                    }
+                }
+                self.dispatch_sends(to, sends, sched);
+            }
+            Message::NewBlock(h) | Message::BlockBody(h) => {
+                let (sends, action) = {
+                    let Some(block) = self.blocks.get(&h) else {
+                        return;
+                    };
+                    self.nodes[to.index()].on_block_arrival(
+                        Some(from),
+                        block,
+                        &self.net,
+                        &mut self.rng_net,
+                    )
+                };
+                if let ImportAction::Schedule(hash) = action {
+                    let d = self.import_duration(to, hash);
+                    sched.after(d, Event::ImportDone { node: to, hash });
+                }
+                self.dispatch_sends(to, sends, sched);
+            }
+            Message::GetBlock(h) => {
+                let sends = self.nodes[to.index()].on_get_block(from, h);
+                self.dispatch_sends(to, sends, sched);
+            }
+            Message::Transactions(ids) => {
+                let sends = {
+                    let txs = &self.txs;
+                    let resolved: Vec<&Transaction> =
+                        ids.iter().filter_map(|id| txs.get(id)).collect();
+                    self.nodes[to.index()].on_transactions(
+                        Some(from),
+                        &resolved,
+                        &self.net,
+                        &mut self.rng_net,
+                    )
+                };
+                self.dispatch_sends(to, sends, sched);
+            }
+        }
+    }
+
+    fn on_import_done(&mut self, node: NodeId, hash: BlockHash, sched: &mut Scheduler<Event>) {
+        self.stats.imports += 1;
+        let result = {
+            let Some(block) = self.blocks.get(&hash) else {
+                return;
+            };
+            let txs = &self.txs;
+            let included: Vec<&Transaction> =
+                block.txs().iter().filter_map(|t| txs.get(t)).collect();
+            self.nodes[node.index()].on_import_complete(block, &included, &self.net)
+        };
+        if result.new_head {
+            if let Some(pool) = self.gateway_pool[node.index()] {
+                if self.primary_gateway(pool) == node {
+                    let lag = self.miner_lag.sample_duration(&mut self.rng_mining);
+                    sched.after(lag, Event::PoolRetarget { pool });
+                }
+            }
+        }
+        self.dispatch_sends(node, result.sends, sched);
+    }
+
+    fn on_retarget(&mut self, pool: PoolId) {
+        // Only meaningful outside a duplication episode; duplication keeps
+        // its own target and resumes from the head afterwards.
+        if self.dup_state[pool.index()].is_some() {
+            return;
+        }
+        let gw = self.primary_gateway(pool);
+        let head = self.nodes[gw.index()].chain().head();
+        let head_number = self.nodes[gw.index()].chain().head_number();
+        if head_number + 1 > self.pool_target[pool.index()].1 {
+            self.pool_target[pool.index()] = (head, head_number + 1);
+        }
+    }
+
+    fn on_next_submission(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        let ev = self.generator.next_event(&mut self.rng_workload);
+        // Stop planning past the horizon; the queue drains naturally.
+        if now + ev.delay > SimTime::ZERO + self.duration {
+            return;
+        }
+        sched.after(ev.delay, Event::NextSubmission);
+        for planned in ev.txs {
+            let id = TxId(self.next_tx_id);
+            self.next_tx_id += 1;
+            let homes = &self.account_homes[planned.sender.index() % self.account_homes.len()];
+            let origin = homes[self.rng_workload.index(homes.len())];
+            let submit_at = now + ev.delay + planned.offset;
+            self.txs.insert(
+                id,
+                Transaction {
+                    id,
+                    sender: planned.sender,
+                    nonce: planned.nonce,
+                    gas_price: planned.gas_price,
+                    gas: planned.gas,
+                    size: planned.size,
+                    submitted_at: submit_at,
+                    origin,
+                },
+            );
+            self.stats.txs_submitted += 1;
+            sched.at(submit_at, Event::InjectTx { id });
+        }
+    }
+
+    fn on_inject_tx(&mut self, id: TxId, sched: &mut Scheduler<Event>) {
+        let Some(origin) = self.txs.get(&id).map(|t| t.origin) else {
+            return;
+        };
+        let sends = {
+            let tx = &self.txs[&id];
+            self.nodes[origin.index()].on_transactions(
+                None,
+                &[tx],
+                &self.net,
+                &mut self.rng_net,
+            )
+        };
+        self.dispatch_sends(origin, sends, sched);
+    }
+}
+
+impl World for SimWorld {
+    type Event = Event;
+
+    fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
+        match event {
+            Event::Deliver { from, to, msg } => self.on_deliver(now, from, to, msg, sched),
+            Event::ImportDone { node, hash } => self.on_import_done(node, hash, sched),
+            Event::FetchTimeout { node, hash } => {
+                let sends = self.nodes[node.index()].on_fetch_timeout(hash);
+                for s in &sends {
+                    if let Message::GetBlock(h) = s.msg {
+                        sched.after(
+                            self.net.fetch_timeout,
+                            Event::FetchTimeout { node, hash: h },
+                        );
+                    }
+                }
+                self.dispatch_sends(node, sends, sched);
+            }
+            Event::PoolSolve { pool } => self.solve(pool, now, sched),
+            Event::PoolRetarget { pool } => self.on_retarget(pool),
+            Event::InjectBlock { node, hash } => self.inject_block_at(node, hash, sched),
+            Event::NextSubmission => self.on_next_submission(now, sched),
+            Event::InjectTx { id } => self.on_inject_tx(id, sched),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Preset, Scenario};
+    use ethmeter_sim::Engine;
+
+    fn tiny_world() -> (Scenario, SimWorld) {
+        let scenario = Scenario::builder()
+            .preset(Preset::Tiny)
+            .seed(1)
+            .duration(SimDuration::from_mins(5))
+            .build();
+        let world = SimWorld::new(&scenario);
+        (scenario, world)
+    }
+
+    #[test]
+    fn world_builds_expected_population() {
+        let (scenario, world) = tiny_world();
+        let gw_total: usize = scenario.pools.iter().map(|p| p.gateway_count).sum();
+        assert_eq!(
+            world.node_count(),
+            scenario.ordinary_nodes + gw_total + scenario.vantages.len()
+        );
+        // All gateways have mempools.
+        for (i, pool) in world.gateway_pool.iter().enumerate() {
+            if pool.is_some() {
+                assert!(world.nodes[i].mempool().is_some(), "gateway {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn five_minutes_produce_blocks_and_observations() {
+        let (_, mut world) = tiny_world();
+        let initial = world.initial_events();
+        let mut engine = Engine::new(world);
+        for (t, e) in initial {
+            engine.schedule(t, e);
+        }
+        engine.run_until(SimTime::ZERO + SimDuration::from_mins(5));
+        let world = engine.into_world();
+        // ~22 blocks expected in 5 minutes at 13.3s.
+        let blocks = world.truth().head_number();
+        assert!((10..45).contains(&blocks), "blocks {blocks}");
+        assert!(world.stats.messages > 1_000);
+        assert!(world.stats.txs_submitted > 50);
+        // Every observer saw most blocks.
+        for log in &world.logs {
+            assert!(
+                log.block_count() as u64 >= blocks * 9 / 10,
+                "observer saw {} of {blocks}",
+                log.block_count()
+            );
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_world() {
+        let run = |seed: u64| {
+            let scenario = Scenario::builder()
+                .preset(Preset::Tiny)
+                .seed(seed)
+                .duration(SimDuration::from_mins(3))
+                .build();
+            let mut world = SimWorld::new(&scenario);
+            let initial = world.initial_events();
+            let mut engine = Engine::new(world);
+            for (t, e) in initial {
+                engine.schedule(t, e);
+            }
+            engine.run_until(SimTime::ZERO + SimDuration::from_mins(3));
+            let w = engine.into_world();
+            (
+                w.stats,
+                w.truth().head(),
+                w.truth().len(),
+                w.logs.iter().map(|l| l.block_count()).collect::<Vec<_>>(),
+            )
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must reproduce the identical run");
+        let c = run(8);
+        assert_ne!(a.1, c.1, "different seeds diverge");
+    }
+}

@@ -1,0 +1,112 @@
+//! The complete dataset of one measurement campaign.
+
+use std::collections::HashMap;
+
+use ethmeter_chain::tree::BlockTree;
+use ethmeter_chain::tx::Transaction;
+use ethmeter_types::{PoolId, SimDuration, TxId};
+
+use crate::log::ObserverLog;
+use crate::vantage::VantagePoint;
+
+/// Simulator-side ground truth. The real experiment approximates these
+/// through Etherscan cross-checks; the simulator knows them exactly, which
+/// is what lets the test suite verify the analysis pipeline end to end.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// Every block produced during the campaign (main chain and forks).
+    pub tree: BlockTree,
+    /// Every transaction submitted.
+    pub txs: HashMap<TxId, Transaction>,
+    /// Pool names by id (for report labels).
+    pub pool_names: Vec<String>,
+    /// Pool hash-power shares by id.
+    pub pool_shares: Vec<f64>,
+    /// The configured mean inter-block time.
+    pub interblock: SimDuration,
+    /// Campaign duration.
+    pub duration: SimDuration,
+}
+
+impl GroundTruth {
+    /// The display name of a pool (falls back to the raw id).
+    pub fn pool_name(&self, pool: PoolId) -> String {
+        self.pool_names
+            .get(pool.index())
+            .cloned()
+            .unwrap_or_else(|| pool.to_string())
+    }
+
+    /// The hash-power share of a pool (0 if unknown).
+    pub fn pool_share(&self, pool: PoolId) -> f64 {
+        self.pool_shares.get(pool.index()).copied().unwrap_or(0.0)
+    }
+}
+
+/// One campaign's observers plus ground truth — the input to every
+/// analyzer in `ethmeter-analysis`.
+#[derive(Debug, Clone)]
+pub struct CampaignData {
+    /// Observer logs, in vantage order.
+    pub observers: Vec<(VantagePoint, ObserverLog)>,
+    /// What actually happened.
+    pub truth: GroundTruth,
+}
+
+impl CampaignData {
+    /// The main (high-degree) observers — the paper's four — excluding the
+    /// default-peers redundancy observer.
+    pub fn main_observers(&self) -> impl Iterator<Item = &(VantagePoint, ObserverLog)> + '_ {
+        self.observers.iter().filter(|(v, _)| !v.default_peers)
+    }
+
+    /// The default-peers observer, if the campaign deployed one.
+    pub fn redundancy_observer(&self) -> Option<&(VantagePoint, ObserverLog)> {
+        self.observers.iter().find(|(v, _)| v.default_peers)
+    }
+
+    /// Looks an observer up by name.
+    pub fn observer(&self, name: &str) -> Option<&(VantagePoint, ObserverLog)> {
+        self.observers.iter().find(|(v, _)| v.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_campaign() -> CampaignData {
+        CampaignData {
+            observers: VantagePoint::paper_all()
+                .into_iter()
+                .map(|v| (v, ObserverLog::new()))
+                .collect(),
+            truth: GroundTruth {
+                tree: BlockTree::new(),
+                txs: HashMap::new(),
+                pool_names: vec!["Ethermine".into()],
+                pool_shares: vec![0.2532],
+                interblock: SimDuration::from_secs_f64(13.3),
+                duration: SimDuration::from_hours(1),
+            },
+        }
+    }
+
+    #[test]
+    fn observer_selection() {
+        let c = empty_campaign();
+        assert_eq!(c.main_observers().count(), 4);
+        assert!(c.redundancy_observer().is_some());
+        assert!(c.observer("EA").is_some());
+        assert!(c.observer("nope").is_none());
+    }
+
+    #[test]
+    fn pool_label_fallback() {
+        let c = empty_campaign();
+        assert_eq!(c.truth.pool_name(PoolId(0)), "Ethermine");
+        assert_eq!(c.truth.pool_name(PoolId(9)), "pool-9");
+        assert_eq!(c.truth.pool_share(PoolId(0)), 0.2532);
+        assert_eq!(c.truth.pool_share(PoolId(9)), 0.0);
+    }
+}

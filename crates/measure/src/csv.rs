@@ -1,0 +1,285 @@
+//! Dataset export/import in a stable CSV dialect.
+//!
+//! The paper publishes its measurement dataset; this module is our
+//! equivalent. The format is deliberately plain (no quoting needed — all
+//! fields are numeric or controlled identifiers) so it round-trips exactly
+//! and loads into pandas with one call, like the original tooling.
+
+use std::fmt::Write as _;
+use std::num::ParseIntError;
+
+use ethmeter_types::{BlockHash, NodeId, SimTime, TxId};
+
+use crate::log::{BlockMsgKind, BlockRecord, ObserverLog, TxRecord};
+
+/// Errors raised when parsing a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A row had the wrong number of fields.
+    BadShape {
+        /// 1-based line number.
+        line: usize,
+        /// Expected field count.
+        expected: usize,
+        /// Found field count.
+        got: usize,
+    },
+    /// A field failed to parse as an integer.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Field name.
+        field: &'static str,
+    },
+    /// An unknown message-kind tag.
+    BadKind {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadShape {
+                line,
+                expected,
+                got,
+            } => write!(f, "line {line}: expected {expected} fields, got {got}"),
+            ParseError::BadField { line, field } => {
+                write!(f, "line {line}: invalid integer in field '{field}'")
+            }
+            ParseError::BadKind { line } => write!(f, "line {line}: unknown message kind"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+const BLOCK_HEADER: &str = "hash,first_local_ns,first_true_ns,first_kind,first_from,announces,full_blocks";
+const TX_HEADER: &str = "tx,first_local_ns,first_true_ns,from,arrival_seq";
+
+fn kind_tag(kind: BlockMsgKind) -> &'static str {
+    match kind {
+        BlockMsgKind::Announce => "ann",
+        BlockMsgKind::FullBlock => "blk",
+    }
+}
+
+/// Serializes an observer's block records (sorted by first true time, ties
+/// by hash, so exports are deterministic).
+pub fn blocks_to_csv(log: &ObserverLog) -> String {
+    let mut rows: Vec<&BlockRecord> = log.blocks().collect();
+    rows.sort_by_key(|r| (r.first_true, r.hash));
+    let mut out = String::with_capacity(64 * (rows.len() + 1));
+    out.push_str(BLOCK_HEADER);
+    out.push('\n');
+    for r in rows {
+        writeln!(
+            out,
+            "{},{},{},{},{},{},{}",
+            r.hash.raw(),
+            r.first_local.as_nanos(),
+            r.first_true.as_nanos(),
+            kind_tag(r.first_kind),
+            r.first_from.raw(),
+            r.announces,
+            r.full_blocks
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+/// Serializes an observer's transaction records (sorted by arrival seq).
+pub fn txs_to_csv(log: &ObserverLog) -> String {
+    let mut rows: Vec<&TxRecord> = log.txs().collect();
+    rows.sort_by_key(|r| r.arrival_seq);
+    let mut out = String::with_capacity(48 * (rows.len() + 1));
+    out.push_str(TX_HEADER);
+    out.push('\n');
+    for r in rows {
+        writeln!(
+            out,
+            "{},{},{},{},{}",
+            r.id.raw(),
+            r.first_local.as_nanos(),
+            r.first_true.as_nanos(),
+            r.from.raw(),
+            r.arrival_seq
+        )
+        .expect("writing to String cannot fail");
+    }
+    out
+}
+
+fn parse_u64(s: &str, line: usize, field: &'static str) -> Result<u64, ParseError> {
+    s.parse::<u64>()
+        .map_err(|_: ParseIntError| ParseError::BadField { line, field })
+}
+
+/// Parses a block-record CSV produced by [`blocks_to_csv`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed row.
+pub fn blocks_from_csv(text: &str) -> Result<Vec<BlockRecord>, ParseError> {
+    let mut out = Vec::new();
+    for (i, row) in text.lines().enumerate() {
+        if i == 0 || row.is_empty() {
+            continue;
+        }
+        let line = i + 1;
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != 7 {
+            return Err(ParseError::BadShape {
+                line,
+                expected: 7,
+                got: fields.len(),
+            });
+        }
+        let kind = match fields[3] {
+            "ann" => BlockMsgKind::Announce,
+            "blk" => BlockMsgKind::FullBlock,
+            _ => return Err(ParseError::BadKind { line }),
+        };
+        out.push(BlockRecord {
+            hash: BlockHash(parse_u64(fields[0], line, "hash")?),
+            first_local: SimTime::from_nanos(parse_u64(fields[1], line, "first_local_ns")?),
+            first_true: SimTime::from_nanos(parse_u64(fields[2], line, "first_true_ns")?),
+            first_kind: kind,
+            first_from: NodeId(parse_u64(fields[4], line, "first_from")? as u32),
+            announces: parse_u64(fields[5], line, "announces")? as u32,
+            full_blocks: parse_u64(fields[6], line, "full_blocks")? as u32,
+        });
+    }
+    Ok(out)
+}
+
+/// Parses a transaction-record CSV produced by [`txs_to_csv`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first malformed row.
+pub fn txs_from_csv(text: &str) -> Result<Vec<TxRecord>, ParseError> {
+    let mut out = Vec::new();
+    for (i, row) in text.lines().enumerate() {
+        if i == 0 || row.is_empty() {
+            continue;
+        }
+        let line = i + 1;
+        let fields: Vec<&str> = row.split(',').collect();
+        if fields.len() != 5 {
+            return Err(ParseError::BadShape {
+                line,
+                expected: 5,
+                got: fields.len(),
+            });
+        }
+        out.push(TxRecord {
+            id: TxId(parse_u64(fields[0], line, "tx")?),
+            first_local: SimTime::from_nanos(parse_u64(fields[1], line, "first_local_ns")?),
+            first_true: SimTime::from_nanos(parse_u64(fields[2], line, "first_true_ns")?),
+            from: NodeId(parse_u64(fields[3], line, "from")? as u32),
+            arrival_seq: parse_u64(fields[4], line, "arrival_seq")?,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ObserverLog {
+        let mut log = ObserverLog::new();
+        log.record_block_msg(
+            BlockHash(11),
+            BlockMsgKind::FullBlock,
+            NodeId(3),
+            SimTime::from_nanos(1_500),
+            SimTime::from_nanos(1_000),
+        );
+        log.record_block_msg(
+            BlockHash(11),
+            BlockMsgKind::Announce,
+            NodeId(4),
+            SimTime::from_nanos(2_500),
+            SimTime::from_nanos(2_000),
+        );
+        log.record_block_msg(
+            BlockHash(7),
+            BlockMsgKind::Announce,
+            NodeId(5),
+            SimTime::from_nanos(900),
+            SimTime::from_nanos(800),
+        );
+        log.record_tx(TxId(42), NodeId(1), SimTime::from_nanos(10), SimTime::from_nanos(12));
+        log.record_tx(TxId(43), NodeId(2), SimTime::from_nanos(20), SimTime::from_nanos(22));
+        log
+    }
+
+    #[test]
+    fn block_csv_round_trip() {
+        let log = sample_log();
+        let csv = blocks_to_csv(&log);
+        let parsed = blocks_from_csv(&csv).expect("round trip");
+        assert_eq!(parsed.len(), 2);
+        // Sorted by first_true: block 7 first.
+        assert_eq!(parsed[0].hash, BlockHash(7));
+        assert_eq!(parsed[1].hash, BlockHash(11));
+        assert_eq!(parsed[1].announces, 1);
+        assert_eq!(parsed[1].full_blocks, 1);
+        assert_eq!(parsed[1].first_kind, BlockMsgKind::FullBlock);
+        // Serialization is deterministic: byte-identical on re-export.
+        assert_eq!(csv, blocks_to_csv(&log));
+    }
+
+    #[test]
+    fn tx_csv_round_trip() {
+        let log = sample_log();
+        let csv = txs_to_csv(&log);
+        let parsed = txs_from_csv(&csv).expect("round trip");
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].id, TxId(42));
+        assert_eq!(parsed[0].arrival_seq, 0);
+        assert_eq!(parsed[1].id, TxId(43));
+    }
+
+    #[test]
+    fn parse_errors_are_precise() {
+        let bad_shape = "hash,first_local_ns,first_true_ns,first_kind,first_from,announces,full_blocks\n1,2,3\n";
+        match blocks_from_csv(bad_shape) {
+            Err(ParseError::BadShape { line: 2, got: 3, .. }) => {}
+            other => panic!("{other:?}"),
+        }
+        let bad_kind = format!("{BLOCK_HEADER}\n1,2,3,zzz,4,5,6\n");
+        assert_eq!(
+            blocks_from_csv(&bad_kind),
+            Err(ParseError::BadKind { line: 2 })
+        );
+        let bad_field = format!("{TX_HEADER}\nxx,2,3,4,5\n");
+        match txs_from_csv(&bad_field) {
+            Err(ParseError::BadField { line: 2, field: "tx" }) => {}
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_logs_serialize_headers_only() {
+        let log = ObserverLog::new();
+        assert_eq!(blocks_to_csv(&log).lines().count(), 1);
+        assert_eq!(txs_to_csv(&log).lines().count(), 1);
+        assert!(blocks_from_csv(&blocks_to_csv(&log)).expect("ok").is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParseError::BadShape {
+            line: 3,
+            expected: 7,
+            got: 2,
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,226 @@
+//! Observer logs: what one instrumented node recorded.
+//!
+//! Memory note: the paper kept 600 GB of raw per-message logs. We keep the
+//! same information in aggregated form — per block: the first reception
+//! (time/kind/peer) plus reception counters by kind; per transaction: the
+//! first reception. This is lossless for every analysis in §III and keeps
+//! month-scale simulations in memory. Raw per-message streams can be
+//! reconstructed for small runs via the `csv` module's record export.
+
+use std::collections::HashMap;
+
+use ethmeter_types::{BlockHash, NodeId, SimTime, TxId};
+
+/// How a block reached the observer (Table II's two message families).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockMsgKind {
+    /// `NewBlockHashes` — hash-only announcement.
+    Announce,
+    /// `NewBlock` or `BlockBody` — header + body ("whole block").
+    FullBlock,
+}
+
+/// Aggregated reception record of one block at one observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRecord {
+    /// The block.
+    pub hash: BlockHash,
+    /// First reception, observer's local (NTP-skewed) clock.
+    pub first_local: SimTime,
+    /// First reception, true simulation clock (ground truth; the real
+    /// experiment does not have this column).
+    pub first_true: SimTime,
+    /// Kind of the first reception.
+    pub first_kind: BlockMsgKind,
+    /// Peer that delivered the first message.
+    pub first_from: NodeId,
+    /// Total announcements received (including the first, if it was one).
+    pub announces: u32,
+    /// Total whole-block messages received.
+    pub full_blocks: u32,
+}
+
+impl BlockRecord {
+    /// All receptions of this block.
+    pub fn total_receptions(&self) -> u32 {
+        self.announces + self.full_blocks
+    }
+}
+
+/// First-reception record of one transaction at one observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxRecord {
+    /// The transaction.
+    pub id: TxId,
+    /// First reception, local clock.
+    pub first_local: SimTime,
+    /// First reception, true clock.
+    pub first_true: SimTime,
+    /// Delivering peer (the observer itself for locally submitted txs).
+    pub from: NodeId,
+    /// Sequence number of this first-reception among the observer's tx
+    /// arrivals (0-based) — makes out-of-order analysis independent of
+    /// timestamp ties.
+    pub arrival_seq: u64,
+}
+
+/// Everything one observer recorded.
+#[derive(Debug, Clone, Default)]
+pub struct ObserverLog {
+    blocks: HashMap<BlockHash, BlockRecord>,
+    txs: HashMap<TxId, TxRecord>,
+    tx_arrivals: u64,
+}
+
+impl ObserverLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a block-bearing or announcement message.
+    pub fn record_block_msg(
+        &mut self,
+        hash: BlockHash,
+        kind: BlockMsgKind,
+        from: NodeId,
+        local: SimTime,
+        true_time: SimTime,
+    ) {
+        let entry = self.blocks.entry(hash).or_insert(BlockRecord {
+            hash,
+            first_local: local,
+            first_true: true_time,
+            first_kind: kind,
+            first_from: from,
+            announces: 0,
+            full_blocks: 0,
+        });
+        match kind {
+            BlockMsgKind::Announce => entry.announces += 1,
+            BlockMsgKind::FullBlock => entry.full_blocks += 1,
+        }
+        // Defensive: receptions may be recorded out of true-time order only
+        // if the driver misbehaves; keep the earliest.
+        if true_time < entry.first_true {
+            entry.first_true = true_time;
+            entry.first_local = local;
+            entry.first_kind = kind;
+            entry.first_from = from;
+        }
+    }
+
+    /// Records a transaction reception (only the first one is kept).
+    pub fn record_tx(&mut self, id: TxId, from: NodeId, local: SimTime, true_time: SimTime) {
+        if self.txs.contains_key(&id) {
+            return;
+        }
+        let seq = self.tx_arrivals;
+        self.tx_arrivals += 1;
+        self.txs.insert(
+            id,
+            TxRecord {
+                id,
+                first_local: local,
+                first_true: true_time,
+                from,
+                arrival_seq: seq,
+            },
+        );
+    }
+
+    /// The record of a block, if observed.
+    pub fn block(&self, hash: BlockHash) -> Option<&BlockRecord> {
+        self.blocks.get(&hash)
+    }
+
+    /// The record of a transaction, if observed.
+    pub fn tx(&self, id: TxId) -> Option<&TxRecord> {
+        self.txs.get(&id)
+    }
+
+    /// Number of distinct blocks observed.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of distinct transactions observed.
+    pub fn tx_count(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Iterates over block records (arbitrary order).
+    pub fn blocks(&self) -> impl Iterator<Item = &BlockRecord> + '_ {
+        self.blocks.values()
+    }
+
+    /// Iterates over transaction records (arbitrary order).
+    pub fn txs(&self) -> impl Iterator<Item = &TxRecord> + '_ {
+        self.txs.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    #[test]
+    fn first_reception_wins() {
+        let mut log = ObserverLog::new();
+        let h = BlockHash(1);
+        log.record_block_msg(h, BlockMsgKind::Announce, NodeId(1), t(10), t(11));
+        log.record_block_msg(h, BlockMsgKind::FullBlock, NodeId(2), t(20), t(21));
+        let r = log.block(h).expect("recorded");
+        assert_eq!(r.first_kind, BlockMsgKind::Announce);
+        assert_eq!(r.first_from, NodeId(1));
+        assert_eq!(r.first_true, t(11));
+        assert_eq!(r.announces, 1);
+        assert_eq!(r.full_blocks, 1);
+        assert_eq!(r.total_receptions(), 2);
+    }
+
+    #[test]
+    fn out_of_order_recording_keeps_earliest() {
+        let mut log = ObserverLog::new();
+        let h = BlockHash(2);
+        log.record_block_msg(h, BlockMsgKind::FullBlock, NodeId(2), t(20), t(21));
+        log.record_block_msg(h, BlockMsgKind::Announce, NodeId(1), t(10), t(11));
+        let r = log.block(h).expect("recorded");
+        assert_eq!(r.first_true, t(11));
+        assert_eq!(r.first_kind, BlockMsgKind::Announce);
+    }
+
+    #[test]
+    fn tx_first_only() {
+        let mut log = ObserverLog::new();
+        log.record_tx(TxId(5), NodeId(1), t(1), t(2));
+        log.record_tx(TxId(5), NodeId(9), t(0), t(0)); // ignored duplicate
+        log.record_tx(TxId(6), NodeId(2), t(3), t(4));
+        assert_eq!(log.tx_count(), 2);
+        let r5 = log.tx(TxId(5)).expect("recorded");
+        assert_eq!(r5.from, NodeId(1));
+        assert_eq!(r5.arrival_seq, 0);
+        let r6 = log.tx(TxId(6)).expect("recorded");
+        assert_eq!(r6.arrival_seq, 1);
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut log = ObserverLog::new();
+        let h = BlockHash(3);
+        for i in 0..7 {
+            log.record_block_msg(h, BlockMsgKind::FullBlock, NodeId(i), t(i as u64), t(i as u64));
+        }
+        for i in 0..3 {
+            log.record_block_msg(h, BlockMsgKind::Announce, NodeId(10 + i), t(50), t(50));
+        }
+        let r = log.block(h).expect("recorded");
+        assert_eq!(r.full_blocks, 7);
+        assert_eq!(r.announces, 3);
+        assert_eq!(log.block_count(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! Vantage-point configuration (the paper's Table I).
+
+use ethmeter_types::Region;
+
+/// One measurement deployment site.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VantagePoint {
+    /// Short label used in reports ("NA", "EA", ...).
+    pub name: String,
+    /// Where the machine sits.
+    pub region: Region,
+    /// Peer target. The paper's main campaign ran "unlimited"; we model
+    /// that as a large target (bounded by network size).
+    pub peer_target: usize,
+    /// True for the complementary observer that keeps Geth's default 25
+    /// peers (used for Table II's redundancy numbers).
+    pub default_peers: bool,
+}
+
+impl VantagePoint {
+    /// The paper's four main measurement nodes (NA, EA, WE, CE), connected
+    /// to "more than 100 peers at any moment".
+    pub fn paper_main() -> Vec<VantagePoint> {
+        Region::VANTAGE
+            .iter()
+            .map(|&region| VantagePoint {
+                name: region.abbrev().to_owned(),
+                region,
+                peer_target: 400,
+                default_peers: false,
+            })
+            .collect()
+    }
+
+    /// The complementary WE observer with Geth's default 25 peers
+    /// (May 2–9 in the paper), whose logs feed Table II.
+    pub fn paper_redundancy() -> VantagePoint {
+        VantagePoint {
+            name: "WE-default".to_owned(),
+            region: Region::WesternEurope,
+            peer_target: 25,
+            default_peers: true,
+        }
+    }
+
+    /// Main campaign plus the redundancy observer.
+    pub fn paper_all() -> Vec<VantagePoint> {
+        let mut v = Self::paper_main();
+        v.push(Self::paper_redundancy());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_main_covers_four_regions() {
+        let v = VantagePoint::paper_main();
+        assert_eq!(v.len(), 4);
+        let names: Vec<&str> = v.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["NA", "EA", "WE", "CE"]);
+        assert!(v.iter().all(|p| p.peer_target > 100));
+        assert!(v.iter().all(|p| !p.default_peers));
+    }
+
+    #[test]
+    fn redundancy_observer_uses_default_peers() {
+        let p = VantagePoint::paper_redundancy();
+        assert_eq!(p.peer_target, 25);
+        assert!(p.default_peers);
+        assert_eq!(p.region, Region::WesternEurope);
+    }
+
+    #[test]
+    fn paper_all_is_five() {
+        assert_eq!(VantagePoint::paper_all().len(), 5);
+    }
+}

@@ -1,0 +1,29 @@
+//! Mining-pool substrate: the pool directory, hash-power races, and the
+//! selfish strategies the paper documents.
+//!
+//! The paper treats mining pools as "first-class components in today's
+//! blockchain landscape" — this crate models them directly:
+//!
+//! - [`pool`]: per-pool configuration (hash-power share, geo-located
+//!   gateway placement, strategy) and the [`pool::PoolDirectory`] with the
+//!   April-2019 calibration from Figure 3;
+//! - [`strategy`]: the selfish-behavior knobs — empty-block mining
+//!   (Figure 6), one-miner duplicate blocks (§III-C5), pool-malfunction
+//!   multi-tuples, and the uncle-reference policy;
+//! - [`miner`]: the PoW race as exponential next-block draws plus the
+//!   [`miner::BlockPlan`] decision procedure applied when a pool wins a
+//!   block.
+//!
+//! The discrete-event driver (`ethmeter-core`) owns the actual event loop;
+//! everything here is pure decision logic, independently testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod miner;
+pub mod pool;
+pub mod strategy;
+
+pub use miner::{next_block_delay, BlockPlan};
+pub use pool::{PoolConfig, PoolDirectory};
+pub use strategy::Strategy;

@@ -1,0 +1,111 @@
+//! Bounded "known items" sets.
+//!
+//! Geth tracks, per peer, which block/transaction hashes that peer is known
+//! to have (`knownBlocks`, `knownTxs`), bounded to avoid unbounded memory.
+//! The bound matters behaviorally: once evicted, an item may be re-sent,
+//! which is one source of the redundant receptions measured in Table II.
+
+use std::collections::{HashSet, VecDeque};
+use std::hash::Hash;
+
+/// A FIFO-bounded set: inserting beyond capacity evicts the oldest entry.
+#[derive(Debug, Clone)]
+pub struct KnownSet<T> {
+    set: HashSet<T>,
+    order: VecDeque<T>,
+    cap: usize,
+}
+
+impl<T: Copy + Eq + Hash> KnownSet<T> {
+    /// Creates a set bounded to `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "known-set capacity must be positive");
+        // Storage grows on demand: a simulation holds one known-set per
+        // (node, peer) pair, so eager preallocation would dominate memory.
+        KnownSet {
+            set: HashSet::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// True if `item` is currently tracked.
+    pub fn contains(&self, item: T) -> bool {
+        self.set.contains(&item)
+    }
+
+    /// Inserts `item`; returns `true` if it was new. Evicts the oldest
+    /// entry when full.
+    pub fn insert(&mut self, item: T) -> bool {
+        if !self.set.insert(item) {
+            return false;
+        }
+        self.order.push_back(item);
+        if self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.set.remove(&old);
+            }
+        }
+        true
+    }
+
+    /// Current number of tracked items.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = KnownSet::with_capacity(4);
+        assert!(s.insert(1));
+        assert!(!s.insert(1));
+        assert!(s.contains(1));
+        assert!(!s.contains(2));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut s = KnownSet::with_capacity(3);
+        for i in 0..3 {
+            s.insert(i);
+        }
+        assert_eq!(s.len(), 3);
+        s.insert(3); // evicts 0
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(0));
+        assert!(s.contains(1) && s.contains(2) && s.contains(3));
+        // Re-inserting the evicted item works (and evicts 1).
+        assert!(s.insert(0));
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn duplicate_insert_does_not_evict() {
+        let mut s = KnownSet::with_capacity(2);
+        s.insert(1);
+        s.insert(2);
+        s.insert(2); // no-op
+        assert!(s.contains(1), "duplicate insert must not evict");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _: KnownSet<u32> = KnownSet::with_capacity(0);
+    }
+}

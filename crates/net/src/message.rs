@@ -1,0 +1,112 @@
+//! Wire messages of the simulated `eth/63` protocol.
+//!
+//! The paper's Table II distinguishes exactly two ways a block reaches a
+//! peer — "light announcements (consisting of only the block's hash)" and
+//! direct propagation "(including both header and body)" — plus the fetch
+//! round-trip announcements trigger. Transactions travel in batched
+//! `Transactions` messages.
+
+use ethmeter_types::{BlockHash, ByteSize, TxId};
+
+/// Approximate wire overhead of any devp2p message (RLP framing, message
+/// id, signature envelope).
+pub const MSG_OVERHEAD_BYTES: u64 = 60;
+
+/// Bytes per announced hash in `NewBlockHashes` (hash + number).
+pub const ANNOUNCE_ENTRY_BYTES: u64 = 40;
+
+/// A protocol message. Block bodies are addressed by hash; the driver
+/// resolves bodies through its block registry when sizing and delivering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// `NewBlockHashes`: light announcement of block availability.
+    Announce(Vec<BlockHash>),
+    /// `NewBlock`: unsolicited full block (header + body), the "direct
+    /// propagation" path.
+    NewBlock(BlockHash),
+    /// `GetBlockHeaders`/`GetBlockBodies` collapsed into one fetch request.
+    GetBlock(BlockHash),
+    /// The fetch response carrying the full block.
+    BlockBody(BlockHash),
+    /// A batch of complete transactions.
+    Transactions(Vec<TxId>),
+}
+
+impl Message {
+    /// Computes the wire size, resolving block/tx payload sizes via
+    /// `block_size` and `tx_size` lookups.
+    pub fn size<B, T>(&self, mut block_size: B, mut tx_size: T) -> ByteSize
+    where
+        B: FnMut(BlockHash) -> ByteSize,
+        T: FnMut(TxId) -> ByteSize,
+    {
+        let payload = match self {
+            Message::Announce(hashes) => hashes.len() as u64 * ANNOUNCE_ENTRY_BYTES,
+            Message::NewBlock(h) | Message::BlockBody(h) => block_size(*h).as_bytes(),
+            Message::GetBlock(_) => ANNOUNCE_ENTRY_BYTES,
+            Message::Transactions(txs) => {
+                txs.iter().map(|&t| tx_size(t).as_bytes()).sum::<u64>()
+            }
+        };
+        ByteSize::from_bytes(MSG_OVERHEAD_BYTES + payload)
+    }
+
+    /// True for the two block-bearing message kinds (Table II's "Whole
+    /// Blocks" row).
+    pub fn carries_block_body(&self) -> bool {
+        matches!(self, Message::NewBlock(_) | Message::BlockBody(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_block(_: BlockHash) -> ByteSize {
+        ByteSize::from_bytes(25_000)
+    }
+
+    fn fixed_tx(_: TxId) -> ByteSize {
+        ByteSize::from_bytes(180)
+    }
+
+    #[test]
+    fn announcement_is_light() {
+        let ann = Message::Announce(vec![BlockHash(1)]);
+        let full = Message::NewBlock(BlockHash(1));
+        let a = ann.size(fixed_block, fixed_tx);
+        let f = full.size(fixed_block, fixed_tx);
+        assert!(a.as_bytes() < 200);
+        assert_eq!(f.as_bytes(), 25_060);
+        assert!(f.as_bytes() > 100 * a.as_bytes() / 2);
+    }
+
+    #[test]
+    fn batched_announcements_scale() {
+        let one = Message::Announce(vec![BlockHash(1)]).size(fixed_block, fixed_tx);
+        let three =
+            Message::Announce(vec![BlockHash(1), BlockHash(2), BlockHash(3)]).size(fixed_block, fixed_tx);
+        assert_eq!(
+            three.as_bytes() - one.as_bytes(),
+            2 * ANNOUNCE_ENTRY_BYTES
+        );
+    }
+
+    #[test]
+    fn tx_batch_sums_sizes() {
+        let batch = Message::Transactions(vec![TxId(1), TxId(2)]);
+        assert_eq!(
+            batch.size(fixed_block, fixed_tx).as_bytes(),
+            MSG_OVERHEAD_BYTES + 360
+        );
+    }
+
+    #[test]
+    fn body_kind_classification() {
+        assert!(Message::NewBlock(BlockHash(1)).carries_block_body());
+        assert!(Message::BlockBody(BlockHash(1)).carries_block_body());
+        assert!(!Message::Announce(vec![]).carries_block_body());
+        assert!(!Message::GetBlock(BlockHash(1)).carries_block_body());
+        assert!(!Message::Transactions(vec![]).carries_block_body());
+    }
+}

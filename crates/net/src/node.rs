@@ -1,0 +1,730 @@
+//! The per-node protocol state machine.
+//!
+//! A [`Node`] makes Geth-1.8's gossip decisions: push full blocks to
+//! √(peers) immediately on arrival (before import), announce to the rest
+//! after import, fetch announced blocks with timeout fallback, and relay
+//! fresh transactions. It returns the [`Send`]s it wants performed; the
+//! simulation driver applies link latency and schedules delivery, keeping
+//! this type synchronous and unit-testable.
+
+use std::collections::HashMap;
+
+use ethmeter_chain::block::Block;
+use ethmeter_chain::tx::Transaction;
+use ethmeter_chain::uncles::UnclePolicy;
+use ethmeter_geo::BandwidthClass;
+use ethmeter_sim::Xoshiro256;
+use ethmeter_types::{BlockHash, NodeId, Region, TxId};
+
+use crate::config::{NetConfig, TxRelayPolicy};
+use crate::headerview::{HeaderInsert, HeaderView};
+use crate::known::KnownSet;
+use crate::message::Message;
+use ethmeter_txpool::Mempool;
+
+/// An outgoing message the driver must deliver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Send {
+    /// Destination peer.
+    pub to: NodeId,
+    /// Payload.
+    pub msg: Message,
+}
+
+/// Whether the node wants an import scheduled after validation latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImportAction {
+    /// Schedule `on_import_complete` for this block after validation time.
+    Schedule(BlockHash),
+    /// Nothing to do (duplicate or unwanted).
+    None,
+}
+
+/// Result of completing an import.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportResult {
+    /// Messages to deliver (post-import announcements, parent fetches).
+    pub sends: Vec<Send>,
+    /// True if the block became the node's head.
+    pub new_head: bool,
+}
+
+#[derive(Debug, Clone)]
+struct FetchState {
+    announcers: Vec<NodeId>,
+    tried: usize,
+}
+
+/// A network node: peer links, chain view, gossip state, and (for miner
+/// gateways) a mempool.
+#[derive(Debug)]
+pub struct Node {
+    id: NodeId,
+    region: Region,
+    bandwidth: BandwidthClass,
+    peers: Vec<NodeId>,
+    peer_known_blocks: HashMap<NodeId, KnownSet<BlockHash>>,
+    peer_known_txs: HashMap<NodeId, KnownSet<TxId>>,
+    chain: HeaderView,
+    seen_txs: KnownSet<TxId>,
+    have_body: KnownSet<BlockHash>,
+    import_pending: HashMap<BlockHash, Option<NodeId>>,
+    fetching: HashMap<BlockHash, FetchState>,
+    mempool: Option<Mempool>,
+}
+
+impl Node {
+    /// Creates a node rooted at `genesis`.
+    pub fn new(
+        id: NodeId,
+        region: Region,
+        bandwidth: BandwidthClass,
+        genesis: BlockHash,
+        cfg: &NetConfig,
+    ) -> Self {
+        Node {
+            id,
+            region,
+            bandwidth,
+            peers: Vec::new(),
+            peer_known_blocks: HashMap::new(),
+            peer_known_txs: HashMap::new(),
+            chain: HeaderView::new(genesis, cfg.header_window),
+            seen_txs: KnownSet::with_capacity(cfg.known_txs_cap),
+            have_body: KnownSet::with_capacity(4 * cfg.header_window as usize),
+            import_pending: HashMap::new(),
+            fetching: HashMap::new(),
+            mempool: None,
+        }
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// The node's access-link class.
+    pub fn bandwidth(&self) -> BandwidthClass {
+        self.bandwidth
+    }
+
+    /// The node's header view of the chain.
+    pub fn chain(&self) -> &HeaderView {
+        &self.chain
+    }
+
+    /// Connected peers, in connection order.
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Attaches a mempool (miner gateways and any node that should track
+    /// executable transactions).
+    pub fn enable_mempool(&mut self) {
+        if self.mempool.is_none() {
+            self.mempool = Some(Mempool::new());
+        }
+    }
+
+    /// The node's mempool, if enabled.
+    pub fn mempool(&self) -> Option<&Mempool> {
+        self.mempool.as_ref()
+    }
+
+    /// Registers a bidirectional link (the driver calls this on both ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-links or duplicate links.
+    pub fn connect(&mut self, peer: NodeId, cfg: &NetConfig) {
+        assert_ne!(peer, self.id, "self-link");
+        assert!(!self.peers.contains(&peer), "duplicate link to {peer}");
+        self.peers.push(peer);
+        self.peer_known_blocks
+            .insert(peer, KnownSet::with_capacity(cfg.known_blocks_cap));
+        self.peer_known_txs
+            .insert(peer, KnownSet::with_capacity(cfg.known_txs_cap));
+    }
+
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn mark_peer_knows_block(&mut self, peer: NodeId, hash: BlockHash) {
+        if let Some(s) = self.peer_known_blocks.get_mut(&peer) {
+            s.insert(hash);
+        }
+    }
+
+    fn peer_knows_block(&self, peer: NodeId, hash: BlockHash) -> bool {
+        self.peer_known_blocks
+            .get(&peer)
+            .is_some_and(|s| s.contains(hash))
+    }
+
+    /// Handles a full block arriving — by unsolicited push (`NewBlock`),
+    /// fetch response (`BlockBody`), or local mining (`from = None`).
+    ///
+    /// Returns the immediate relays (full-block pushes to √(peers)) and
+    /// whether to schedule an import.
+    pub fn on_block_arrival(
+        &mut self,
+        from: Option<NodeId>,
+        block: &Block,
+        cfg: &NetConfig,
+        rng: &mut Xoshiro256,
+    ) -> (Vec<Send>, ImportAction) {
+        let hash = block.hash();
+        if let Some(p) = from {
+            self.mark_peer_knows_block(p, hash);
+        }
+        self.fetching.remove(&hash);
+        if self.have_body.contains(hash)
+            || self.chain.contains(hash)
+            || self.import_pending.contains_key(&hash)
+        {
+            return (Vec::new(), ImportAction::None);
+        }
+        self.have_body.insert(hash);
+
+        // Relay policy: push recent (head-candidate) blocks; optionally
+        // also side blocks within the relay window.
+        let head_number = self.chain.head_number();
+        let improves = block.number() > head_number;
+        let recent = block.number() + cfg.relay_window > head_number;
+        let relay = improves || (cfg.relay_non_head && recent);
+
+        let mut sends = Vec::new();
+        if relay {
+            let candidates: Vec<NodeId> = self
+                .peers
+                .iter()
+                .copied()
+                .filter(|&p| Some(p) != from && !self.peer_knows_block(p, hash))
+                .collect();
+            // Locally produced blocks (miner gateways) are pushed to every
+            // peer: pool gateway software floods its own blocks to minimize
+            // orphan risk, unlike vanilla Geth's sqrt relay.
+            let fanout = if from.is_none() {
+                candidates.len()
+            } else {
+                cfg.push_fanout(self.peers.len()).min(candidates.len())
+            };
+            let picks = rng.sample_indices(candidates.len(), fanout);
+            for i in picks {
+                let peer = candidates[i];
+                self.mark_peer_knows_block(peer, hash);
+                sends.push(Send {
+                    to: peer,
+                    msg: Message::NewBlock(hash),
+                });
+            }
+        }
+        self.import_pending.insert(hash, from);
+        (sends, ImportAction::Schedule(hash))
+    }
+
+    /// Handles a `NewBlockHashes` announcement: fetch unknown blocks from
+    /// the announcer (Geth's fetcher).
+    pub fn on_announce(&mut self, from: NodeId, hashes: &[BlockHash]) -> Vec<Send> {
+        let mut sends = Vec::new();
+        for &hash in hashes {
+            self.mark_peer_knows_block(from, hash);
+            if self.have_body.contains(hash)
+                || self.chain.contains(hash)
+                || self.import_pending.contains_key(&hash)
+            {
+                continue;
+            }
+            match self.fetching.get_mut(&hash) {
+                Some(f) => {
+                    if !f.announcers.contains(&from) {
+                        f.announcers.push(from);
+                    }
+                }
+                None => {
+                    self.fetching.insert(
+                        hash,
+                        FetchState {
+                            announcers: vec![from],
+                            tried: 1,
+                        },
+                    );
+                    sends.push(Send {
+                        to: from,
+                        msg: Message::GetBlock(hash),
+                    });
+                }
+            }
+        }
+        sends
+    }
+
+    /// Fetch timeout: re-request from the next announcer, or give up.
+    ///
+    /// Returns the re-request (if any); the driver should re-arm the
+    /// timeout when a request goes out.
+    pub fn on_fetch_timeout(&mut self, hash: BlockHash) -> Vec<Send> {
+        if self.have_body.contains(hash) || self.chain.contains(hash) {
+            self.fetching.remove(&hash);
+            return Vec::new();
+        }
+        let Some(f) = self.fetching.get_mut(&hash) else {
+            return Vec::new();
+        };
+        if f.tried < f.announcers.len() {
+            let next = f.announcers[f.tried];
+            f.tried += 1;
+            vec![Send {
+                to: next,
+                msg: Message::GetBlock(hash),
+            }]
+        } else {
+            // Out of announcers: give up; a push may still deliver it.
+            self.fetching.remove(&hash);
+            Vec::new()
+        }
+    }
+
+    /// Serves a fetch request if the body is available.
+    pub fn on_get_block(&mut self, from: NodeId, hash: BlockHash) -> Vec<Send> {
+        if !self.have_body.contains(hash) {
+            return Vec::new();
+        }
+        self.mark_peer_knows_block(from, hash);
+        vec![Send {
+            to: from,
+            msg: Message::BlockBody(hash),
+        }]
+    }
+
+    /// Completes an import after validation latency: inserts into the
+    /// chain view, prunes the mempool, and announces to unknowing peers.
+    ///
+    /// `included` must be the block's transactions (resolved by the driver
+    /// from its registry).
+    pub fn on_import_complete(
+        &mut self,
+        block: &Block,
+        included: &[&Transaction],
+        cfg: &NetConfig,
+    ) -> ImportResult {
+        let hash = block.hash();
+        let provenance = self.import_pending.remove(&hash).flatten();
+        let outcome = self.chain.insert(
+            hash,
+            block.parent(),
+            block.number(),
+            block.miner(),
+            block.uncles(),
+        );
+        let mut sends = Vec::new();
+        let new_head = matches!(outcome, HeaderInsert::NewHead { .. });
+
+        if outcome == HeaderInsert::Orphaned {
+            // Ask whoever gave us the block for its parent (Geth's fetcher
+            // backfill). If it was locally mined there is no one to ask.
+            if let Some(p) = provenance {
+                sends.push(Send {
+                    to: p,
+                    msg: Message::GetBlock(block.parent()),
+                });
+            }
+            return ImportResult { sends, new_head };
+        }
+
+        if let Some(pool) = self.mempool.as_mut() {
+            if new_head {
+                pool.on_block(included.iter().copied());
+            }
+        }
+
+        // Post-import announcement to everyone not known to have it.
+        let head_number = self.chain.head_number();
+        let recent = block.number() + cfg.relay_window > head_number;
+        if new_head || (cfg.relay_non_head && recent) {
+            let targets: Vec<NodeId> = self
+                .peers
+                .iter()
+                .copied()
+                .filter(|&p| !self.peer_knows_block(p, hash))
+                .collect();
+            for peer in targets {
+                self.mark_peer_knows_block(peer, hash);
+                sends.push(Send {
+                    to: peer,
+                    msg: Message::Announce(vec![hash]),
+                });
+            }
+        }
+        ImportResult { sends, new_head }
+    }
+
+    /// Handles a batch of transactions (`from = None` for local
+    /// submissions injected by the workload).
+    ///
+    /// Returns the relays. Fresh transactions are added to the mempool if
+    /// one is enabled.
+    pub fn on_transactions(
+        &mut self,
+        from: Option<NodeId>,
+        txs: &[&Transaction],
+        cfg: &NetConfig,
+        rng: &mut Xoshiro256,
+    ) -> Vec<Send> {
+        let mut fresh: Vec<TxId> = Vec::new();
+        for tx in txs {
+            if let Some(p) = from {
+                if let Some(s) = self.peer_known_txs.get_mut(&p) {
+                    s.insert(tx.id);
+                }
+            }
+            if self.seen_txs.insert(tx.id) {
+                fresh.push(tx.id);
+                if let Some(pool) = self.mempool.as_mut() {
+                    pool.add(tx);
+                }
+            }
+        }
+        if fresh.is_empty() {
+            return Vec::new();
+        }
+        // Choose relay targets.
+        let candidates: Vec<NodeId> = self
+            .peers
+            .iter()
+            .copied()
+            .filter(|&p| Some(p) != from)
+            .collect();
+        let targets: Vec<NodeId> = match cfg.tx_relay {
+            TxRelayPolicy::All => candidates,
+            TxRelayPolicy::Sqrt => {
+                let fanout = cfg.push_fanout(self.peers.len()).min(candidates.len());
+                rng.sample_indices(candidates.len(), fanout)
+                    .into_iter()
+                    .map(|i| candidates[i])
+                    .collect()
+            }
+        };
+        let mut sends = Vec::new();
+        for peer in targets {
+            let unknown: Vec<TxId> = {
+                let known = self
+                    .peer_known_txs
+                    .get(&peer)
+                    .expect("connected peers have known-sets");
+                fresh.iter().copied().filter(|&t| !known.contains(t)).collect()
+            };
+            if unknown.is_empty() {
+                continue;
+            }
+            if let Some(s) = self.peer_known_txs.get_mut(&peer) {
+                for &t in &unknown {
+                    s.insert(t);
+                }
+            }
+            sends.push(Send {
+                to: peer,
+                msg: Message::Transactions(unknown),
+            });
+        }
+        sends
+    }
+
+    /// Builds a mining template from this gateway's view: parent (current
+    /// head), next height, uncle references, and packed transactions.
+    ///
+    /// Returns `(parent, number, uncles, txs)`.
+    pub fn mine_template(
+        &self,
+        policy: UnclePolicy,
+        gas_limit: u64,
+    ) -> (BlockHash, u64, Vec<BlockHash>, Vec<TxId>) {
+        let parent = self.chain.head();
+        let number = self.chain.head_number() + 1;
+        let uncles = self.chain.select_uncles(parent, policy);
+        let txs = self
+            .mempool
+            .as_ref()
+            .map(|m| m.pack(gas_limit))
+            .unwrap_or_default();
+        (parent, number, uncles, txs)
+    }
+
+    /// Set of blocks currently being fetched (for driver timeout wiring).
+    pub fn is_fetching(&self, hash: BlockHash) -> bool {
+        self.fetching.contains_key(&hash)
+    }
+
+    /// True if the node holds (or is importing) this block's body.
+    pub fn has_block_body(&self, hash: BlockHash) -> bool {
+        self.have_body.contains(hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethmeter_chain::block::BlockBuilder;
+    use ethmeter_types::{AccountId, ByteSize, PoolId, SimTime};
+    use std::collections::HashSet;
+
+    fn cfg() -> NetConfig {
+        NetConfig::default()
+    }
+
+    fn rng() -> Xoshiro256 {
+        Xoshiro256::seed_from_u64(7)
+    }
+
+    fn genesis() -> BlockHash {
+        BlockHash::mix(0)
+    }
+
+    fn node(id: u32, n_peers: u32) -> Node {
+        let c = cfg();
+        let mut n = Node::new(
+            NodeId(id),
+            Region::WesternEurope,
+            BandwidthClass::Datacenter,
+            genesis(),
+            &c,
+        );
+        for p in 0..n_peers {
+            if p != id {
+                n.connect(NodeId(p), &c);
+            }
+        }
+        n
+    }
+
+    fn block1() -> Block {
+        BlockBuilder::new(genesis(), 1, PoolId(0))
+            .mined_at(SimTime::from_secs(13))
+            .build()
+    }
+
+    #[test]
+    fn push_relays_to_sqrt_peers_and_schedules_import() {
+        let mut n = node(99, 25);
+        let b = block1();
+        let (sends, action) = n.on_block_arrival(Some(NodeId(1)), &b, &cfg(), &mut rng());
+        assert_eq!(action, ImportAction::Schedule(b.hash()));
+        // sqrt(25) = 5 pushes, never back to the sender.
+        assert_eq!(sends.len(), 5);
+        assert!(sends.iter().all(|s| s.to != NodeId(1)));
+        assert!(sends
+            .iter()
+            .all(|s| matches!(s.msg, Message::NewBlock(h) if h == b.hash())));
+        // Distinct targets.
+        let set: HashSet<NodeId> = sends.iter().map(|s| s.to).collect();
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn duplicate_arrivals_do_nothing() {
+        let mut n = node(99, 25);
+        let b = block1();
+        let (_, first) = n.on_block_arrival(Some(NodeId(1)), &b, &cfg(), &mut rng());
+        assert!(matches!(first, ImportAction::Schedule(_)));
+        let (sends, second) = n.on_block_arrival(Some(NodeId(2)), &b, &cfg(), &mut rng());
+        assert!(sends.is_empty());
+        assert_eq!(second, ImportAction::None);
+    }
+
+    #[test]
+    fn import_complete_announces_to_unknowing_peers() {
+        let mut n = node(99, 10);
+        let b = block1();
+        let c = cfg();
+        let (pushes, _) = n.on_block_arrival(Some(NodeId(1)), &b, &c, &mut rng());
+        let pushed_to: HashSet<NodeId> = pushes.iter().map(|s| s.to).collect();
+        let res = n.on_import_complete(&b, &[], &c);
+        assert!(res.new_head);
+        // Announcements go to everyone who neither sent nor received it.
+        let announced: HashSet<NodeId> = res.sends.iter().map(|s| s.to).collect();
+        assert!(announced.is_disjoint(&pushed_to));
+        assert!(!announced.contains(&NodeId(1)));
+        assert_eq!(announced.len(), 9 - pushed_to.len());
+        assert!(res
+            .sends
+            .iter()
+            .all(|s| matches!(&s.msg, Message::Announce(v) if v == &vec![b.hash()])));
+    }
+
+    #[test]
+    fn announce_triggers_single_fetch() {
+        let mut n = node(99, 5);
+        let b = block1();
+        let sends = n.on_announce(NodeId(1), &[b.hash()]);
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].to, NodeId(1));
+        assert!(matches!(sends[0].msg, Message::GetBlock(h) if h == b.hash()));
+        assert!(n.is_fetching(b.hash()));
+        // Second announcer recorded, no second request.
+        let sends = n.on_announce(NodeId(2), &[b.hash()]);
+        assert!(sends.is_empty());
+        // Timeout falls over to the second announcer.
+        let retry = n.on_fetch_timeout(b.hash());
+        assert_eq!(retry.len(), 1);
+        assert_eq!(retry[0].to, NodeId(2));
+        // Exhausted announcers: gives up.
+        let give_up = n.on_fetch_timeout(b.hash());
+        assert!(give_up.is_empty());
+        assert!(!n.is_fetching(b.hash()));
+    }
+
+    #[test]
+    fn fetch_resolves_on_arrival() {
+        let mut n = node(99, 5);
+        let b = block1();
+        n.on_announce(NodeId(1), &[b.hash()]);
+        let (_, action) = n.on_block_arrival(Some(NodeId(1)), &b, &cfg(), &mut rng());
+        assert!(matches!(action, ImportAction::Schedule(_)));
+        assert!(!n.is_fetching(b.hash()));
+        assert!(n.on_fetch_timeout(b.hash()).is_empty());
+    }
+
+    #[test]
+    fn get_block_served_only_when_held() {
+        let mut n = node(99, 5);
+        let b = block1();
+        assert!(n.on_get_block(NodeId(1), b.hash()).is_empty());
+        n.on_block_arrival(Some(NodeId(2)), &b, &cfg(), &mut rng());
+        let resp = n.on_get_block(NodeId(1), b.hash());
+        assert_eq!(resp.len(), 1);
+        assert!(matches!(resp[0].msg, Message::BlockBody(h) if h == b.hash()));
+    }
+
+    #[test]
+    fn orphan_import_requests_parent() {
+        let mut n = node(99, 5);
+        let c = cfg();
+        // Block at height 2 whose parent (height 1) we never saw.
+        let b1 = block1();
+        let b2 = BlockBuilder::new(b1.hash(), 2, PoolId(0)).build();
+        let (_, action) = n.on_block_arrival(Some(NodeId(3)), &b2, &c, &mut rng());
+        assert!(matches!(action, ImportAction::Schedule(_)));
+        let res = n.on_import_complete(&b2, &[], &c);
+        assert!(!res.new_head);
+        assert_eq!(res.sends.len(), 1);
+        assert_eq!(res.sends[0].to, NodeId(3));
+        assert!(matches!(res.sends[0].msg, Message::GetBlock(h) if h == b1.hash()));
+    }
+
+    #[test]
+    fn transactions_relay_to_all_unknowing_peers() {
+        let mut n = node(99, 6);
+        let c = cfg();
+        let tx = Transaction {
+            id: TxId(1),
+            sender: AccountId(1),
+            nonce: 0,
+            gas_price: 5,
+            gas: 21_000,
+            size: ByteSize::from_bytes(180),
+            submitted_at: SimTime::ZERO,
+            origin: NodeId(0),
+        };
+        let sends = n.on_transactions(Some(NodeId(1)), &[&tx], &c, &mut rng());
+        // 5 peers other than the sender.
+        assert_eq!(sends.len(), 5);
+        // Replay: nothing fresh, nothing sent.
+        assert!(n
+            .on_transactions(Some(NodeId(2)), &[&tx], &c, &mut rng())
+            .is_empty());
+    }
+
+    #[test]
+    fn sqrt_tx_relay_caps_fanout() {
+        let mut n = node(99, 25);
+        let mut c = cfg();
+        c.tx_relay = TxRelayPolicy::Sqrt;
+        let tx = Transaction {
+            id: TxId(2),
+            sender: AccountId(1),
+            nonce: 0,
+            gas_price: 5,
+            gas: 21_000,
+            size: ByteSize::from_bytes(180),
+            submitted_at: SimTime::ZERO,
+            origin: NodeId(0),
+        };
+        let sends = n.on_transactions(None, &[&tx], &c, &mut rng());
+        assert_eq!(sends.len(), 5); // sqrt(25) = 5
+    }
+
+    #[test]
+    fn mempool_integration_and_mining_template() {
+        let mut n = node(99, 3);
+        n.enable_mempool();
+        let c = cfg();
+        let tx0 = Transaction {
+            id: TxId(1),
+            sender: AccountId(1),
+            nonce: 0,
+            gas_price: 5,
+            gas: 21_000,
+            size: ByteSize::from_bytes(180),
+            submitted_at: SimTime::ZERO,
+            origin: NodeId(99),
+        };
+        n.on_transactions(None, &[&tx0], &c, &mut rng());
+        assert_eq!(n.mempool().expect("enabled").len(), 1);
+
+        let (parent, number, uncles, txs) =
+            n.mine_template(UnclePolicy::Standard, 8_000_000);
+        assert_eq!(parent, genesis());
+        assert_eq!(number, 1);
+        assert!(uncles.is_empty());
+        assert_eq!(txs, vec![TxId(1)]);
+
+        // A block including tx0 prunes it from the mempool.
+        let b = BlockBuilder::new(genesis(), 1, PoolId(0))
+            .txs(vec![TxId(1)])
+            .build();
+        n.on_block_arrival(None, &b, &c, &mut rng());
+        let res = n.on_import_complete(&b, &[&tx0], &c);
+        assert!(res.new_head);
+        assert_eq!(n.mempool().expect("enabled").len(), 0);
+    }
+
+    #[test]
+    fn locally_mined_block_pushes_to_all_peers() {
+        let mut n = node(99, 9);
+        let b = block1();
+        let (sends, action) = n.on_block_arrival(None, &b, &cfg(), &mut rng());
+        assert!(matches!(action, ImportAction::Schedule(_)));
+        // Gateway flood: every peer, not just sqrt.
+        assert_eq!(sends.len(), 9);
+    }
+
+    #[test]
+    fn stale_side_blocks_not_relayed_when_policy_off() {
+        let mut n = node(99, 9);
+        let mut c = cfg();
+        c.relay_non_head = false;
+        // Advance the node's head far beyond 1 by importing a chain.
+        let mut parent = genesis();
+        for i in 1..=10u64 {
+            let b = BlockBuilder::new(parent, i, PoolId(0)).salt(i).build();
+            parent = b.hash();
+            n.on_block_arrival(Some(NodeId(1)), &b, &c, &mut rng());
+            n.on_import_complete(&b, &[], &c);
+        }
+        assert_eq!(n.chain().head_number(), 10);
+        // A late fork block at height 1 does not improve the head and is
+        // outside the relay window: no pushes.
+        let stale = BlockBuilder::new(genesis(), 1, PoolId(5)).salt(99).build();
+        let (sends, action) = n.on_block_arrival(Some(NodeId(2)), &stale, &c, &mut rng());
+        assert!(sends.is_empty());
+        // It is still imported (valid block), just not relayed.
+        assert!(matches!(action, ImportAction::Schedule(_)));
+    }
+}

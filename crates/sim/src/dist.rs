@@ -1,0 +1,444 @@
+//! Probability distributions used by the network and mining models.
+//!
+//! Each distribution is a small value type with a `sample(&mut Xoshiro256)`
+//! method. Implementations use standard textbook transforms (inverse CDF,
+//! Marsaglia polar) so they are auditable without external references.
+//!
+//! | Distribution | Used for |
+//! |---|---|
+//! | [`Exp`] | inter-block mining times, burst gaps |
+//! | [`Normal`] | clock-offset core, misc. noise |
+//! | [`LogNormal`] | latency jitter, block validation times |
+//! | [`Zipf`] | transaction-sender activity skew |
+//! | [`Poisson`] | per-interval arrival counts |
+//! | [`Mixture2`] | NTP offsets (tight core + heavy tail) |
+
+use crate::rng::Xoshiro256;
+use ethmeter_types::SimDuration;
+
+/// Exponential distribution with rate `lambda` (mean `1/lambda`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with the given rate (events per
+    /// unit time).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda` is finite and positive.
+    pub fn with_rate(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "exponential rate must be positive, got {lambda}"
+        );
+        Exp { lambda }
+    }
+
+    /// Creates an exponential distribution with the given mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is finite and positive.
+    pub fn with_mean(mean: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive, got {mean}"
+        );
+        Exp { lambda: 1.0 / mean }
+    }
+
+    /// The rate parameter.
+    pub fn rate(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws a sample (inverse-CDF method).
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> f64 {
+        -rng.next_f64_open().ln() / self.lambda
+    }
+
+    /// Draws a sample interpreted as seconds and converts it to a
+    /// [`SimDuration`].
+    #[inline]
+    pub fn sample_duration(&self, rng: &mut Xoshiro256) -> SimDuration {
+        SimDuration::from_secs_f64(self.sample(rng))
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "invalid normal parameters ({mean}, {std_dev})"
+        );
+        Normal { mean, std_dev }
+    }
+
+    /// Draws a sample using the Marsaglia polar method.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> f64 {
+        if self.std_dev == 0.0 {
+            return self.mean;
+        }
+        loop {
+            let u = 2.0 * rng.next_f64() - 1.0;
+            let v = 2.0 * rng.next_f64() - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * u * factor;
+            }
+        }
+    }
+}
+
+/// Log-normal distribution, parameterized by the underlying normal's
+/// `mu`/`sigma` (i.e. `exp(N(mu, sigma))`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal from the underlying normal parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Normal::new`].
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal {
+            norm: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Creates a log-normal with the given *median* (`exp(mu)`) and shape
+    /// `sigma`. The median parameterization is the natural one for latency:
+    /// "median jitter 1.0×, occasionally much larger".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `median` is not positive or `sigma` is negative.
+    pub fn with_median(median: f64, sigma: f64) -> Self {
+        assert!(
+            median.is_finite() && median > 0.0,
+            "log-normal median must be positive, got {median}"
+        );
+        LogNormal::new(median.ln(), sigma)
+    }
+
+    /// Draws a sample.
+    #[inline]
+    pub fn sample(&self, rng: &mut Xoshiro256) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Zipf distribution on ranks `1..=n` with exponent `s`.
+///
+/// Used for transaction-sender activity: a few accounts (exchanges,
+/// token contracts) emit most traffic, which is what makes same-sender
+/// nonce races — and hence out-of-order arrivals — common (§III-C2).
+///
+/// Sampling is by inverted CDF over precomputed cumulative weights, O(log n)
+/// per draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative/not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "invalid Zipf exponent {s}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if there is only a single rank (always sampled).
+    pub fn is_empty(&self) -> bool {
+        false // by construction n > 0
+    }
+
+    /// Draws a 0-based rank (0 is the most popular).
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let u = rng.next_f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("no NaN in cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+/// Poisson distribution with mean `lambda`.
+///
+/// Sampling uses Knuth's product method for small means and a normal
+/// approximation above 30 (adequate for workload batching).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "Poisson mean must be positive, got {lambda}"
+        );
+        Poisson { lambda }
+    }
+
+    /// Draws a sample.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> u64 {
+        if self.lambda < 30.0 {
+            let l = (-self.lambda).exp();
+            let mut k = 0u64;
+            let mut p = 1.0;
+            loop {
+                p *= rng.next_f64();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            // Normal approximation with continuity correction.
+            let n = Normal::new(self.lambda, self.lambda.sqrt());
+            n.sample(rng).round().max(0.0) as u64
+        }
+    }
+}
+
+/// A two-component mixture: with probability `p_tail` sample from `tail`,
+/// otherwise from `core`.
+///
+/// Models the paper's NTP error characterization: "offsets lesser than 10 ms
+/// in 90% of cases and lesser than 100 ms in 99% of cases" — a tight core
+/// plus a rare heavy tail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mixture2 {
+    core: Normal,
+    tail: Normal,
+    p_tail: f64,
+}
+
+impl Mixture2 {
+    /// Creates a mixture of two normals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_tail` is outside `[0, 1]`.
+    pub fn new(core: Normal, tail: Normal, p_tail: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_tail),
+            "mixture probability must be in [0,1], got {p_tail}"
+        );
+        Mixture2 { core, tail, p_tail }
+    }
+
+    /// Draws a sample.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> f64 {
+        if rng.chance(self.p_tail) {
+            self.tail.sample(rng)
+        } else {
+            self.core.sample(rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn exponential_moments() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let d = Exp::with_mean(13.3);
+        let samples: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 13.3).abs() < 0.15, "mean {mean}");
+        // Var = mean^2 for exponential.
+        assert!((var - 13.3 * 13.3).abs() / (13.3 * 13.3) < 0.05, "var {var}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_rate_and_mean_agree() {
+        let a = Exp::with_rate(0.5);
+        let b = Exp::with_mean(2.0);
+        assert_eq!(a, b);
+        assert!((a.rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_duration_sampling() {
+        let mut rng = Xoshiro256::seed_from_u64(2);
+        let d = Exp::with_mean(1.0);
+        let dur = d.sample_duration(&mut rng);
+        assert!(dur > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let d = Normal::new(5.0, 2.0);
+        let samples: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 5.0).abs() < 0.02, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.08, "var {var}");
+    }
+
+    #[test]
+    fn degenerate_normal_is_constant() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let d = Normal::new(7.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 7.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let d = LogNormal::with_median(10.0, 0.5);
+        let mut samples: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = samples[samples.len() / 2];
+        assert!((median - 10.0).abs() < 0.3, "median {median}");
+        assert!(samples[0] > 0.0);
+    }
+
+    #[test]
+    fn zipf_rank_ordering() {
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let d = Zipf::new(100, 1.1);
+        assert_eq!(d.len(), 100);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        // Rank 0 strictly more popular than rank 10, which beats rank 90.
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Everything in range.
+        assert_eq!(counts.iter().sum::<usize>(), 100_000);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let d = Zipf::new(10, 0.0);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..=11_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let d = Poisson::new(3.0);
+        let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng) as f64).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 3.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_gaussian_branch() {
+        let mut rng = Xoshiro256::seed_from_u64(9);
+        let d = Poisson::new(120.0);
+        let samples: Vec<f64> = (0..50_000).map(|_| d.sample(&mut rng) as f64).collect();
+        let (mean, var) = mean_and_var(&samples);
+        assert!((mean - 120.0).abs() < 0.5, "mean {mean}");
+        assert!((var - 120.0).abs() < 5.0, "var {var}");
+    }
+
+    #[test]
+    fn mixture_matches_ntp_spec() {
+        // 90% of offsets under 10ms, 99% under 100ms (paper §II).
+        let mut rng = Xoshiro256::seed_from_u64(10);
+        let core = Normal::new(0.0, 4.0); // ms
+        let tail = Normal::new(0.0, 40.0); // ms
+        let mix = Mixture2::new(core, tail, 0.1);
+        let mut under10 = 0usize;
+        let mut under100 = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            let x = mix.sample(&mut rng).abs();
+            if x < 10.0 {
+                under10 += 1;
+            }
+            if x < 100.0 {
+                under100 += 1;
+            }
+        }
+        let f10 = under10 as f64 / n as f64;
+        let f100 = under100 as f64 / n as f64;
+        assert!(f10 > 0.85 && f10 < 0.97, "P(<10ms) = {f10}");
+        assert!(f100 > 0.985, "P(<100ms) = {f100}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exp_rejects_zero_rate() {
+        let _ = Exp::with_rate(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

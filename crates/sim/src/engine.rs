@@ -1,0 +1,301 @@
+//! The simulation run loop.
+//!
+//! A [`World`] owns all simulation state and interprets events; the
+//! [`Engine`] owns the clock and the event queue and drives the world until
+//! a deadline, an event budget, or queue exhaustion.
+//!
+//! Handlers receive a [`Scheduler`] to enqueue follow-up events. The
+//! scheduler enforces that time never flows backwards (an event may be
+//! scheduled *at* the current instant, which models same-tick processing,
+//! but never before it).
+
+use crate::event::EventQueue;
+use ethmeter_types::{SimDuration, SimTime};
+
+/// Simulation state machine: owns entity state and interprets events.
+pub trait World {
+    /// The event alphabet of this world.
+    type Event;
+
+    /// Handles one event at simulated instant `now`, scheduling any
+    /// follow-ups on `sched`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+/// Interface handed to [`World::handle`] for scheduling follow-up events.
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    now: SimTime,
+    pending: Vec<(SimTime, E)>,
+}
+
+impl<E> Scheduler<E> {
+    fn new(now: SimTime) -> Self {
+        Scheduler {
+            now,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` after `delay` from now.
+    #[inline]
+    pub fn after(&mut self, delay: SimDuration, event: E) {
+        self.pending.push((self.now + delay, event));
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current instant: simulated time is
+    /// monotonic.
+    #[inline]
+    pub fn at(&mut self, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {now})",
+            now = self.now
+        );
+        self.pending.push((at, event));
+    }
+
+    /// Schedules `event` for immediate processing (same instant, after all
+    /// events already queued for this instant).
+    #[inline]
+    pub fn now_event(&mut self, event: E) {
+        self.pending.push((self.now, event));
+    }
+}
+
+/// Outcome of an [`Engine`] run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The queue drained before the deadline.
+    QueueExhausted,
+    /// The deadline was reached with events still pending.
+    DeadlineReached,
+    /// The event budget was consumed.
+    BudgetExhausted,
+}
+
+/// Discrete-event engine: clock + queue + world.
+#[derive(Debug)]
+pub struct Engine<W: World> {
+    world: W,
+    queue: EventQueue<W::Event>,
+    now: SimTime,
+    processed: u64,
+}
+
+impl<W: World> Engine<W> {
+    /// Creates an engine at time zero around `world`.
+    pub fn new(world: W) -> Self {
+        Engine {
+            world,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an event at an absolute instant (typically used for
+    /// bootstrapping before the run starts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current instant.
+    pub fn schedule(&mut self, at: SimTime, event: W::Event) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.queue.push(at, event);
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of currently pending events.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Exclusive access to the world (e.g. to inject state between phases).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// Consumes the engine, returning the world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+
+    /// Runs until the queue drains or simulated time would exceed
+    /// `deadline`. Events stamped exactly at `deadline` are processed.
+    pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
+        self.run_with_limits(deadline, u64::MAX)
+    }
+
+    /// Runs until the queue drains, `deadline` passes, or `max_events` have
+    /// been processed — whichever comes first.
+    pub fn run_with_limits(&mut self, deadline: SimTime, max_events: u64) -> RunOutcome {
+        let mut remaining = max_events;
+        loop {
+            if remaining == 0 {
+                return RunOutcome::BudgetExhausted;
+            }
+            match self.queue.peek_time() {
+                None => return RunOutcome::QueueExhausted,
+                Some(t) if t > deadline => {
+                    // Leave future events pending; advance clock to deadline
+                    // so a subsequent run resumes cleanly.
+                    self.now = deadline;
+                    return RunOutcome::DeadlineReached;
+                }
+                Some(_) => {
+                    let (t, ev) = self.queue.pop().expect("peeked non-empty");
+                    debug_assert!(t >= self.now, "event queue went backwards");
+                    self.now = t;
+                    let mut sched = Scheduler::new(t);
+                    self.world.handle(t, ev, &mut sched);
+                    for (at, e) in sched.pending {
+                        self.queue.push(at, e);
+                    }
+                    self.processed += 1;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that records `(time, tag)` of every event it sees.
+    struct Recorder {
+        seen: Vec<(SimTime, u32)>,
+        respawn: bool,
+    }
+
+    impl World for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+            self.seen.push((now, ev));
+            if self.respawn && ev < 5 {
+                sched.after(SimDuration::from_secs(1), ev + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn processes_in_order_and_respawns() {
+        let mut eng = Engine::new(Recorder {
+            seen: vec![],
+            respawn: true,
+        });
+        eng.schedule(SimTime::from_secs(0), 0);
+        let outcome = eng.run_until(SimTime::from_secs(100));
+        assert_eq!(outcome, RunOutcome::QueueExhausted);
+        let tags: Vec<u32> = eng.world().seen.iter().map(|&(_, e)| e).collect();
+        assert_eq!(tags, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(eng.processed(), 6);
+        assert_eq!(eng.world().seen[5].0, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn deadline_stops_and_resumes() {
+        let mut eng = Engine::new(Recorder {
+            seen: vec![],
+            respawn: true,
+        });
+        eng.schedule(SimTime::from_secs(0), 0);
+        let outcome = eng.run_until(SimTime::from_secs(2));
+        assert_eq!(outcome, RunOutcome::DeadlineReached);
+        assert_eq!(eng.world().seen.len(), 3); // events at t=0,1,2
+        assert_eq!(eng.now(), SimTime::from_secs(2));
+        // Resume: the rest of the cascade continues.
+        let outcome = eng.run_until(SimTime::from_secs(100));
+        assert_eq!(outcome, RunOutcome::QueueExhausted);
+        assert_eq!(eng.world().seen.len(), 6);
+    }
+
+    #[test]
+    fn event_budget() {
+        let mut eng = Engine::new(Recorder {
+            seen: vec![],
+            respawn: true,
+        });
+        eng.schedule(SimTime::ZERO, 0);
+        let outcome = eng.run_with_limits(SimTime::from_secs(100), 2);
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(eng.world().seen.len(), 2);
+    }
+
+    #[test]
+    fn same_instant_events_run_fifo() {
+        struct SameTick {
+            order: Vec<u32>,
+        }
+        impl World for SameTick {
+            type Event = u32;
+            fn handle(&mut self, _now: SimTime, ev: u32, sched: &mut Scheduler<u32>) {
+                self.order.push(ev);
+                if ev == 1 {
+                    // Emit two same-instant follow-ups; they must run after
+                    // already-queued event 2, in emission order.
+                    sched.now_event(10);
+                    sched.now_event(11);
+                }
+            }
+        }
+        let mut eng = Engine::new(SameTick { order: vec![] });
+        eng.schedule(SimTime::from_secs(1), 1);
+        eng.schedule(SimTime::from_secs(1), 2);
+        eng.run_until(SimTime::from_secs(2));
+        assert_eq!(eng.world().order, vec![1, 2, 10, 11]);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn scheduling_into_past_panics() {
+        struct Bad;
+        impl World for Bad {
+            type Event = ();
+            fn handle(&mut self, now: SimTime, _ev: (), sched: &mut Scheduler<()>) {
+                sched.at(SimTime::from_nanos(now.as_nanos() - 1), ());
+            }
+        }
+        let mut eng = Engine::new(Bad);
+        eng.schedule(SimTime::from_secs(1), ());
+        eng.run_until(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn world_accessors() {
+        let mut eng = Engine::new(Recorder {
+            seen: vec![],
+            respawn: false,
+        });
+        eng.world_mut().seen.push((SimTime::ZERO, 99));
+        assert_eq!(eng.world().seen.len(), 1);
+        let w = eng.into_world();
+        assert_eq!(w.seen[0].1, 99);
+    }
+}

@@ -1,0 +1,163 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Figures 4, 5 and 7 of the paper are CDF plots; [`Cdf`] supports both the
+//! "fraction at or below x" query used to print those series and the inverse
+//! quantile query used for headline numbers ("median waiting time for 12
+//! blocks was 189 seconds").
+
+use std::fmt;
+
+/// An empirical CDF over a finite sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN or infinite.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().collect();
+        assert!(
+            sorted.iter().all(|v| v.is_finite()),
+            "CDF input must be finite"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        Cdf { sorted }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `P(X <= x)` under the empirical distribution (0 for empty sample).
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest sample value `v` with `P(X <= v) >= q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `q` outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty CDF");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// Samples the CDF at `points` evenly spaced x-values across the data
+    /// range, returning `(x, P(X <= x))` pairs — the plottable series.
+    ///
+    /// Returns an empty vector for an empty sample.
+    pub fn series(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        let lo = self.sorted[0];
+        let hi = *self.sorted.last().expect("non-empty");
+        if points == 1 || hi == lo {
+            return vec![(hi, 1.0)];
+        }
+        (0..points)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (points - 1) as f64;
+                (x, self.at(x))
+            })
+            .collect()
+    }
+
+    /// Borrow the sorted sample.
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl fmt::Display for Cdf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "cdf(n=0)");
+        }
+        write!(
+            f,
+            "cdf(n={}, p10={:.3}, p50={:.3}, p90={:.3}, p99={:.3})",
+            self.count(),
+            self.quantile(0.10),
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_is_fraction_at_or_below() {
+        let c = Cdf::from_values([1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(1.0), 0.25);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(3.0), 0.75);
+        assert_eq!(c.at(4.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_inverts_at() {
+        let c = Cdf::from_values((1..=1000).map(f64::from));
+        assert_eq!(c.quantile(0.5), 500.0);
+        assert_eq!(c.quantile(0.9), 900.0);
+        assert_eq!(c.quantile(1.0), 1000.0);
+        // at(quantile(q)) >= q for all q.
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            assert!(c.at(c.quantile(q)) >= q);
+        }
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let c = Cdf::from_values([5.0, 1.0, 3.0, 2.0, 4.0]);
+        let s = c.series(11);
+        assert_eq!(s.len(), 11);
+        assert_eq!(s[0].0, 1.0);
+        assert_eq!(s[10].0, 5.0);
+        assert!(s.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(s[10].1, 1.0);
+    }
+
+    #[test]
+    fn degenerate_series() {
+        let c = Cdf::from_values([7.0, 7.0]);
+        assert_eq!(c.series(5), vec![(7.0, 1.0)]);
+        let empty = Cdf::from_values(std::iter::empty());
+        assert!(empty.series(5).is_empty());
+        assert_eq!(empty.at(3.0), 0.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = Cdf::from_values([1.0, 2.0, 3.0]);
+        assert!(c.to_string().contains("n=3"));
+        let e = Cdf::from_values(std::iter::empty());
+        assert_eq!(e.to_string(), "cdf(n=0)");
+    }
+}

@@ -1,0 +1,27 @@
+//! Statistics toolkit for the measurement pipeline.
+//!
+//! The paper's processing stage (pandas/NumPy in the original) reduces raw
+//! logs to summary statistics, histograms (Figure 1), empirical CDFs
+//! (Figures 4, 5, 7), and run-length/censorship analysis (§III-D). This
+//! crate implements those reductions:
+//!
+//! - [`summary::Summary`]: count/mean/std/quantiles of a sample;
+//! - [`histogram::Histogram`]: fixed-width binning with PDF normalization;
+//! - [`cdf::Cdf`]: empirical CDF with quantile and fraction-below queries;
+//! - [`runs`]: run-length extraction and the exact/approximate theory of
+//!   longest same-miner block sequences;
+//! - [`table`]: plain-text table rendering for paper-style reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cdf;
+pub mod histogram;
+pub mod runs;
+pub mod summary;
+pub mod table;
+
+pub use cdf::Cdf;
+pub use histogram::Histogram;
+pub use summary::Summary;
+pub use table::Table;

@@ -1,0 +1,206 @@
+//! Sample summaries: count, mean, standard deviation, extremes, quantiles.
+
+use std::fmt;
+
+/// Descriptive statistics of a finite sample.
+///
+/// Construction sorts a copy of the data once; quantile queries are then
+/// O(1). Quantiles use the nearest-rank (inverted CDF) convention, matching
+/// how the paper reports "the propagation delay of the 95% fastest blocks".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Summary {
+    /// Builds a summary from any collection of values.
+    ///
+    /// Non-finite values are rejected to keep downstream math meaningful.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN or infinite.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().collect();
+        assert!(
+            sorted.iter().all(|v| v.is_finite()),
+            "summary input must be finite"
+        );
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let n = sorted.len() as f64;
+        let (mean, std_dev) = if sorted.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mean = sorted.iter().sum::<f64>() / n;
+            let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            (mean, var.sqrt())
+        };
+        Summary {
+            sorted,
+            mean,
+            std_dev,
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Arithmetic mean (0 for an empty sample).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population standard deviation (0 for an empty sample).
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Smallest value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn min(&self) -> f64 {
+        *self.sorted.first().expect("min of empty sample")
+    }
+
+    /// Largest value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("max of empty sample")
+    }
+
+    /// The `q`-quantile for `q` in `[0, 1]`, nearest-rank convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(!self.sorted.is_empty(), "quantile of empty sample");
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        if q == 0.0 {
+            return self.sorted[0];
+        }
+        let rank = (q * self.sorted.len() as f64).ceil() as usize;
+        self.sorted[rank.clamp(1, self.sorted.len()) - 1]
+    }
+
+    /// The median (0.5 quantile).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples strictly below `x` (0 for an empty sample).
+    pub fn fraction_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v < x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// Borrow the sorted sample (ascending).
+    pub fn sorted_values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "n={} mean={:.3} sd={:.3} min={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.count(),
+            self.mean(),
+            self.std_dev(),
+            self.min(),
+            self.median(),
+            self.quantile(0.95),
+            self.quantile(0.99),
+            self.max(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::from_values([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let s = Summary::from_values((1..=100).map(f64::from));
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(0.5), 50.0);
+        assert_eq!(s.quantile(0.95), 95.0);
+        assert_eq!(s.quantile(0.99), 99.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+        assert_eq!(s.median(), 50.0);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        let s = Summary::from_values([42.0]);
+        for q in [0.0, 0.3, 0.5, 1.0] {
+            assert_eq!(s.quantile(q), 42.0);
+        }
+    }
+
+    #[test]
+    fn fraction_below_counts_strictly() {
+        let s = Summary::from_values([1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(s.fraction_below(1.0), 0.0);
+        assert_eq!(s.fraction_below(2.0), 0.25);
+        assert_eq!(s.fraction_below(2.5), 0.75);
+        assert_eq!(s.fraction_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn empty_sample_behaviors() {
+        let s = Summary::from_values(std::iter::empty());
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.fraction_below(1.0), 0.0);
+        assert_eq!(s.to_string(), "n=0");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        let _ = Summary::from_values([1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn display_mentions_count() {
+        let s = Summary::from_values([1.0, 2.0]);
+        assert!(s.to_string().starts_with("n=2"));
+    }
+}

@@ -1,0 +1,196 @@
+//! Plain-text table rendering for paper-style reports.
+//!
+//! Every analyzer in `ethmeter-analysis` prints its result as an ASCII
+//! table shaped like the corresponding table/figure of the paper, so that
+//! `repro table2` output can be compared against Table II line by line.
+
+use std::fmt;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Pad on the right.
+    Left,
+    /// Pad on the left.
+    Right,
+}
+
+/// A simple text table builder.
+///
+/// # Examples
+///
+/// ```
+/// use ethmeter_stats::table::Table;
+///
+/// let mut t = Table::new(vec!["Message Type", "Avg.", "Med."]);
+/// t.row(vec!["Announcements".into(), "2.585".into(), "2".into()]);
+/// let rendered = t.to_string();
+/// assert!(rendered.contains("Announcements"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers. The first column is
+    /// left-aligned; the rest right-aligned (the usual numeric layout).
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let mut aligns = vec![Align::Right; headers.len()];
+        if let Some(first) = aligns.first_mut() {
+            *first = Align::Left;
+        }
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides the alignment of a column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn align(&mut self, col: usize, align: Align) -> &mut Self {
+        self.aligns[col] = align;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..cols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{:<width$}", cells[i], width = widths[i])?,
+                    Align::Right => write!(f, "{:>width$}", cells[i], width = widths[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals ("25.32%").
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Formats a float with three decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats an integer with thousands separators ("201,086").
+pub fn grouped(n: u64) -> String {
+    let s = n.to_string();
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["Name", "Count"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["longer".into(), "12345".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header, rule, two rows
+        assert!(lines[0].starts_with("Name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric column: "1" ends at same offset as "12345".
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn alignment_override() {
+        let mut t = Table::new(vec!["A", "B"]);
+        t.align(1, Align::Left);
+        t.row(vec!["x".into(), "y".into()]);
+        assert!(t.to_string().contains('y'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["A", "B"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pct(0.2532), "25.32%");
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(grouped(201_086), "201,086");
+        assert_eq!(grouped(999), "999");
+        assert_eq!(grouped(1_000), "1,000");
+        assert_eq!(grouped(0), "0");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new(vec!["A"]);
+        assert!(t.is_empty());
+        t.row(vec!["x".into()]);
+        assert_eq!(t.len(), 1);
+    }
+}

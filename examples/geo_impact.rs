@@ -1,0 +1,51 @@
+//! Geographic impact study (paper §III-B): which vantage point hears about
+//! new blocks first, and how each pool's hidden gateways shape that.
+//!
+//! Reproduces Figures 1, 2 and 3 on one campaign, then re-runs the same
+//! seed with *uniformly placed* gateways to show the effect disappears —
+//! the paper's causal claim ("the cause of this ... is simply due to the
+//! fact that several prominent mining pools operate in Asia") as a
+//! counterfactual experiment.
+//!
+//! ```sh
+//! cargo run --release --example geo_impact
+//! ```
+
+use ethmeter::analysis::{first_observation, propagation};
+use ethmeter::mining::PoolDirectory;
+use ethmeter::prelude::*;
+use ethmeter::types::PoolId;
+
+fn main() {
+    let scenario = Scenario::builder()
+        .preset(Preset::Small)
+        .seed(2020)
+        .duration(SimDuration::from_hours(1))
+        .build();
+    println!("=== campaign with the paper's geo-located pool gateways ===\n");
+    let outcome = run_campaign(&scenario);
+    println!("{}\n", propagation::analyze(&outcome.campaign));
+    println!("{}\n", first_observation::geo(&outcome.campaign));
+    println!("{}\n", first_observation::by_pool(&outcome.campaign, 15));
+
+    // Counterfactual: same hash-power distribution, but every pool's
+    // gateways spread uniformly across all regions.
+    println!("=== counterfactual: gateways spread uniformly ===\n");
+    let mut pools = PoolDirectory::paper_dsn2020();
+    for i in 0..pools.len() {
+        let p = pools.pool_mut(PoolId(i as u16));
+        p.gateway_regions = Region::ALL.iter().map(|&r| (r, 1.0)).collect();
+    }
+    let counterfactual = Scenario::builder()
+        .preset(Preset::Small)
+        .seed(2020)
+        .duration(SimDuration::from_hours(1))
+        .pools(pools)
+        .build();
+    let outcome = run_campaign(&counterfactual);
+    println!("{}", first_observation::geo(&outcome.campaign));
+    println!(
+        "\nWith uniform gateways the regional advantage flattens: geography\n\
+         only matters because gateway placement is concentrated."
+    );
+}

@@ -1,0 +1,46 @@
+//! Quickstart: simulate a small Ethereum-like network for a few minutes,
+//! measure it from four continents, and print the headline statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ethmeter::analysis::{first_observation, propagation};
+use ethmeter::prelude::*;
+
+fn main() {
+    // A scenario is a complete, seeded description of an experiment:
+    // network size, geography, mining pools (the paper's April-2019
+    // directory by default), transaction workload, and observers.
+    let scenario = Scenario::builder()
+        .preset(Preset::Tiny)
+        .seed(7)
+        .duration(SimDuration::from_mins(15))
+        .build();
+
+    println!(
+        "simulating {} ordinary nodes + {} pools for {} ...",
+        scenario.ordinary_nodes,
+        scenario.pools.len(),
+        scenario.duration
+    );
+
+    // One call runs the discrete-event simulation and hands back the
+    // dataset: per-observer logs plus ground truth.
+    let outcome = run_campaign(&scenario);
+    let data = &outcome.campaign;
+
+    println!(
+        "done: {} events, {} blocks on the main chain, {} transactions\n",
+        outcome.events,
+        data.truth.tree.head_number(),
+        outcome.stats.txs_submitted
+    );
+
+    // Analyzers turn logs into the paper's figures.
+    let fig1 = propagation::analyze(data);
+    println!("{fig1}");
+
+    let fig2 = first_observation::geo(data);
+    println!("{fig2}");
+}

@@ -1,0 +1,42 @@
+//! # ethmeter
+//!
+//! A geo-distributed measurement and simulation toolkit for Ethereum-like
+//! blockchains — a from-scratch Rust reproduction of
+//! *Impact of Geo-distribution and Mining Pools on Blockchains: A Study of
+//! Ethereum* (Silva, Vavřička, Barreto, Matos; IEEE/IFIP DSN 2020).
+//!
+//! This facade crate re-exports the full public API of the workspace. Most
+//! applications interact with three layers:
+//!
+//! 1. **Scenario construction** — [`core::scenario::Scenario`] describes a
+//!    simulated Ethereum network: topology, geography, mining pools (with
+//!    hash-power shares and selfish-strategy knobs), transaction workload,
+//!    and the measurement vantage points.
+//! 2. **Campaign execution** — [`core::runner`] runs the discrete-event
+//!    simulation and returns the observers' raw logs plus ground truth.
+//! 3. **Analysis** — [`analysis`] turns logs into the paper's tables and
+//!    figures (propagation delay PDFs, first-observation shares, redundancy,
+//!    commit-time CDFs, empty-block censuses, fork tables, sequence CDFs).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ethmeter::prelude::*;
+//!
+//! // A small, fast scenario (hundreds of nodes, minutes of simulated time).
+//! let scenario = Scenario::builder()
+//!     .preset(Preset::Tiny)
+//!     .seed(42)
+//!     .build();
+//! let outcome = run_campaign(&scenario);
+//! let report = analysis::propagation::analyze(&outcome.campaign);
+//! assert!(report.delays.count() > 0);
+//! ```
+//!
+//! See `examples/` for end-to-end walkthroughs of each experiment family
+//! and `EXPERIMENTS.md` for paper-vs-measured comparisons.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ethmeter_core::*;

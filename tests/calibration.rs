@@ -1,0 +1,160 @@
+//! Calibration-band tests: the simulated network must land in generous
+//! bands around the paper's observations. These are *shape* tests — the
+//! reproduction's contract is who wins and by roughly what factor, not
+//! exact numbers (EXPERIMENTS.md records the precise comparisons).
+
+use ethmeter::analysis::{commit, empty_blocks, first_observation, forks, redundancy};
+use ethmeter::prelude::*;
+
+/// One shared 40-minute campaign (larger than the end-to-end tests so the
+/// statistics settle), reused across assertions.
+fn campaign() -> CampaignData {
+    let scenario = Scenario::builder()
+        .preset(Preset::Tiny)
+        .seed(2020)
+        .duration(SimDuration::from_mins(40))
+        .build();
+    run_campaign(&scenario).campaign
+}
+
+#[test]
+fn calibration_bands() {
+    let data = campaign();
+
+    // --- Table II shape: whole blocks dominate announcements; totals in
+    // the regime of ~9 receptions per block at 25 peers.
+    let t2 = redundancy::analyze(&data).expect("redundancy observer present");
+    assert!(
+        t2.whole_blocks.avg > t2.announcements.avg,
+        "paper: direct propagation dominates ({} vs {})",
+        t2.whole_blocks.avg,
+        t2.announcements.avg
+    );
+    assert!(
+        (4.0..=18.0).contains(&t2.combined.avg),
+        "combined receptions {}",
+        t2.combined.avg
+    );
+
+    // --- Figure 2 shape: Eastern Asia + Europe dominate; North America
+    // trails (paper: EA ~40%, NA ~4x less).
+    let fig2 = first_observation::geo(&data);
+    let share = |name: &str| {
+        fig2.per_vantage
+            .iter()
+            .find(|(n, ..)| n == name)
+            .map(|(_, s, _)| *s)
+            .expect("vantage present")
+    };
+    assert!(
+        share("EA") > share("NA"),
+        "EA {} must beat NA {}",
+        share("EA"),
+        share("NA")
+    );
+    assert!(share("NA") < 0.30, "NA share {}", share("NA"));
+
+    // --- Commit delay: the 12-confirmation median sits around
+    // 12-16 inter-block times (paper: 189s ~ 14.2 blocks).
+    let fig4 = commit::analyze(&data);
+    let median12 = fig4.median_commit_12().expect("12-conf data");
+    assert!(
+        (140.0..=280.0).contains(&median12),
+        "median 12-conf {median12}s"
+    );
+
+    // --- Ordering: some committed transactions arrive out of order, and
+    // out-of-order ones commit no faster in the median (paper: 11.54%,
+    // 192s vs 189s).
+    let fig5 = commit::ordering(&data);
+    assert!(
+        fig5.ooo_fraction > 0.01,
+        "out-of-order fraction {}",
+        fig5.ooo_fraction
+    );
+    if !fig5.out_of_order.is_empty() && !fig5.in_order.is_empty() {
+        assert!(
+            fig5.out_of_order.quantile(0.5) >= fig5.in_order.quantile(0.5) - 20.0,
+            "OOO commit should not be substantially faster"
+        );
+    }
+
+    // --- Empty blocks: a small but nonzero fraction (paper: 1.45%).
+    let fig6 = empty_blocks::analyze(&data, 15);
+    assert!(
+        (0.002..=0.08).contains(&fig6.empty_fraction()),
+        "empty fraction {}",
+        fig6.empty_fraction()
+    );
+
+    // --- Forks: a few percent of blocks fork; length-1 dominates; forks
+    // longer than 1 are never recognized (structural).
+    let t3 = forks::analyze(&data);
+    let census = t3.census;
+    let fork_fraction = 1.0 - census.main_fraction();
+    assert!(
+        (0.01..=0.15).contains(&fork_fraction),
+        "fork fraction {fork_fraction}"
+    );
+    for &(len, _, recognized, _) in &t3.table.rows {
+        if len >= 2 {
+            assert_eq!(recognized, 0, "length-{len} forks can never be recognized");
+        }
+    }
+}
+
+#[test]
+fn zhizhu_mines_empty_nanopool_does_not() {
+    // Figure 6's headline contrast, checked over the pools' own blocks.
+    let data = campaign();
+    let fig6 = empty_blocks::analyze(&data, 17);
+    if let Some(zhizhu) = fig6.rows.iter().find(|r| r.name == "Zhizhu") {
+        if zhizhu.blocks >= 8 {
+            assert!(
+                zhizhu.empty_fraction() > 0.05,
+                "Zhizhu empty fraction {}",
+                zhizhu.empty_fraction()
+            );
+        }
+    }
+    // Nanopool's strategy never mines empty deliberately. Scaled blocks
+    // hold ~10 transactions, so a block can come out empty *naturally*
+    // when the mempool just cleared — accept a small residue while
+    // requiring the deliberate miner to stand clearly apart.
+    if let (Some(nano), Some(zhizhu)) = (
+        fig6.rows.iter().find(|r| r.name == "Nanopool"),
+        fig6.rows.iter().find(|r| r.name == "Zhizhu"),
+    ) {
+        assert!(
+            nano.empty_fraction() < 0.06,
+            "Nanopool empty fraction {}",
+            nano.empty_fraction()
+        );
+        if zhizhu.blocks >= 8 && nano.blocks >= 8 {
+            assert!(
+                zhizhu.empty_fraction() > nano.empty_fraction(),
+                "Zhizhu {} vs Nanopool {}",
+                zhizhu.empty_fraction(),
+                nano.empty_fraction()
+            );
+        }
+    }
+}
+
+#[test]
+fn propagation_has_geographic_spread() {
+    let data = campaign();
+    let fig1 = ethmeter::analysis::propagation::analyze(&data);
+    // Cross-continent observers cannot agree within a few ms; nor should
+    // the spread exceed a second in a connected overlay.
+    assert!(
+        (5.0..=150.0).contains(&fig1.delays.median()),
+        "median spread {}ms",
+        fig1.delays.median()
+    );
+    assert!(
+        fig1.delays.quantile(0.99) < 1_000.0,
+        "p99 spread {}ms",
+        fig1.delays.quantile(0.99)
+    );
+}

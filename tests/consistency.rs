@@ -1,0 +1,156 @@
+//! Cross-crate consistency properties: the lightweight per-node
+//! `HeaderView` must agree with the authoritative `BlockTree` fork choice,
+//! and the fork/sequence analyzers must agree with first principles.
+
+use ethmeter::chain::block::{Block, BlockBuilder};
+use ethmeter::chain::forks;
+use ethmeter::chain::tree::{BlockTree, InsertOutcome};
+use ethmeter::net::headerview::HeaderView;
+use ethmeter::stats::runs;
+use ethmeter::types::{BlockHash, PoolId};
+use proptest::prelude::*;
+
+/// Builds a random block-DAG growing plan: each step either extends the
+/// current head or forks off a random earlier block.
+fn arb_growth_plan() -> impl Strategy<Value = Vec<(usize, u16)>> {
+    // (parent selector, miner) per step; parent selector is an index into
+    // the list of already-created blocks, modulo its length.
+    proptest::collection::vec((0usize..1000, 0u16..4), 1..60)
+}
+
+fn build_blocks(plan: &[(usize, u16)]) -> Vec<Block> {
+    let tree = BlockTree::new();
+    let mut hashes: Vec<(BlockHash, u64)> = vec![(tree.genesis_hash(), 0)];
+    let mut blocks = Vec::new();
+    for (i, &(sel, miner)) in plan.iter().enumerate() {
+        let (parent, pnum) = hashes[sel % hashes.len()];
+        let block = BlockBuilder::new(parent, pnum + 1, PoolId(miner))
+            .salt(i as u64)
+            .build();
+        hashes.push((block.hash(), block.number()));
+        blocks.push(block);
+    }
+    blocks
+}
+
+proptest! {
+    /// Whatever the insertion order and fork structure, the pruned
+    /// HeaderView picks the same head as the full BlockTree (given a
+    /// window large enough to cover the run).
+    #[test]
+    fn header_view_agrees_with_block_tree(plan in arb_growth_plan()) {
+        let blocks = build_blocks(&plan);
+        let mut tree = BlockTree::new();
+        let mut view = HeaderView::new(tree.genesis_hash(), 512);
+        for b in &blocks {
+            let _ = tree.insert(b.clone());
+            let _ = view.insert(b.hash(), b.parent(), b.number(), b.miner(), b.uncles());
+        }
+        prop_assert_eq!(view.head(), tree.head(), "head mismatch");
+        prop_assert_eq!(view.head_number(), tree.head_number());
+        // Canonical hashes agree at every covered height.
+        for n in 0..=tree.head_number() {
+            prop_assert_eq!(view.canonical_hash(n), tree.canonical_hash(n));
+        }
+    }
+
+    /// Fork extraction partitions exactly the non-canonical blocks.
+    #[test]
+    fn forks_partition_non_canonical_blocks(plan in arb_growth_plan()) {
+        let blocks = build_blocks(&plan);
+        let mut tree = BlockTree::new();
+        for b in &blocks {
+            let _ = tree.insert(b.clone());
+        }
+        let fork_records = forks::extract_forks(&tree);
+        let in_forks: usize = fork_records.iter().map(|f| f.blocks.len()).sum();
+        let non_canonical = tree.non_canonical_blocks().count();
+        prop_assert_eq!(in_forks, non_canonical);
+        // No block appears in two forks.
+        let mut seen = std::collections::HashSet::new();
+        for f in &fork_records {
+            for h in &f.blocks {
+                prop_assert!(seen.insert(*h), "block {} in two forks", h);
+            }
+        }
+        // Census adds up.
+        let census = forks::census(&tree);
+        prop_assert_eq!(census.total() as usize, tree.len() - 1);
+    }
+
+    /// The miner sequence length always equals the canonical height, and
+    /// run-length extraction is consistent with it.
+    #[test]
+    fn miner_sequence_consistency(plan in arb_growth_plan()) {
+        let blocks = build_blocks(&plan);
+        let mut tree = BlockTree::new();
+        for b in &blocks {
+            let _ = tree.insert(b.clone());
+        }
+        let seq = forks::miner_sequence(&tree);
+        prop_assert_eq!(seq.len() as u64, tree.head_number());
+        let total_run_len: usize = runs::run_lengths(&seq).iter().map(|&(_, l)| l).sum();
+        prop_assert_eq!(total_run_len, seq.len());
+    }
+
+    /// Orphaned arrival orders converge to the same tree as in-order
+    /// arrival.
+    #[test]
+    fn arrival_order_does_not_change_consensus(
+        plan in arb_growth_plan(),
+        shuffle_seed in 0u64..1000,
+    ) {
+        let blocks = build_blocks(&plan);
+        let mut in_order = BlockTree::new();
+        for b in &blocks {
+            let out = in_order.insert(b.clone()).expect("valid block");
+            let attached = matches!(out, InsertOutcome::Attached { .. });
+            prop_assert!(attached);
+        }
+        // Shuffled arrival (orphan buffering must reconnect everything).
+        let mut rng = ethmeter::sim::Xoshiro256::seed_from_u64(shuffle_seed);
+        let mut shuffled = blocks.clone();
+        rng.shuffle(&mut shuffled);
+        let mut out_of_order = BlockTree::new();
+        for b in &shuffled {
+            let _ = out_of_order.insert(b.clone());
+        }
+        prop_assert_eq!(out_of_order.len(), in_order.len(), "lost blocks");
+        prop_assert_eq!(out_of_order.head_number(), in_order.head_number());
+        // Total difficulty of the head is identical (heads may differ only
+        // when two chains tie, since first-seen breaks ties).
+        prop_assert_eq!(
+            out_of_order.total_difficulty(out_of_order.head()),
+            in_order.total_difficulty(in_order.head())
+        );
+    }
+}
+
+#[test]
+fn uncle_selection_agrees_between_tree_and_view() {
+    // A fixed fork structure checked against both implementations.
+    let mut tree = BlockTree::new();
+    let mut view = HeaderView::new(tree.genesis_hash(), 128);
+    let g = tree.genesis_hash();
+    let mut main = Vec::new();
+    let mut parent = g;
+    for i in 0..5u64 {
+        let b = BlockBuilder::new(parent, i + 1, PoolId(0)).salt(i).build();
+        parent = b.hash();
+        main.push(b.clone());
+        view.insert(b.hash(), b.parent(), b.number(), b.miner(), &[]);
+        tree.insert(b).expect("main");
+    }
+    // Forks at heights 2 and 4 by another miner.
+    for (h, salt) in [(2u64, 100u64), (4, 101)] {
+        let fork_parent = main[(h - 2) as usize].hash();
+        let f = BlockBuilder::new(fork_parent, h, PoolId(1)).salt(salt).build();
+        view.insert(f.hash(), f.parent(), f.number(), f.miner(), &[]);
+        tree.insert(f).expect("fork");
+    }
+    let policy = ethmeter::chain::uncles::UnclePolicy::Standard;
+    let from_tree = ethmeter::chain::uncles::select_uncles(&tree, parent, policy);
+    let from_view = view.select_uncles(parent, policy);
+    assert_eq!(from_tree, from_view);
+    assert_eq!(from_tree.len(), 2);
+}
