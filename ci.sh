@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lint gates. Run from the repo root.
+set -euxo pipefail
+
+cargo build --release
+# Tier-1 is `cargo test -q` (the facade package); --workspace is a
+# superset, so running it alone avoids compiling the facade suites twice.
+cargo test --workspace -q
+cargo check --workspace --benches --examples
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --all --check

@@ -29,10 +29,7 @@ pub struct GeoReport {
 
 /// Computes Figure 2.
 pub fn geo(data: &CampaignData) -> GeoReport {
-    let names: Vec<String> = data
-        .main_observers()
-        .map(|(v, _)| v.name.clone())
-        .collect();
+    let names: Vec<String> = data.main_observers().map(|(v, _)| v.name.clone()).collect();
     let mut wins = vec![0u64; names.len()];
     let mut narrow_wins = vec![0u64; names.len()];
     let mut blocks = 0u64;
@@ -126,10 +123,7 @@ pub struct PoolReport {
 /// Computes Figure 3, keeping the `top_n` pools by hash share and folding
 /// the rest into a synthetic "Remaining" row.
 pub fn by_pool(data: &CampaignData, top_n: usize) -> PoolReport {
-    let vantages: Vec<String> = data
-        .main_observers()
-        .map(|(v, _)| v.name.clone())
-        .collect();
+    let vantages: Vec<String> = data.main_observers().map(|(v, _)| v.name.clone()).collect();
     // wins[pool][vantage], blocks[pool]
     let mut wins: HashMap<PoolId, Vec<u64>> = HashMap::new();
     let mut blocks: HashMap<PoolId, u64> = HashMap::new();
@@ -154,8 +148,7 @@ pub fn by_pool(data: &CampaignData, top_n: usize) -> PoolReport {
             .min_by_key(|&(_, t)| t)
             .expect("non-empty");
         let pool = block.miner();
-        wins.entry(pool)
-            .or_insert_with(|| vec![0; vantages.len()])[winner] += 1;
+        wins.entry(pool).or_insert_with(|| vec![0; vantages.len()])[winner] += 1;
         *blocks.entry(pool).or_default() += 1;
     }
     // Order pools by hash share descending; fold the tail.

@@ -169,8 +169,7 @@ mod tests {
                 );
             }
         }
-        data.observers
-            .push((VantagePoint::paper_redundancy(), log));
+        data.observers.push((VantagePoint::paper_redundancy(), log));
         data
     }
 

@@ -121,10 +121,7 @@ pub fn analyze_sequence(
                 .map_or(0, |(l, _)| l);
             PoolSequenceRow {
                 pool: PoolId(i as u16),
-                name: names
-                    .get(i)
-                    .cloned()
-                    .unwrap_or_else(|| format!("pool-{i}")),
+                name: names.get(i).cloned().unwrap_or_else(|| format!("pool-{i}")),
                 share: shares.get(i).copied().unwrap_or(0.0),
                 blocks: blocks[i],
                 runs: std::mem::take(&mut runs[i]),

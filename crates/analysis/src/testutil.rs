@@ -6,9 +6,7 @@ use ethmeter_chain::block::BlockBuilder;
 use ethmeter_chain::tree::BlockTree;
 use ethmeter_chain::tx::Transaction;
 use ethmeter_measure::{BlockMsgKind, CampaignData, GroundTruth, ObserverLog, VantagePoint};
-use ethmeter_types::{
-    AccountId, BlockHash, ByteSize, NodeId, PoolId, SimDuration, SimTime, TxId,
-};
+use ethmeter_types::{AccountId, BlockHash, ByteSize, NodeId, PoolId, SimDuration, SimTime, TxId};
 
 /// Number of canonical blocks the synthetic campaigns build.
 pub const BLOCKS: usize = 20;
@@ -96,7 +94,13 @@ pub fn campaign_with_block_spread_and_skew(
             let sealed = SimTime::ZERO + interblock() * (bi as u64 + 1);
             let true_arrival = sealed.offset_by(offsets_ms[oi] * 1_000_000);
             let local = true_arrival.offset_by(skew_ns[oi]);
-            log.record_block_msg(hash, BlockMsgKind::FullBlock, NodeId(1), local, true_arrival);
+            log.record_block_msg(
+                hash,
+                BlockMsgKind::FullBlock,
+                NodeId(1),
+                local,
+                true_arrival,
+            );
         }
         observers.push((v, log));
     }

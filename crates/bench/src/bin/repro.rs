@@ -96,8 +96,17 @@ fn main() -> ExitCode {
     let scenario = repro_scenario(args.preset, args.seed);
     let needs_campaign = matches!(
         args.experiment.as_str(),
-        "all" | "table1" | "fig1" | "table2" | "fig2" | "fig3" | "fig4" | "fig5" | "fig6"
-            | "table3" | "fig7"
+        "all"
+            | "table1"
+            | "fig1"
+            | "table2"
+            | "fig2"
+            | "fig3"
+            | "fig4"
+            | "fig5"
+            | "fig6"
+            | "table3"
+            | "fig7"
     );
     let campaign_and_suite = needs_campaign.then(|| run_suite(&scenario));
 

@@ -255,10 +255,7 @@ mod tests {
             .build();
         assert!(empty.is_empty());
         assert_eq!(empty.size().as_bytes(), HEADER_BYTES);
-        assert_eq!(
-            full.size().as_bytes(),
-            HEADER_BYTES + 100 * TX_BYTES
-        );
+        assert_eq!(full.size().as_bytes(), HEADER_BYTES + 100 * TX_BYTES);
         assert!(full.size() > empty.size());
     }
 
@@ -297,7 +294,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at most")]
     fn too_many_uncles_rejected() {
-        let _ = BlockBuilder::new(BlockHash(1), 2, PoolId(0))
-            .uncles(vec![BlockHash(1), BlockHash(2), BlockHash(3)]);
+        let _ = BlockBuilder::new(BlockHash(1), 2, PoolId(0)).uncles(vec![
+            BlockHash(1),
+            BlockHash(2),
+            BlockHash(3),
+        ]);
     }
 }

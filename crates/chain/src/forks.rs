@@ -173,7 +173,10 @@ pub fn one_miner_groups(tree: &BlockTree) -> Vec<OneMinerGroup> {
         if b.number() == 0 {
             continue;
         }
-        by_key.entry((b.miner(), b.number())).or_default().push(b.hash());
+        by_key
+            .entry((b.miner(), b.number()))
+            .or_default()
+            .push(b.hash());
     }
     let mut groups: Vec<OneMinerGroup> = by_key
         .into_iter()
@@ -209,10 +212,7 @@ pub fn one_miner_groups(tree: &BlockTree) -> Vec<OneMinerGroup> {
 }
 
 fn sorted_txs(tree: &BlockTree, hash: BlockHash) -> Vec<ethmeter_types::TxId> {
-    let mut txs = tree
-        .get(hash)
-        .map(|b| b.txs().to_vec())
-        .unwrap_or_default();
+    let mut txs = tree.get(hash).map(|b| b.txs().to_vec()).unwrap_or_default();
     txs.sort_unstable();
     txs
 }

@@ -6,7 +6,7 @@
 //! include out-of-order transactions in a block until they receive all
 //! foregoing transactions" (§III-C2).
 
-use ethmeter_types::{AccountId, ByteSize, Gas, Nonce, NodeId, SimTime, TxId};
+use ethmeter_types::{AccountId, ByteSize, Gas, NodeId, Nonce, SimTime, TxId};
 
 /// A transaction as seen by the network layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

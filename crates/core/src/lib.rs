@@ -11,6 +11,9 @@
 //!   gateways, the transaction workload, and the instrumented observers;
 //! - [`runner`]: one-call campaign execution returning
 //!   [`ethmeter_measure::CampaignData`];
+//! - [`sweep`]: parallel multi-seed (and multi-variant) fan-out of one
+//!   scenario onto thread workers, with per-seed results bit-identical to
+//!   sequential [`runner::run_campaign`] calls;
 //! - [`chainonly`]: the fast block-sequence simulator for month- and
 //!   chain-lifetime-scale sequence analyses (Figure 7, §III-D);
 //! - [`experiments`]: one function per table/figure, shared by the
@@ -33,10 +36,12 @@ pub mod chainonly;
 pub mod experiments;
 pub mod runner;
 pub mod scenario;
+pub mod sweep;
 pub mod world;
 
 pub use runner::{run_campaign, CampaignOutcome};
 pub use scenario::{Preset, Scenario, ScenarioBuilder};
+pub use sweep::{Sweep, SweepOutcome, SweepRun};
 pub use world::{RunStats, SimWorld};
 
 // Re-export the sub-crates under their natural names so downstream users
@@ -58,6 +63,7 @@ pub mod prelude {
     pub use crate::chainonly::{run_chain_only, ChainOnlyConfig};
     pub use crate::runner::{run_campaign, CampaignOutcome};
     pub use crate::scenario::{Preset, Scenario};
+    pub use crate::sweep::{Sweep, SweepOutcome, SweepRun};
     pub use crate::{analysis, chain, geo, measure, mining, net, sim, stats, types, workload};
     pub use ethmeter_measure::CampaignData;
     pub use ethmeter_types::{Region, SimDuration, SimTime};

@@ -77,9 +77,6 @@ mod tests {
         let b = run_campaign(&scenario);
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.events, b.events);
-        assert_eq!(
-            a.campaign.truth.tree.head(),
-            b.campaign.truth.tree.head()
-        );
+        assert_eq!(a.campaign.truth.tree.head(), b.campaign.truth.tree.head());
     }
 }

@@ -190,17 +190,14 @@ impl ScenarioBuilder {
     /// Finalizes the scenario.
     pub fn build(self) -> Scenario {
         let (nodes, duration, rate, mut net) = match self.preset {
-            Preset::Tiny => (
-                60,
-                SimDuration::from_mins(20),
-                0.5,
-                NetConfig::default(),
-            ),
+            Preset::Tiny => (60, SimDuration::from_mins(20), 0.5, NetConfig::default()),
             Preset::Small => (150, SimDuration::from_hours(2), 1.0, NetConfig::default()),
             Preset::Medium => (400, SimDuration::from_hours(8), 2.0, NetConfig::default()),
             Preset::PaperScaled => {
-                let mut cfg = NetConfig::default();
-                cfg.tx_relay = ethmeter_net::TxRelayPolicy::Sqrt;
+                let cfg = NetConfig {
+                    tx_relay: ethmeter_net::TxRelayPolicy::Sqrt,
+                    ..NetConfig::default()
+                };
                 (800, SimDuration::from_hours(24), 4.0, cfg)
             }
         };
@@ -210,13 +207,13 @@ impl ScenarioBuilder {
         if let Some(n) = self.net {
             net = n;
         }
-        net.observer_peer_target = net.observer_peer_target.min(ordinary.saturating_sub(1).max(8));
+        net.observer_peer_target = net
+            .observer_peer_target
+            .min(ordinary.saturating_sub(1).max(8));
 
         let rate = self.workload_rate.unwrap_or(rate);
         let workload = WorkloadConfig::default().with_rate(rate);
-        let interblock = self
-            .interblock
-            .unwrap_or(SimDuration::from_secs_f64(13.3));
+        let interblock = self.interblock.unwrap_or(SimDuration::from_secs_f64(13.3));
         // Hold utilization near the paper's ~80% block fullness. Scaled
         // blocks hold far fewer transactions than mainnet's ~130-slot
         // capacity, so queueing delay at equal utilization is shorter

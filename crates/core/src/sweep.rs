@@ -1,0 +1,329 @@
+//! Parallel multi-seed campaign sweeps.
+//!
+//! The paper's statistical claims (and the follow-up literature it cites)
+//! rest on *many independent campaigns*: the same scenario re-run from
+//! different seeds, and optionally under perturbed parameters, so that
+//! reported numbers come with run-to-run spread instead of a single
+//! sample. [`Sweep`] is that methodology as an API: it fans one
+//! [`Scenario`] out across a seed axis (and an optional variant axis) onto
+//! `std::thread` workers and collects every [`CampaignOutcome`] plus
+//! aggregate counters.
+//!
+//! Each job is an independent [`run_campaign`] call on its own scenario
+//! clone, so per-seed results are **bit-identical** to running the same
+//! scenario sequentially — the worker count only changes wall-clock time,
+//! never output. [`run_campaign`] remains the single-campaign fast path;
+//! a sweep of one seed adds only thread-spawn overhead.
+//!
+//! # Example
+//!
+//! ```
+//! use ethmeter_core::prelude::*;
+//! use ethmeter_core::sweep::Sweep;
+//!
+//! let base = Scenario::builder()
+//!     .preset(Preset::Tiny)
+//!     .duration(SimDuration::from_mins(2))
+//!     .build();
+//! let sweep = Sweep::new(base).seed_range(1, 4).threads(2).run();
+//! assert_eq!(sweep.runs.len(), 4);
+//! assert!(sweep.totals.blocks_produced > 0);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use ethmeter_types::BlockHash;
+
+use crate::runner::{run_campaign, CampaignOutcome};
+use crate::scenario::Scenario;
+use crate::world::RunStats;
+
+/// A scenario transform forming one point on the variant axis.
+type VariantFn = Box<dyn Fn(Scenario) -> Scenario + Send + Sync>;
+
+/// A multi-seed (and optionally multi-variant) campaign sweep.
+///
+/// Built fluently from a base [`Scenario`]; [`Sweep::run`] executes the
+/// full seed × variant grid and returns a [`SweepOutcome`].
+pub struct Sweep {
+    base: Scenario,
+    seeds: Vec<u64>,
+    threads: usize,
+    variants: Vec<(String, VariantFn)>,
+}
+
+impl Sweep {
+    /// Starts a sweep over `base`. With no further configuration the
+    /// sweep runs the base scenario's own seed once.
+    pub fn new(base: Scenario) -> Self {
+        Sweep {
+            base,
+            seeds: Vec::new(),
+            threads: 0,
+            variants: Vec::new(),
+        }
+    }
+
+    /// Sets the seed axis explicitly.
+    pub fn seeds<I: IntoIterator<Item = u64>>(mut self, seeds: I) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the seed axis to `first, first+1, ..., first+count-1`.
+    pub fn seed_range(self, first: u64, count: usize) -> Self {
+        self.seeds((0..count as u64).map(|i| first + i))
+    }
+
+    /// Caps the worker threads. `0` (the default) means one worker per
+    /// available CPU; the effective count never exceeds the job count.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Adds a point on the variant axis: `transform` is applied to a
+    /// clone of the base scenario (before seeding), and every seed runs
+    /// once per variant. With no variants the base scenario itself is the
+    /// single (unlabelled) variant.
+    pub fn variant<F>(mut self, label: impl Into<String>, transform: F) -> Self
+    where
+        F: Fn(Scenario) -> Scenario + Send + Sync + 'static,
+    {
+        self.variants.push((label.into(), Box::new(transform)));
+        self
+    }
+
+    /// The number of campaigns [`Sweep::run`] will execute.
+    pub fn job_count(&self) -> usize {
+        self.seeds.len().max(1) * self.variants.len().max(1)
+    }
+
+    /// Runs the whole grid and collects the outcomes.
+    ///
+    /// Jobs are distributed over the workers by an atomic counter, but
+    /// results are returned in grid order (variant-major, then seed), so
+    /// the output is independent of scheduling. Panics if a worker
+    /// panics.
+    pub fn run(&self) -> SweepOutcome {
+        let seeds: &[u64] = if self.seeds.is_empty() {
+            std::slice::from_ref(&self.base.seed)
+        } else {
+            &self.seeds
+        };
+        // Materialize the grid up front: (variant label, seeded scenario).
+        let mut jobs: Vec<(Option<String>, Scenario)> = Vec::with_capacity(self.job_count());
+        if self.variants.is_empty() {
+            for &seed in seeds {
+                let mut s = self.base.clone();
+                s.seed = seed;
+                jobs.push((None, s));
+            }
+        } else {
+            for (label, transform) in &self.variants {
+                let varied = transform(self.base.clone());
+                for &seed in seeds {
+                    let mut s = varied.clone();
+                    s.seed = seed;
+                    jobs.push((Some(label.clone()), s));
+                }
+            }
+        }
+
+        let threads = self.effective_threads(jobs.len());
+        let next = AtomicUsize::new(0);
+        let mut results: Vec<Option<SweepRun>> = (0..jobs.len()).map(|_| None).collect();
+        thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some((variant, scenario)) = jobs.get(i) else {
+                                break;
+                            };
+                            mine.push((
+                                i,
+                                SweepRun {
+                                    seed: scenario.seed,
+                                    variant: variant.clone(),
+                                    outcome: run_campaign(scenario),
+                                },
+                            ));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, run) in handle.join().expect("sweep worker panicked") {
+                    results[i] = Some(run);
+                }
+            }
+        });
+
+        let runs: Vec<SweepRun> = results
+            .into_iter()
+            .map(|r| r.expect("every job produced a result"))
+            .collect();
+        let mut totals = RunStats::default();
+        let mut events = 0;
+        for run in &runs {
+            totals.merge(&run.outcome.stats);
+            events += run.outcome.events;
+        }
+        SweepOutcome {
+            runs,
+            totals,
+            events,
+            threads_used: threads,
+        }
+    }
+
+    fn effective_threads(&self, jobs: usize) -> usize {
+        let auto = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let cap = if self.threads == 0 {
+            auto
+        } else {
+            self.threads
+        };
+        cap.clamp(1, jobs.max(1))
+    }
+}
+
+impl std::fmt::Debug for Sweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sweep")
+            .field("seeds", &self.seeds)
+            .field("threads", &self.threads)
+            .field(
+                "variants",
+                &self.variants.iter().map(|(l, _)| l).collect::<Vec<_>>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+/// One completed campaign of a sweep.
+#[derive(Debug)]
+pub struct SweepRun {
+    /// The seed this campaign ran with.
+    pub seed: u64,
+    /// The variant label, when a variant axis was configured.
+    pub variant: Option<String>,
+    /// The full campaign result, identical to a sequential
+    /// [`run_campaign`] of the same scenario.
+    pub outcome: CampaignOutcome,
+}
+
+/// Everything a [`Sweep`] produced.
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-campaign results in grid order (variant-major, then seed).
+    pub runs: Vec<SweepRun>,
+    /// Field-wise sum of every campaign's [`RunStats`].
+    pub totals: RunStats,
+    /// Total events processed across all campaigns.
+    pub events: u64,
+    /// Worker threads actually used.
+    pub threads_used: usize,
+}
+
+impl SweepOutcome {
+    /// Per-run `(seed, canonical head)` pairs, in grid order.
+    pub fn heads(&self) -> Vec<(u64, BlockHash)> {
+        self.runs
+            .iter()
+            .map(|r| (r.seed, r.outcome.campaign.truth.tree.head()))
+            .collect()
+    }
+
+    /// The number of distinct canonical heads across all runs.
+    pub fn distinct_heads(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|r| r.outcome.campaign.truth.tree.head())
+            .collect::<std::collections::HashSet<_>>()
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Preset;
+    use ethmeter_types::SimDuration;
+
+    fn base() -> Scenario {
+        Scenario::builder()
+            .preset(Preset::Tiny)
+            .duration(SimDuration::from_mins(2))
+            .build()
+    }
+
+    #[test]
+    fn sweep_defaults_to_base_seed() {
+        let scenario = base();
+        let seed = scenario.seed;
+        let sweep = Sweep::new(scenario).threads(1).run();
+        assert_eq!(sweep.runs.len(), 1);
+        assert_eq!(sweep.runs[0].seed, seed);
+        assert_eq!(sweep.threads_used, 1);
+    }
+
+    #[test]
+    fn grid_order_and_totals() {
+        let sweep = Sweep::new(base()).seeds([5, 6, 7]).threads(2).run();
+        assert_eq!(
+            sweep.runs.iter().map(|r| r.seed).collect::<Vec<_>>(),
+            vec![5, 6, 7]
+        );
+        let mut expected = RunStats::default();
+        let mut events = 0;
+        for run in &sweep.runs {
+            expected.merge(&run.outcome.stats);
+            events += run.outcome.events;
+        }
+        assert_eq!(sweep.totals, expected);
+        assert_eq!(sweep.events, events);
+        assert!(sweep.totals.blocks_produced > 0);
+    }
+
+    #[test]
+    fn variants_multiply_the_grid() {
+        let sweep = Sweep::new(base())
+            .seeds([1, 2])
+            .threads(2)
+            .variant("fast-blocks", |s| Scenario {
+                interblock: SimDuration::from_secs(8),
+                ..s
+            })
+            .variant("slow-blocks", |s| Scenario {
+                interblock: SimDuration::from_secs(20),
+                ..s
+            })
+            .run();
+        assert_eq!(sweep.runs.len(), 4);
+        let labels: Vec<_> = sweep.runs.iter().map(|r| r.variant.as_deref()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                Some("fast-blocks"),
+                Some("fast-blocks"),
+                Some("slow-blocks"),
+                Some("slow-blocks")
+            ]
+        );
+        // More frequent blocks ⇒ higher head for the same seed/duration.
+        let head_number = |i: usize| sweep.runs[i].outcome.campaign.truth.tree.head_number();
+        assert!(head_number(0) > head_number(2));
+    }
+
+    #[test]
+    fn thread_cap_never_exceeds_jobs() {
+        let sweep = Sweep::new(base()).seeds([9]).threads(16).run();
+        assert_eq!(sweep.threads_used, 1);
+    }
+}

@@ -101,6 +101,18 @@ pub struct RunStats {
     pub imports: u64,
 }
 
+impl RunStats {
+    /// Field-wise accumulation, used to aggregate sweeps of campaigns.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.blocks_produced += other.blocks_produced;
+        self.duplicates_produced += other.duplicates_produced;
+        self.txs_submitted += other.txs_submitted;
+        self.imports += other.imports;
+    }
+}
+
 #[derive(Debug, Clone)]
 struct DupState {
     parent: BlockHash,
@@ -269,9 +281,7 @@ impl SimWorld {
         let topo = Topology::random_with_constraint(
             &DegreePlan { targets, caps },
             &mut rng_topo,
-            |a, b| {
-                !((is_observer(a) && is_gateway(b)) || (is_observer(b) && is_gateway(a)))
-            },
+            |a, b| !((is_observer(a) && is_gateway(b)) || (is_observer(b) && is_gateway(a))),
         );
 
         let truth = BlockTree::new();
@@ -434,7 +444,9 @@ impl SimWorld {
             let (to_region, to_bw) = self.node_meta[send.to.index()];
             let delay = self.net.proc_overhead
                 + from_bw.transfer_time(size)
-                + self.latency.sample(&mut self.rng_latency, from_region, to_region)
+                + self
+                    .latency
+                    .sample(&mut self.rng_latency, from_region, to_region)
                 + to_bw.transfer_time(size);
             self.stats.bytes += size.as_bytes();
             sched.after(
@@ -670,7 +682,10 @@ impl SimWorld {
                 let sends = self.nodes[to.index()].on_announce(from, &hashes);
                 for s in &sends {
                     if let Message::GetBlock(h) = s.msg {
-                        sched.after(self.net.fetch_timeout, Event::FetchTimeout { node: to, hash: h });
+                        sched.after(
+                            self.net.fetch_timeout,
+                            Event::FetchTimeout { node: to, hash: h },
+                        );
                     }
                 }
                 self.dispatch_sends(to, sends, sched);
@@ -787,12 +802,7 @@ impl SimWorld {
         };
         let sends = {
             let tx = &self.txs[&id];
-            self.nodes[origin.index()].on_transactions(
-                None,
-                &[tx],
-                &self.net,
-                &mut self.rng_net,
-            )
+            self.nodes[origin.index()].on_transactions(None, &[tx], &self.net, &mut self.rng_net)
         };
         self.dispatch_sends(origin, sends, sched);
     }

@@ -1,0 +1,142 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! renames this crate to `criterion` (see the root
+//! `[workspace.dependencies]`) and the benches in `crates/bench/benches/`
+//! compile and run unchanged. The shim implements the API surface those
+//! benches use — [`Criterion::benchmark_group`], [`BenchmarkGroup`]'s
+//! `sample_size`/`bench_function`/`finish`, [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — and reports
+//! wall-clock per-iteration medians. It is a measurement harness, not a
+//! statistics engine: there is no outlier analysis, plotting, or saved
+//! baselines.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            samples: 20,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.default_samples(), f);
+        self
+    }
+
+    fn default_samples(&self) -> u32 {
+        20
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    samples: u32,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2) as u32;
+        self
+    }
+
+    /// Runs one benchmark and prints its per-iteration median.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.samples, f);
+        self
+    }
+
+    /// Ends the group (output-only in the shim).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: u32, mut f: F) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples as usize),
+    };
+    // One warm-up sample, discarded.
+    f(&mut bencher);
+    bencher.samples.clear();
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    bencher.samples.sort_unstable();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    println!("  {name}: median {median:?} over {samples} samples");
+}
+
+/// Times closures; one [`Bencher::iter`] call records one sample.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (criterion runs many iterations
+    /// per sample; the shim records a single-iteration sample).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        drop(out);
+    }
+}
+
+/// Declares a benchmark group runner (shim for `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` (shim for `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_benches_run() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.bench_function("count", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        // 3 samples + 1 warm-up.
+        assert_eq!(runs, 4);
+    }
+}

@@ -85,7 +85,7 @@ impl ClockSkew {
     pub fn read(&mut self, now: SimTime, rng: &mut Xoshiro256) -> SimTime {
         while now >= self.next_repoll {
             self.current_offset_nanos = self.model.sample_offset_nanos(rng);
-            self.next_repoll = self.next_repoll + self.model.repoll;
+            self.next_repoll += self.model.repoll;
         }
         now.offset_by(self.current_offset_nanos)
     }

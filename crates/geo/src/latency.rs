@@ -18,14 +18,14 @@ use ethmeter_types::{Region, SimDuration};
 /// The matrix is symmetric; the diagonal is the intra-region delay.
 const BASE_ONE_WAY_MS: [[f64; Region::COUNT]; Region::COUNT] = [
     //  NA     EA     WE     CE     EE     SA     SAm    OC
-    [ 18.0,  75.0,  42.0,  50.0,  60.0,  95.0,  65.0,  80.0], // NA
-    [ 75.0,  14.0,  95.0, 100.0,  85.0,  45.0, 140.0,  60.0], // EA
-    [ 42.0,  95.0,   8.0,  12.0,  25.0,  70.0,  95.0, 130.0], // WE
-    [ 50.0, 100.0,  12.0,   9.0,  18.0,  65.0, 105.0, 135.0], // CE
-    [ 60.0,  85.0,  25.0,  18.0,  15.0,  55.0, 115.0, 120.0], // EE
-    [ 95.0,  45.0,  70.0,  65.0,  55.0,  20.0, 160.0,  75.0], // SA
-    [ 65.0, 140.0,  95.0, 105.0, 115.0, 160.0,  22.0, 150.0], // SAm
-    [ 80.0,  60.0, 130.0, 135.0, 120.0,  75.0, 150.0,  16.0], // OC
+    [18.0, 75.0, 42.0, 50.0, 60.0, 95.0, 65.0, 80.0], // NA
+    [75.0, 14.0, 95.0, 100.0, 85.0, 45.0, 140.0, 60.0], // EA
+    [42.0, 95.0, 8.0, 12.0, 25.0, 70.0, 95.0, 130.0], // WE
+    [50.0, 100.0, 12.0, 9.0, 18.0, 65.0, 105.0, 135.0], // CE
+    [60.0, 85.0, 25.0, 18.0, 15.0, 55.0, 115.0, 120.0], // EE
+    [95.0, 45.0, 70.0, 65.0, 55.0, 20.0, 160.0, 75.0], // SA
+    [65.0, 140.0, 95.0, 105.0, 115.0, 160.0, 22.0, 150.0], // SAm
+    [80.0, 60.0, 130.0, 135.0, 120.0, 75.0, 150.0, 16.0], // OC
 ];
 
 /// Samples one-way network delays between regions.
@@ -59,11 +59,11 @@ impl LatencyModel {
     ///
     /// Panics if any entry is negative or the matrix is not symmetric.
     pub fn with_base_matrix(mut self, base_ms: [[f64; Region::COUNT]; Region::COUNT]) -> Self {
-        for i in 0..Region::COUNT {
-            for j in 0..Region::COUNT {
-                assert!(base_ms[i][j] >= 0.0, "negative base delay");
+        for (i, row) in base_ms.iter().enumerate() {
+            for (j, &delay) in row.iter().enumerate() {
+                assert!(delay >= 0.0, "negative base delay");
                 assert!(
-                    (base_ms[i][j] - base_ms[j][i]).abs() < 1e-9,
+                    (delay - base_ms[j][i]).abs() < 1e-9,
                     "latency matrix must be symmetric"
                 );
             }
@@ -177,7 +177,8 @@ mod tests {
     fn scaling_scales_base() {
         let m = LatencyModel::default().scaled(2.0);
         assert_eq!(
-            m.base(Region::NorthAmerica, Region::EasternAsia).as_millis(),
+            m.base(Region::NorthAmerica, Region::EasternAsia)
+                .as_millis(),
             150
         );
     }

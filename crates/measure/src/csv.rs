@@ -56,7 +56,8 @@ impl std::fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-const BLOCK_HEADER: &str = "hash,first_local_ns,first_true_ns,first_kind,first_from,announces,full_blocks";
+const BLOCK_HEADER: &str =
+    "hash,first_local_ns,first_true_ns,first_kind,first_from,announces,full_blocks";
 const TX_HEADER: &str = "tx,first_local_ns,first_true_ns,from,arrival_seq";
 
 fn kind_tag(kind: BlockMsgKind) -> &'static str {
@@ -214,8 +215,18 @@ mod tests {
             SimTime::from_nanos(900),
             SimTime::from_nanos(800),
         );
-        log.record_tx(TxId(42), NodeId(1), SimTime::from_nanos(10), SimTime::from_nanos(12));
-        log.record_tx(TxId(43), NodeId(2), SimTime::from_nanos(20), SimTime::from_nanos(22));
+        log.record_tx(
+            TxId(42),
+            NodeId(1),
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(12),
+        );
+        log.record_tx(
+            TxId(43),
+            NodeId(2),
+            SimTime::from_nanos(20),
+            SimTime::from_nanos(22),
+        );
         log
     }
 
@@ -250,7 +261,9 @@ mod tests {
     fn parse_errors_are_precise() {
         let bad_shape = "hash,first_local_ns,first_true_ns,first_kind,first_from,announces,full_blocks\n1,2,3\n";
         match blocks_from_csv(bad_shape) {
-            Err(ParseError::BadShape { line: 2, got: 3, .. }) => {}
+            Err(ParseError::BadShape {
+                line: 2, got: 3, ..
+            }) => {}
             other => panic!("{other:?}"),
         }
         let bad_kind = format!("{BLOCK_HEADER}\n1,2,3,zzz,4,5,6\n");
@@ -260,7 +273,10 @@ mod tests {
         );
         let bad_field = format!("{TX_HEADER}\nxx,2,3,4,5\n");
         match txs_from_csv(&bad_field) {
-            Err(ParseError::BadField { line: 2, field: "tx" }) => {}
+            Err(ParseError::BadField {
+                line: 2,
+                field: "tx",
+            }) => {}
             other => panic!("{other:?}"),
         }
     }
@@ -270,7 +286,9 @@ mod tests {
         let log = ObserverLog::new();
         assert_eq!(blocks_to_csv(&log).lines().count(), 1);
         assert_eq!(txs_to_csv(&log).lines().count(), 1);
-        assert!(blocks_from_csv(&blocks_to_csv(&log)).expect("ok").is_empty());
+        assert!(blocks_from_csv(&blocks_to_csv(&log))
+            .expect("ok")
+            .is_empty());
     }
 
     #[test]

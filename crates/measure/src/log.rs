@@ -213,7 +213,13 @@ mod tests {
         let mut log = ObserverLog::new();
         let h = BlockHash(3);
         for i in 0..7 {
-            log.record_block_msg(h, BlockMsgKind::FullBlock, NodeId(i), t(i as u64), t(i as u64));
+            log.record_block_msg(
+                h,
+                BlockMsgKind::FullBlock,
+                NodeId(i),
+                t(i as u64),
+                t(i as u64),
+            );
         }
         for i in 0..3 {
             log.record_block_msg(h, BlockMsgKind::Announce, NodeId(10 + i), t(50), t(50));

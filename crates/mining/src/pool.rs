@@ -193,7 +193,11 @@ impl PoolDirectory {
         add(
             "Nanopool",
             12.10,
-            vec![(CentralEurope, 0.5), (WesternEurope, 0.3), (EasternEurope, 0.2)],
+            vec![
+                (CentralEurope, 0.5),
+                (WesternEurope, 0.3),
+                (EasternEurope, 0.2),
+            ],
             2,
             // The paper singles Nanopool out as having mined no empty
             // blocks at all.
@@ -415,7 +419,10 @@ mod tests {
         assert!((spark.share - 0.2288).abs() < 1e-9);
         // Nanopool and Miningpoolhub never mine empty blocks (Figure 6).
         assert_eq!(
-            d.by_name("Nanopool").expect("present").strategy.empty_block_prob,
+            d.by_name("Nanopool")
+                .expect("present")
+                .strategy
+                .empty_block_prob,
             0.0
         );
         assert_eq!(
@@ -426,7 +433,13 @@ mod tests {
             0.0
         );
         // Zhizhu's headline rate.
-        assert!(d.by_name("Zhizhu").expect("present").strategy.empty_block_prob > 0.25);
+        assert!(
+            d.by_name("Zhizhu")
+                .expect("present")
+                .strategy
+                .empty_block_prob
+                > 0.25
+        );
         // Aggregate empty-block fraction ~ 1.45% (paper §III-C3).
         let agg: f64 = d
             .iter()

@@ -359,7 +359,12 @@ mod tests {
         BlockHash::mix(n)
     }
 
-    fn linear(view: &mut HeaderView, from: BlockHash, start: BlockNumber, n: u64) -> Vec<BlockHash> {
+    fn linear(
+        view: &mut HeaderView,
+        from: BlockHash,
+        start: BlockNumber,
+        n: u64,
+    ) -> Vec<BlockHash> {
         let mut out = Vec::new();
         let mut parent = from;
         for i in 0..n {
@@ -387,18 +392,13 @@ mod tests {
     fn side_chain_and_reorg() {
         let g = h(0);
         let mut v = HeaderView::new(g, 64);
-        let a = linear(&mut v, g, 1, 2); // a1, a2
+        // a1, a2
+        let a = linear(&mut v, g, 1, 2);
         // Fork from genesis.
         let b1 = h(501);
-        assert_eq!(
-            v.insert(b1, g, 1, PoolId(1), &[]),
-            HeaderInsert::SideChain
-        );
+        assert_eq!(v.insert(b1, g, 1, PoolId(1), &[]), HeaderInsert::SideChain);
         let b2 = h(502);
-        assert_eq!(
-            v.insert(b2, b1, 2, PoolId(1), &[]),
-            HeaderInsert::SideChain
-        );
+        assert_eq!(v.insert(b2, b1, 2, PoolId(1), &[]), HeaderInsert::SideChain);
         let b3 = h(503);
         assert_eq!(
             v.insert(b3, b2, 3, PoolId(1), &[]),
@@ -415,14 +415,8 @@ mod tests {
         let mut v = HeaderView::new(g, 64);
         let c1 = h(1);
         let c2 = h(2);
-        assert_eq!(
-            v.insert(c2, c1, 2, PoolId(0), &[]),
-            HeaderInsert::Orphaned
-        );
-        assert_eq!(
-            v.insert(c2, c1, 2, PoolId(0), &[]),
-            HeaderInsert::Duplicate
-        );
+        assert_eq!(v.insert(c2, c1, 2, PoolId(0), &[]), HeaderInsert::Orphaned);
+        assert_eq!(v.insert(c2, c1, 2, PoolId(0), &[]), HeaderInsert::Duplicate);
         let r = v.insert(c1, g, 1, PoolId(0), &[]);
         assert_eq!(r, HeaderInsert::NewHead { reorged: false });
         assert_eq!(v.head(), c2);
@@ -469,10 +463,7 @@ mod tests {
         // From head at 7, a new block at 8 has gap 7 to f1: too deep.
         assert!(v.select_uncles(main[6], UnclePolicy::Standard).is_empty());
         // From the block at height 6 (new number 7, gap 6): valid.
-        assert_eq!(
-            v.select_uncles(main[5], UnclePolicy::Standard),
-            vec![f1]
-        );
+        assert_eq!(v.select_uncles(main[5], UnclePolicy::Standard), vec![f1]);
     }
 
     #[test]
@@ -482,10 +473,7 @@ mod tests {
         let main = linear(&mut v, g, 1, 1); // miner 0 at height 1
         let dup = h(700);
         v.insert(dup, g, 1, PoolId(0), &[]); // same miner duplicate
-        assert_eq!(
-            v.select_uncles(main[0], UnclePolicy::Standard),
-            vec![dup]
-        );
+        assert_eq!(v.select_uncles(main[0], UnclePolicy::Standard), vec![dup]);
         assert!(v
             .select_uncles(main[0], UnclePolicy::ForbidSameMinerHeight)
             .is_empty());

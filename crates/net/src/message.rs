@@ -44,9 +44,7 @@ impl Message {
             Message::Announce(hashes) => hashes.len() as u64 * ANNOUNCE_ENTRY_BYTES,
             Message::NewBlock(h) | Message::BlockBody(h) => block_size(*h).as_bytes(),
             Message::GetBlock(_) => ANNOUNCE_ENTRY_BYTES,
-            Message::Transactions(txs) => {
-                txs.iter().map(|&t| tx_size(t).as_bytes()).sum::<u64>()
-            }
+            Message::Transactions(txs) => txs.iter().map(|&t| tx_size(t).as_bytes()).sum::<u64>(),
         };
         ByteSize::from_bytes(MSG_OVERHEAD_BYTES + payload)
     }
@@ -84,12 +82,9 @@ mod tests {
     #[test]
     fn batched_announcements_scale() {
         let one = Message::Announce(vec![BlockHash(1)]).size(fixed_block, fixed_tx);
-        let three =
-            Message::Announce(vec![BlockHash(1), BlockHash(2), BlockHash(3)]).size(fixed_block, fixed_tx);
-        assert_eq!(
-            three.as_bytes() - one.as_bytes(),
-            2 * ANNOUNCE_ENTRY_BYTES
-        );
+        let three = Message::Announce(vec![BlockHash(1), BlockHash(2), BlockHash(3)])
+            .size(fixed_block, fixed_tx);
+        assert_eq!(three.as_bytes() - one.as_bytes(), 2 * ANNOUNCE_ENTRY_BYTES);
     }
 
     #[test]

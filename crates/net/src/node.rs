@@ -419,7 +419,11 @@ impl Node {
                     .peer_known_txs
                     .get(&peer)
                     .expect("connected peers have known-sets");
-                fresh.iter().copied().filter(|&t| !known.contains(t)).collect()
+                fresh
+                    .iter()
+                    .copied()
+                    .filter(|&t| !known.contains(t))
+                    .collect()
             };
             if unknown.is_empty() {
                 continue;
@@ -678,8 +682,7 @@ mod tests {
         n.on_transactions(None, &[&tx0], &c, &mut rng());
         assert_eq!(n.mempool().expect("enabled").len(), 1);
 
-        let (parent, number, uncles, txs) =
-            n.mine_template(UnclePolicy::Standard, 8_000_000);
+        let (parent, number, uncles, txs) = n.mine_template(UnclePolicy::Standard, 8_000_000);
         assert_eq!(parent, genesis());
         assert_eq!(number, 1);
         assert!(uncles.is_empty());

@@ -63,17 +63,19 @@ impl Topology {
         let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let mut edges: HashSet<(u32, u32)> = HashSet::new();
 
-        let add_edge =
-            |a: usize, b: usize, adjacency: &mut Vec<Vec<NodeId>>, edges: &mut HashSet<(u32, u32)>| {
-                let key = (a.min(b) as u32, a.max(b) as u32);
-                if a == b || edges.contains(&key) {
-                    return false;
-                }
-                edges.insert(key);
-                adjacency[a].push(NodeId(b as u32));
-                adjacency[b].push(NodeId(a as u32));
-                true
-            };
+        let add_edge = |a: usize,
+                        b: usize,
+                        adjacency: &mut Vec<Vec<NodeId>>,
+                        edges: &mut HashSet<(u32, u32)>| {
+            let key = (a.min(b) as u32, a.max(b) as u32);
+            if a == b || edges.contains(&key) {
+                return false;
+            }
+            edges.insert(key);
+            adjacency[a].push(NodeId(b as u32));
+            adjacency[b].push(NodeId(a as u32));
+            true
+        };
 
         // Dial in random node order so no node systematically fills first.
         let mut order: Vec<usize> = (0..n).collect();
@@ -273,18 +275,13 @@ mod tests {
         // Nodes 0..5 may not connect to nodes 45..50 (hidden gateways).
         let hidden = |v: usize| (45..50).contains(&v);
         let observer = |v: usize| v < 5;
-        let topo = Topology::random_with_constraint(
-            &uniform_plan(50, 8, 25),
-            &mut rng,
-            |a, b| !((observer(a) && hidden(b)) || (observer(b) && hidden(a))),
-        );
+        let topo = Topology::random_with_constraint(&uniform_plan(50, 8, 25), &mut rng, |a, b| {
+            !((observer(a) && hidden(b)) || (observer(b) && hidden(a)))
+        });
         assert!(topo.is_connected());
         for o in 0..5u32 {
             for &n in topo.neighbors(NodeId(o)) {
-                assert!(
-                    !hidden(n.index()),
-                    "observer {o} connected to hidden {n}"
-                );
+                assert!(!hidden(n.index()), "observer {o} connected to hidden {n}");
             }
         }
     }

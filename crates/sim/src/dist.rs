@@ -306,7 +306,10 @@ mod tests {
         let (mean, var) = mean_and_var(&samples);
         assert!((mean - 13.3).abs() < 0.15, "mean {mean}");
         // Var = mean^2 for exponential.
-        assert!((var - 13.3 * 13.3).abs() / (13.3 * 13.3) < 0.05, "var {var}");
+        assert!(
+            (var - 13.3 * 13.3).abs() / (13.3 * 13.3) < 0.05,
+            "var {var}"
+        );
         assert!(samples.iter().all(|&x| x > 0.0));
     }
 

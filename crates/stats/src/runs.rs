@@ -260,7 +260,7 @@ mod tests {
             // Reconstruction is identity.
             let rebuilt: Vec<u8> = runs
                 .iter()
-                .flat_map(|&(v, l)| std::iter::repeat(v).take(l))
+                .flat_map(|&(v, l)| std::iter::repeat_n(v, l))
                 .collect();
             prop_assert_eq!(rebuilt, seq);
         }

@@ -28,7 +28,7 @@ pub mod region;
 pub mod time;
 pub mod units;
 
-pub use ids::{AccountId, BlockHash, BlockNumber, Nonce, NodeId, PoolId, TxId};
+pub use ids::{AccountId, BlockHash, BlockNumber, NodeId, Nonce, PoolId, TxId};
 pub use region::Region;
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, ByteSize, Gas};

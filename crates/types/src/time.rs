@@ -318,10 +318,7 @@ mod tests {
     #[test]
     fn constructors_agree() {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
-        assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1_000)
-        );
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_mins(2), SimDuration::from_secs(120));
         assert_eq!(SimDuration::from_hours(1), SimDuration::from_mins(60));
         assert_eq!(
@@ -360,7 +357,10 @@ mod tests {
     #[test]
     fn clock_offsets() {
         let t = SimTime::from_secs(100);
-        assert_eq!(t.offset_by(1_000_000), SimTime::from_nanos(t.as_nanos() + 1_000_000));
+        assert_eq!(
+            t.offset_by(1_000_000),
+            SimTime::from_nanos(t.as_nanos() + 1_000_000)
+        );
         assert_eq!(
             t.offset_by(-1_000_000),
             SimTime::from_nanos(t.as_nanos() - 1_000_000)

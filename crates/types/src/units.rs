@@ -124,7 +124,10 @@ mod tests {
     #[test]
     fn byte_size_constructors() {
         assert_eq!(ByteSize::from_kib(2).as_bytes(), 2048);
-        assert_eq!(ByteSize::from_bytes(7) + ByteSize::from_bytes(3), ByteSize(10));
+        assert_eq!(
+            ByteSize::from_bytes(7) + ByteSize::from_bytes(3),
+            ByteSize(10)
+        );
     }
 
     #[test]

@@ -144,7 +144,9 @@ fn uncle_selection_agrees_between_tree_and_view() {
     // Forks at heights 2 and 4 by another miner.
     for (h, salt) in [(2u64, 100u64), (4, 101)] {
         let fork_parent = main[(h - 2) as usize].hash();
-        let f = BlockBuilder::new(fork_parent, h, PoolId(1)).salt(salt).build();
+        let f = BlockBuilder::new(fork_parent, h, PoolId(1))
+            .salt(salt)
+            .build();
         view.insert(f.hash(), f.parent(), f.number(), f.miner(), &[]);
         tree.insert(f).expect("fork");
     }

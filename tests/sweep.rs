@@ -1,0 +1,67 @@
+//! Sweep-runner contracts: parallel fan-out must be a pure wall-clock
+//! optimization — per-seed results bit-identical to sequential
+//! `run_campaign`, independent of worker count — while distinct seeds
+//! produce genuinely independent campaigns.
+
+use ethmeter::measure::csv;
+use ethmeter::prelude::*;
+
+fn base() -> Scenario {
+    Scenario::builder()
+        .preset(Preset::Tiny)
+        .duration(SimDuration::from_mins(3))
+        .build()
+}
+
+const SEEDS: [u64; 8] = [201, 202, 203, 204, 205, 206, 207, 208];
+
+#[test]
+fn parallel_sweep_is_bit_identical_to_sequential_runs() {
+    let sweep = Sweep::new(base()).seeds(SEEDS).threads(4).run();
+    assert_eq!(sweep.runs.len(), SEEDS.len());
+    assert!(sweep.threads_used >= 2, "sweep must actually run parallel");
+    for (run, &seed) in sweep.runs.iter().zip(SEEDS.iter()) {
+        assert_eq!(run.seed, seed);
+        let mut scenario = base();
+        scenario.seed = seed;
+        let sequential = run_campaign(&scenario);
+        assert_eq!(run.outcome.stats, sequential.stats, "seed {seed}");
+        assert_eq!(run.outcome.events, sequential.events, "seed {seed}");
+        let (pt, st) = (&run.outcome.campaign.truth, &sequential.campaign.truth);
+        assert_eq!(pt.tree.head(), st.tree.head(), "seed {seed}");
+        assert_eq!(pt.tree.len(), st.tree.len(), "seed {seed}");
+        assert_eq!(pt.txs.len(), st.txs.len(), "seed {seed}");
+        // Observer logs identical via their canonical CSV serialization.
+        for (pa, pb) in run
+            .outcome
+            .campaign
+            .observers
+            .iter()
+            .zip(sequential.campaign.observers.iter())
+        {
+            assert_eq!(pa.0.name, pb.0.name);
+            assert_eq!(csv::blocks_to_csv(&pa.1), csv::blocks_to_csv(&pb.1));
+            assert_eq!(csv::txs_to_csv(&pa.1), csv::txs_to_csv(&pb.1));
+        }
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    let one = Sweep::new(base()).seeds(SEEDS).threads(1).run();
+    let many = Sweep::new(base()).seeds(SEEDS).threads(4).run();
+    assert_eq!(one.heads(), many.heads());
+    assert_eq!(one.totals, many.totals);
+    assert_eq!(one.events, many.events);
+}
+
+#[test]
+fn distinct_seeds_diverge() {
+    let sweep = Sweep::new(base()).seeds(SEEDS).threads(4).run();
+    assert_eq!(
+        sweep.distinct_heads(),
+        SEEDS.len(),
+        "every seed must grow its own chain: {:?}",
+        sweep.heads()
+    );
+}
