@@ -6,6 +6,28 @@ cargo build --release
 # Tier-1 is `cargo test -q` (the facade package); --workspace is a
 # superset, so running it alone avoids compiling the facade suites twice.
 cargo test --workspace -q
+# Golden determinism fingerprints must hold in BOTH profiles: a
+# float/ordering divergence between debug and --release would silently
+# split "tested behavior" from "benchmarked behavior". The debug run is
+# covered by the workspace suite above; re-run the goldens in release.
+cargo test --release --test golden -q
 cargo check --workspace --benches --examples
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --all --check
+
+# Bench smoke: the engine suite must complete in --quick mode and emit
+# well-formed JSON (jq parses it and the schema tag must match). The quick
+# run overwrites BENCH_engine.json, so save the tree's report (whether
+# committed or freshly regenerated) and restore it afterwards — CI must
+# never leave smoke-mode numbers behind.
+saved_report=""
+if [ -f BENCH_engine.json ]; then
+    saved_report="$(mktemp)"
+    cp BENCH_engine.json "$saved_report"
+fi
+cargo bench -p ethmeter-bench --bench engine -- --quick
+test "$(jq -r .schema BENCH_engine.json)" = "ethmeter-bench-engine/v1"
+jq -e '.presets | length == 3' BENCH_engine.json > /dev/null
+if [ -n "$saved_report" ]; then
+    mv "$saved_report" BENCH_engine.json
+fi

@@ -1,17 +1,116 @@
-//! Simulator-throughput benchmarks: campaign execution, chain-only
-//! sequence generation (Figure 7 / §III-D's substrate), and the exact
-//! run-length theory.
+//! Simulator-throughput benchmarks and the `BENCH_engine.json` report.
+//!
+//! Two jobs in one harness:
+//!
+//! 1. Classic criterion-style microbenches: end-to-end campaign
+//!    execution, chain-only sequence generation (Figure 7 / §III-D's
+//!    substrate), the exact run-length theory, and the event-queue
+//!    push/pop hot path.
+//! 2. An events/sec throughput survey over the `tiny`/`small`/`medium`
+//!    presets, written to `BENCH_engine.json` at the repo root so the
+//!    trajectory of the simulation core is tracked across PRs. The file
+//!    also embeds the frozen pre-dense-rewrite baseline (measured on the
+//!    same reference container from the seed implementation), so the
+//!    report always answers "how much faster than the original hot path
+//!    are we now?".
+//!
+//! Run `cargo bench -p ethmeter-bench --bench engine` for the full
+//! survey, or append `-- --quick` for the CI smoke mode (seconds, not
+//! minutes; same JSON schema, `"mode": "quick"`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::Criterion;
 use ethmeter_core::chainonly::{run_chain_only, ChainOnlyConfig};
 use ethmeter_core::{run_campaign, Preset, Scenario};
+use ethmeter_sim::event::EventQueue;
 use ethmeter_stats::runs::{expected_maximal_runs, prob_run_at_least};
-use ethmeter_types::SimDuration;
+use ethmeter_types::{SimDuration, SimTime};
 use std::hint::black_box;
+use std::time::Instant;
 
-fn bench_engine(c: &mut Criterion) {
+/// Seed-implementation events/sec (commit "golden determinism harness",
+/// pre-dense-rewrite), measured in full mode on the reference container.
+/// Frozen so every future report carries its own yardstick.
+const SEED_BASELINE_EPS: [(&str, f64); 3] = [
+    ("tiny", 1_425_095.0),
+    ("small", 1_080_124.0),
+    ("medium", 911_207.0),
+];
+
+/// One preset's throughput measurement.
+struct PresetThroughput {
+    name: &'static str,
+    sim_seconds: f64,
+    events: u64,
+    best_wall_seconds: f64,
+    events_per_sec: f64,
+}
+
+fn measure_preset(
+    name: &'static str,
+    preset: Preset,
+    duration: SimDuration,
+    samples: u32,
+) -> PresetThroughput {
+    let scenario = Scenario::builder()
+        .preset(preset)
+        .seed(7)
+        .duration(duration)
+        .build();
+    let mut events = 0;
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let outcome = black_box(run_campaign(&scenario));
+        let wall = start.elapsed().as_secs_f64();
+        events = outcome.events;
+        if wall < best {
+            best = wall;
+        }
+    }
+    let eps = events as f64 / best;
+    println!(
+        "  throughput/{name}: {events} events in {best:.3}s best-of-{samples} \
+         ({eps:.0} events/sec)"
+    );
+    PresetThroughput {
+        name,
+        sim_seconds: duration.as_secs_f64(),
+        events,
+        best_wall_seconds: best,
+        events_per_sec: eps,
+    }
+}
+
+/// Event-queue microbench: ns per push+pop at a realistic pending-queue
+/// depth, with colliding timestamps to exercise the FIFO tie-break.
+fn measure_queue(samples: u32) -> f64 {
+    const DEPTH: usize = 4_096;
+    const OPS: usize = 200_000;
+    let mut best = f64::INFINITY;
+    for _ in 0..samples {
+        let mut q = EventQueue::with_capacity(DEPTH);
+        for i in 0..DEPTH {
+            q.push(SimTime::from_nanos((i % 97) as u64), i as u64);
+        }
+        let start = Instant::now();
+        for i in 0..OPS {
+            let (t, _) = q.pop().expect("queue stays primed");
+            q.push(t + SimDuration::from_nanos((i % 131) as u64), i as u64);
+        }
+        let wall = start.elapsed().as_secs_f64();
+        black_box(&q);
+        let ns = wall * 1e9 / OPS as f64;
+        if ns < best {
+            best = ns;
+        }
+    }
+    println!("  queue/push_pop: {best:.1} ns per push+pop (depth {DEPTH})");
+    best
+}
+
+fn classic_benches(c: &mut Criterion, quick: bool) {
     let mut g = c.benchmark_group("engine");
-    g.sample_size(10);
+    g.sample_size(if quick { 2 } else { 10 });
 
     // A 3-simulated-minute micro-campaign: measures end-to-end event
     // throughput (topology build + gossip + mining + analysis handoff).
@@ -40,5 +139,117 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn write_report(
+    mode: &str,
+    presets: &[PresetThroughput],
+    queue_push_pop_ns: f64,
+    criterion: &Criterion,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ethmeter-bench-engine/v1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"baseline\": {\n");
+    out.push_str(
+        "    \"note\": \"seed implementation (pre dense-state rewrite), full mode, reference container\",\n",
+    );
+    for (i, (name, eps)) in SEED_BASELINE_EPS.iter().enumerate() {
+        let comma = if i + 1 < SEED_BASELINE_EPS.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    \"{name}_events_per_sec\": {}{comma}\n",
+            json_f64(*eps)
+        ));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"presets\": [\n");
+    for (i, p) in presets.iter().enumerate() {
+        let baseline = SEED_BASELINE_EPS
+            .iter()
+            .find(|(n, _)| *n == p.name)
+            .map(|(_, e)| *e);
+        let speedup = baseline.map_or(f64::NAN, |b| p.events_per_sec / b);
+        let comma = if i + 1 < presets.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"sim_seconds\": {}, \"events\": {}, \
+             \"best_wall_seconds\": {}, \"events_per_sec\": {}, \
+             \"speedup_vs_baseline\": {}}}{comma}\n",
+            p.name,
+            json_f64(p.sim_seconds),
+            p.events,
+            json_f64(p.best_wall_seconds),
+            json_f64(p.events_per_sec),
+            json_f64(speedup),
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"queue_push_pop_ns\": {},\n",
+        json_f64(queue_push_pop_ns)
+    ));
+    out.push_str("  \"microbenches\": [\n");
+    let results = criterion.results();
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {}, \"samples\": {}}}{comma}\n",
+            r.name,
+            r.median.as_nanos(),
+            r.samples
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mode = if quick { "quick" } else { "full" };
+    println!("engine bench ({mode} mode)");
+
+    let mut criterion = Criterion::default();
+    classic_benches(&mut criterion, quick);
+
+    println!("group: throughput");
+    let (samples, tiny_d, small_d, medium_d) = if quick {
+        (
+            1,
+            SimDuration::from_mins(2),
+            SimDuration::from_mins(2),
+            SimDuration::from_mins(1),
+        )
+    } else {
+        (
+            3,
+            SimDuration::from_mins(20),
+            SimDuration::from_mins(30),
+            SimDuration::from_mins(10),
+        )
+    };
+    let presets = vec![
+        measure_preset("tiny", Preset::Tiny, tiny_d, samples),
+        measure_preset("small", Preset::Small, small_d, samples),
+        measure_preset("medium", Preset::Medium, medium_d, samples),
+    ];
+
+    println!("group: queue");
+    let queue_ns = measure_queue(if quick { 1 } else { 5 });
+
+    let report = write_report(mode, &presets, queue_ns, &criterion);
+    // CARGO_MANIFEST_DIR = crates/bench; the report lives at the repo root.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &report).expect("write BENCH_engine.json");
+    println!("wrote {path}");
+}

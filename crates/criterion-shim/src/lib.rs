@@ -11,6 +11,11 @@
 //! statistics engine: there is no outlier analysis, plotting, or saved
 //! baselines.
 //!
+//! Beyond the upstream API, the shim records every completed benchmark as
+//! a [`BenchResult`] retrievable through [`Criterion::results`], so a
+//! `harness = false` bench `main` can post-process its own measurements
+//! (e.g. derive events/sec and emit a machine-readable report).
+//!
 //! [`criterion`]: https://docs.rs/criterion
 
 #![forbid(unsafe_code)]
@@ -18,10 +23,23 @@
 
 use std::time::{Duration, Instant};
 
+/// The recorded outcome of one benchmark run by the shim.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name, as passed to `bench_function`.
+    pub name: String,
+    /// Median per-iteration wall time across the samples.
+    pub median: Duration,
+    /// Fastest sample observed.
+    pub min: Duration,
+    /// Number of timed samples (warm-up excluded).
+    pub samples: u32,
+}
+
 /// Entry point handed to each registered benchmark function.
 #[derive(Debug, Default)]
 pub struct Criterion {
-    _priv: (),
+    results: Vec<BenchResult>,
 }
 
 impl Criterion {
@@ -29,15 +47,29 @@ impl Criterion {
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("group: {name}");
         BenchmarkGroup {
-            _criterion: self,
+            criterion: self,
             samples: 20,
         }
     }
 
     /// Benchmarks `f` outside any group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, self.default_samples(), f);
+        let samples = self.default_samples();
+        let r = run_one(name, samples, f);
+        self.results.push(r);
         self
+    }
+
+    /// Every benchmark completed through this `Criterion` so far, in run
+    /// order. Shim extension (upstream criterion persists to disk
+    /// instead); lets a custom bench `main` derive throughput reports.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Looks a completed benchmark up by name. Shim extension.
+    pub fn result(&self, name: &str) -> Option<&BenchResult> {
+        self.results.iter().find(|r| r.name == name)
     }
 
     fn default_samples(&self) -> u32 {
@@ -48,7 +80,7 @@ impl Criterion {
 /// A named set of benchmarks sharing configuration.
 #[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
-    _criterion: &'a mut Criterion,
+    criterion: &'a mut Criterion,
     samples: u32,
 }
 
@@ -61,7 +93,8 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one benchmark and prints its per-iteration median.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
-        run_one(name, self.samples, f);
+        let r = run_one(name, self.samples, f);
+        self.criterion.results.push(r);
         self
     }
 
@@ -69,7 +102,7 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: u32, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: u32, mut f: F) -> BenchResult {
     let mut bencher = Bencher {
         samples: Vec::with_capacity(samples as usize),
     };
@@ -81,7 +114,14 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: u32, mut f: F) {
     }
     bencher.samples.sort_unstable();
     let median = bencher.samples[bencher.samples.len() / 2];
+    let min = bencher.samples[0];
     println!("  {name}: median {median:?} over {samples} samples");
+    BenchResult {
+        name: name.to_string(),
+        median,
+        min,
+        samples,
+    }
 }
 
 /// Times closures; one [`Bencher::iter`] call records one sample.
@@ -138,5 +178,18 @@ mod tests {
         }
         // 3 samples + 1 warm-up.
         assert_eq!(runs, 4);
+        let r = c.result("count").expect("recorded");
+        assert_eq!(r.samples, 3);
+        assert!(r.min <= r.median);
+        assert!(c.result("missing").is_none());
+    }
+
+    #[test]
+    fn ungrouped_benches_record_results() {
+        let mut c = Criterion::default();
+        c.bench_function("solo", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results().len(), 1);
+        assert_eq!(c.results()[0].name, "solo");
+        assert_eq!(c.results()[0].samples, 20);
     }
 }

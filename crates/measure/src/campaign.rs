@@ -6,6 +6,7 @@ use ethmeter_chain::tree::BlockTree;
 use ethmeter_chain::tx::Transaction;
 use ethmeter_types::{PoolId, SimDuration, TxId};
 
+use crate::csv;
 use crate::log::ObserverLog;
 use crate::vantage::VantagePoint;
 
@@ -69,6 +70,108 @@ impl CampaignData {
     pub fn observer(&self, name: &str) -> Option<&(VantagePoint, ObserverLog)> {
         self.observers.iter().find(|(v, _)| v.name == name)
     }
+
+    /// A stable 64-bit digest of the entire dataset: every observer log
+    /// (through its canonical CSV serialization) plus the full ground
+    /// truth (all blocks, all transactions, the canonical chain, and the
+    /// campaign parameters).
+    ///
+    /// Two campaigns fingerprint equal iff they are observationally
+    /// identical, so a pinned fingerprint turns "same seed ⇒ same run"
+    /// into a one-integer regression test. The digest is independent of
+    /// platform, build profile, and in-memory layout (hash-map iteration
+    /// order never reaches it: every collection is sorted into a canonical
+    /// order first).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.observers.len() as u64);
+        for (vantage, log) in &self.observers {
+            h.write_bytes(vantage.name.as_bytes());
+            h.write_u64(u64::from(vantage.default_peers));
+            h.write_bytes(csv::blocks_to_csv(log).as_bytes());
+            h.write_bytes(csv::txs_to_csv(log).as_bytes());
+        }
+
+        let tree = &self.truth.tree;
+        h.write_u64(tree.len() as u64);
+        for number in 0..=tree.head_number() {
+            h.write_u64(
+                tree.canonical_hash(number)
+                    .expect("canonical chain is contiguous")
+                    .raw(),
+            );
+        }
+        let mut blocks: Vec<_> = tree.all_blocks().collect();
+        blocks.sort_by_key(|b| (b.number(), b.hash()));
+        for b in blocks {
+            h.write_u64(b.hash().raw());
+            h.write_u64(b.parent().raw());
+            h.write_u64(b.number());
+            h.write_u64(u64::from(b.miner().raw()));
+            h.write_u64(b.mined_at().as_nanos());
+            for t in b.txs() {
+                h.write_u64(t.raw());
+            }
+            for u in b.uncles() {
+                h.write_u64(u.raw());
+            }
+        }
+
+        let mut txs: Vec<&Transaction> = self.truth.txs.values().collect();
+        txs.sort_by_key(|t| t.id);
+        h.write_u64(txs.len() as u64);
+        for t in txs {
+            h.write_u64(t.id.raw());
+            h.write_u64(u64::from(t.sender.raw()));
+            h.write_u64(t.nonce);
+            h.write_u64(t.gas_price);
+            h.write_u64(t.gas);
+            h.write_u64(t.size.as_bytes());
+            h.write_u64(t.submitted_at.as_nanos());
+            h.write_u64(u64::from(t.origin.raw()));
+        }
+
+        for name in &self.truth.pool_names {
+            h.write_bytes(name.as_bytes());
+        }
+        for &share in &self.truth.pool_shares {
+            h.write_u64(share.to_bits());
+        }
+        h.write_u64(self.truth.interblock.as_nanos());
+        h.write_u64(self.truth.duration.as_nanos());
+        h.finish()
+    }
+}
+
+/// Streaming FNV-1a (64-bit): tiny, dependency-free, and byte-order
+/// independent — exactly stable enough for golden fingerprints.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv64(Self::OFFSET)
+    }
+
+    fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        // Length terminator: distinguishes ["ab","c"] from ["a","bc"].
+        self.0 ^= bytes.len() as u64;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +202,54 @@ mod tests {
         assert!(c.redundancy_observer().is_some());
         assert!(c.observer("EA").is_some());
         assert!(c.observer("nope").is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let a = empty_campaign();
+        let b = empty_campaign();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "same data, same digest");
+
+        // Any observed message changes the digest.
+        let mut c = empty_campaign();
+        c.observers[0].1.record_block_msg(
+            ethmeter_types::BlockHash(7),
+            crate::BlockMsgKind::FullBlock,
+            ethmeter_types::NodeId(1),
+            ethmeter_types::SimTime::from_secs(1),
+            ethmeter_types::SimTime::from_secs(1),
+        );
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        // So does any ground-truth change.
+        let mut d = empty_campaign();
+        d.truth.pool_shares[0] += 1e-9;
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_independent_of_tx_map_layout() {
+        use ethmeter_chain::tx::Transaction;
+        use ethmeter_types::{AccountId, ByteSize, NodeId, SimTime};
+        let tx = |id: u64| Transaction {
+            id: TxId(id),
+            sender: AccountId(1),
+            nonce: 0,
+            gas_price: 3,
+            gas: 21_000,
+            size: ByteSize::from_bytes(180),
+            submitted_at: SimTime::ZERO,
+            origin: NodeId(0),
+        };
+        let mut a = empty_campaign();
+        let mut b = empty_campaign();
+        for id in 1..=64 {
+            a.truth.txs.insert(TxId(id), tx(id));
+        }
+        for id in (1..=64).rev() {
+            b.truth.txs.insert(TxId(id), tx(id));
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,72 @@
+//! Golden determinism fingerprints.
+//!
+//! Each pinned constant is the [`CampaignData::fingerprint`] digest of one
+//! fully specified campaign (preset + seed + duration), captured from the
+//! seed implementation *before* the dense-state hot-path rewrite. Any
+//! change to gossip decisions, RNG stream consumption, event ordering, or
+//! observer recording shifts these digests — so a performance refactor
+//! that is supposed to be behavior-preserving must leave every constant
+//! untouched.
+//!
+//! If a change is *intended* to alter campaign behavior (a model fix, a
+//! calibration change), re-capture with:
+//!
+//! ```text
+//! ETHMETER_BLESS=1 cargo test --test golden -- --nocapture
+//! ```
+//!
+//! and update the constants below, explaining the behavioral change in the
+//! commit message.
+
+use ethmeter::prelude::*;
+
+/// One pinned campaign: (label, preset, seed, simulated minutes, digest).
+const GOLDENS: [(&str, Preset, u64, u64, u64); 3] = [
+    ("tiny-101", Preset::Tiny, 101, 5, 0x01e679b93fc2a20e),
+    ("tiny-202", Preset::Tiny, 202, 5, 0x36ccc325dd9cd314),
+    ("small-707", Preset::Small, 707, 5, 0x9b4507e4b7568f33),
+];
+
+fn scenario(preset: Preset, seed: u64, mins: u64) -> Scenario {
+    Scenario::builder()
+        .preset(preset)
+        .seed(seed)
+        .duration(SimDuration::from_mins(mins))
+        .build()
+}
+
+#[test]
+fn campaign_fingerprints_match_goldens() {
+    let bless = std::env::var_os("ETHMETER_BLESS").is_some();
+    let mut failures = Vec::new();
+    for &(label, preset, seed, mins, expected) in &GOLDENS {
+        let got = run_campaign(&scenario(preset, seed, mins))
+            .campaign
+            .fingerprint();
+        if bless {
+            println!("(\"{label}\", Preset::{preset:?}, {seed}, {mins}, {got:#018x}),");
+        } else if got != expected {
+            failures.push(format!(
+                "{label}: fingerprint {got:#018x}, pinned {expected:#018x}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "campaign output diverged from the pinned goldens:\n  {}\n\
+         (ETHMETER_BLESS=1 re-captures; only bless intentional behavior changes)",
+        failures.join("\n  ")
+    );
+}
+
+#[test]
+fn fingerprint_is_reproducible_and_seed_sensitive() {
+    let s = scenario(Preset::Tiny, 101, 5);
+    let a = run_campaign(&s).campaign.fingerprint();
+    let b = run_campaign(&s).campaign.fingerprint();
+    assert_eq!(a, b, "same scenario, same digest");
+    let c = run_campaign(&scenario(Preset::Tiny, 102, 5))
+        .campaign
+        .fingerprint();
+    assert_ne!(a, c, "different seeds must diverge");
+}

@@ -56,6 +56,27 @@ fn thread_count_does_not_change_results() {
 }
 
 #[test]
+fn parallel_sweep_fingerprints_match_sequential() {
+    // The strongest form of the cross-thread determinism contract: the
+    // whole-dataset digest of every campaign in an 8-seed parallel sweep
+    // equals the digest of the same scenario run sequentially. Any
+    // cross-worker state leak (shared RNG, allocation-order dependence,
+    // map-iteration nondeterminism) shows up here as a one-integer diff.
+    let sweep = Sweep::new(base()).seeds(SEEDS).threads(4).run();
+    assert!(sweep.threads_used >= 2, "sweep must actually run parallel");
+    for (run, &seed) in sweep.runs.iter().zip(SEEDS.iter()) {
+        let mut scenario = base();
+        scenario.seed = seed;
+        let sequential = run_campaign(&scenario);
+        assert_eq!(
+            run.outcome.campaign.fingerprint(),
+            sequential.campaign.fingerprint(),
+            "seed {seed}: parallel and sequential campaigns must be bit-identical"
+        );
+    }
+}
+
+#[test]
 fn distinct_seeds_diverge() {
     let sweep = Sweep::new(base()).seeds(SEEDS).threads(4).run();
     assert_eq!(
