@@ -15,7 +15,10 @@
 //! - [`rewards`]: the post-Constantinople reward schedule used to reason
 //!   about why one-miner forks are profitable;
 //! - [`forks`]: extraction and classification of forks from a complete
-//!   block set (Table III, §III-C4/C5).
+//!   block set (Table III, §III-C4/C5);
+//! - [`registry`]: campaign-global dense registries interning every block
+//!   and transaction into contiguous `u32` slots at creation time (the
+//!   backbone of the hot path's `Vec`-indexed state).
 //!
 //! # Example
 //!
@@ -38,12 +41,14 @@
 
 pub mod block;
 pub mod forks;
+pub mod registry;
 pub mod rewards;
 pub mod tree;
 pub mod tx;
 pub mod uncles;
 
 pub use block::{Block, BlockBuilder, BlockHeader};
+pub use registry::{BlockRegistry, TxRegistry};
 pub use tree::{BlockTree, InsertError, InsertOutcome};
 pub use tx::Transaction;
 pub use uncles::UnclePolicy;

@@ -6,6 +6,14 @@
 //! and the workload generator — and interprets the [`Event`] alphabet for
 //! the [`ethmeter_sim::Engine`].
 //!
+//! Storage is dense end to end: blocks and transactions are interned into
+//! contiguous slots at creation time ([`ethmeter_chain::BlockRegistry`] /
+//! [`ethmeter_chain::TxRegistry`]), events carry those slots, nodes and
+//! pools live in `Vec`s addressed by raw [`NodeId`]/[`PoolId`] indices,
+//! and per-node gossip state is slab-indexed (see [`ethmeter_net::Node`]).
+//! Real hashes appear exactly where the outside world looks: wire
+//! messages and observer logs.
+//!
 //! Timing model per message: fixed processing overhead + sender-uplink
 //! serialization + sampled geographic link latency + receiver-downlink
 //! serialization. Block imports additionally pay a validation delay that
@@ -13,11 +21,12 @@
 //! re-target their miners a sampled lag after their gateway switches heads
 //! (the stale-mining window behind the fork rate).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 use ethmeter_chain::block::{Block, BlockBuilder};
 use ethmeter_chain::tree::BlockTree;
 use ethmeter_chain::tx::Transaction;
+use ethmeter_chain::{BlockRegistry, TxRegistry};
 use ethmeter_geo::{BandwidthClass, ClockSkew};
 use ethmeter_measure::{BlockMsgKind, ObserverLog, VantagePoint};
 use ethmeter_mining::{next_block_delay, BlockPlan, PoolDirectory};
@@ -27,12 +36,16 @@ use ethmeter_sim::dist::{Exp, LogNormal};
 use ethmeter_sim::engine::Scheduler;
 use ethmeter_sim::{World, Xoshiro256};
 use ethmeter_types::{
-    BlockHash, BlockNumber, ByteSize, NodeId, PoolId, Region, SimDuration, SimTime, TxId,
+    BlockHash, BlockIdx, BlockNumber, ByteSize, NodeId, PoolId, Region, SimDuration, SimTime, TxId,
+    TxIdx,
 };
 
 use crate::scenario::Scenario;
 
 /// The event alphabet of a campaign.
+///
+/// Block- and transaction-bearing events carry dense registry slots
+/// ([`BlockIdx`]/[`TxIdx`]); wire [`Message`]s keep real hashes.
 #[derive(Debug, Clone)]
 pub enum Event {
     /// A message arrives at a node.
@@ -48,15 +61,15 @@ pub enum Event {
     ImportDone {
         /// The importing node.
         node: NodeId,
-        /// The block.
-        hash: BlockHash,
+        /// The block's registry slot.
+        idx: BlockIdx,
     },
     /// A fetcher timeout fires.
     FetchTimeout {
         /// The fetching node.
         node: NodeId,
-        /// The block being fetched.
-        hash: BlockHash,
+        /// The fetched block's registry slot.
+        idx: BlockIdx,
     },
     /// A pool's miners solve a block at their current target.
     PoolSolve {
@@ -72,15 +85,15 @@ pub enum Event {
     InjectBlock {
         /// The gateway node.
         node: NodeId,
-        /// The block.
-        hash: BlockHash,
+        /// The block's registry slot.
+        idx: BlockIdx,
     },
     /// The workload generator plans its next submission.
     NextSubmission,
     /// A planned transaction enters the network at its origin node.
     InjectTx {
-        /// The transaction.
-        id: TxId,
+        /// The transaction's registry slot.
+        idx: TxIdx,
     },
 }
 
@@ -126,6 +139,16 @@ struct ObserverState {
     skew: ClockSkew,
 }
 
+/// Per-pool mining state, addressed by raw [`PoolId`] index.
+struct PoolState {
+    /// The pool's gateway nodes (primary first).
+    gateways: Vec<NodeId>,
+    /// `(parent, height)` the pool's miners currently work on.
+    target: (BlockHash, BlockNumber),
+    /// Live duplication episode, if any.
+    dup: Option<DupState>,
+}
+
 /// The campaign world (see module docs).
 pub struct SimWorld {
     // Configuration (copied out of the scenario).
@@ -137,7 +160,7 @@ pub struct SimWorld {
     import_jitter: LogNormal,
     duration: SimDuration,
 
-    // Entities.
+    // Entities (all Vec-indexed by raw NodeId).
     nodes: Vec<Node>,
     node_meta: Vec<(Region, BandwidthClass)>,
     gateway_pool: Vec<Option<PoolId>>,
@@ -146,16 +169,15 @@ pub struct SimWorld {
     logs: Vec<ObserverLog>,
     vantages: Vec<VantagePoint>,
 
-    // Registries and ground truth.
-    blocks: HashMap<BlockHash, Block>,
-    txs: HashMap<TxId, Transaction>,
+    // Registries and ground truth. Blocks and txs are interned at
+    // creation; every hot lookup is a dense-slot array index.
+    blocks: BlockRegistry,
+    txs: TxRegistry,
     truth: BlockTree,
 
-    // Mining.
+    // Mining (Vec-indexed by raw PoolId).
     pools: PoolDirectory,
-    gateways: Vec<Vec<NodeId>>,
-    pool_target: Vec<(BlockHash, BlockNumber)>,
-    dup_state: Vec<Option<DupState>>,
+    pool_states: Vec<PoolState>,
 
     // Workload. Accounts are multi-homed: exchanges and wallet backends
     // submit through several geographically distinct nodes, which is what
@@ -163,7 +185,6 @@ pub struct SimWorld {
     // and arrive out of nonce order (§III-C2).
     generator: ethmeter_workload::TxGenerator,
     account_homes: Vec<[NodeId; 3]>,
-    next_tx_id: u64,
 
     // Randomness (one decoupled stream per subsystem).
     rng_net: Xoshiro256,
@@ -321,7 +342,14 @@ impl SimWorld {
             ]);
         }
 
-        let pool_count = pools.len();
+        let pool_states = gateways
+            .into_iter()
+            .map(|gws| PoolState {
+                gateways: gws,
+                target: (genesis, 1),
+                dup: None,
+            })
+            .collect();
         SimWorld {
             net: scenario.net.clone(),
             latency: scenario.latency.clone(),
@@ -337,16 +365,13 @@ impl SimWorld {
             observers,
             logs,
             vantages: scenario.vantages.clone(),
-            blocks: HashMap::new(),
-            txs: HashMap::new(),
+            blocks: BlockRegistry::new(),
+            txs: TxRegistry::new(),
             truth,
-            pool_target: vec![(genesis, 1); pool_count],
-            dup_state: vec![None; pool_count],
+            pool_states,
             pools,
-            gateways,
             generator: ethmeter_workload::TxGenerator::new(scenario.workload.clone()),
             account_homes,
-            next_tx_id: 1,
             rng_net,
             rng_mining,
             rng_workload,
@@ -380,7 +405,7 @@ impl SimWorld {
             observers: self.vantages.into_iter().zip(self.logs).collect(),
             truth: ethmeter_measure::GroundTruth {
                 tree: self.truth,
-                txs: self.txs,
+                txs: self.txs.into_map(),
                 pool_names: self.pools.iter().map(|p| p.name.clone()).collect(),
                 pool_shares: self.pools.iter().map(|p| p.share).collect(),
                 interblock: self.interblock,
@@ -405,7 +430,8 @@ impl SimWorld {
         self.pools
             .iter()
             .map(|p| {
-                let regions = self.gateways[p.id.index()]
+                let regions = self.pool_states[p.id.index()]
+                    .gateways
                     .iter()
                     .map(|g| self.node_meta[g.index()].0)
                     .collect();
@@ -415,15 +441,11 @@ impl SimWorld {
     }
 
     fn primary_gateway(&self, pool: PoolId) -> NodeId {
-        self.gateways[pool.index()][0]
+        self.pool_states[pool.index()].gateways[0]
     }
 
-    fn import_duration(&mut self, node: NodeId, hash: BlockHash) -> SimDuration {
-        let tx_count = self
-            .blocks
-            .get(&hash)
-            .map(|b| b.txs().len() as u64)
-            .unwrap_or(0);
+    fn import_duration(&mut self, node: NodeId, idx: BlockIdx) -> SimDuration {
+        let tx_count = self.blocks.by_idx(idx).txs().len() as u64;
         let base = self.net.import_base + self.net.import_per_tx * tx_count;
         let hw = self.node_meta[node.index()].1.import_factor();
         base.mul_f64(hw * self.import_jitter.sample(&mut self.rng_net))
@@ -437,8 +459,8 @@ impl SimWorld {
                 let blocks = &self.blocks;
                 let txs = &self.txs;
                 send.msg.size(
-                    |h| blocks.get(&h).map(|b| b.size()).unwrap_or(ByteSize::ZERO),
-                    |t| txs.get(&t).map(|x| x.size).unwrap_or(ByteSize::ZERO),
+                    |h| blocks.get(h).map(|b| b.size()).unwrap_or(ByteSize::ZERO),
+                    |t| txs.get(t).map(|x| x.size).unwrap_or(ByteSize::ZERO),
                 )
             };
             let (to_region, to_bw) = self.node_meta[send.to.index()];
@@ -466,7 +488,7 @@ impl SimWorld {
         let mut out = HashSet::new();
         let mut cur = parent;
         for _ in 0..8 {
-            let Some(b) = self.blocks.get(&cur) else {
+            let Some(b) = self.blocks.get(cur) else {
                 break;
             };
             out.extend(b.txs().iter().copied());
@@ -488,11 +510,12 @@ impl SimWorld {
             .collect()
     }
 
-    /// Registers a block in the registry and ground truth.
-    fn register_block(&mut self, block: Block) {
+    /// Registers a block in the registry and ground truth, returning its
+    /// dense slot.
+    fn register_block(&mut self, block: Block) -> BlockIdx {
         self.stats.blocks_produced += 1;
         let _ = self.truth.insert(block.clone());
-        self.blocks.insert(block.hash(), block);
+        self.blocks.insert(block)
     }
 
     /// Injects a block at every gateway of its pool. Pools run dedicated
@@ -502,27 +525,32 @@ impl SimWorld {
     fn broadcast_from_gateways(
         &mut self,
         pool: PoolId,
-        hash: BlockHash,
+        idx: BlockIdx,
         sched: &mut Scheduler<Event>,
     ) {
-        let gws = self.gateways[pool.index()].clone();
+        let n_gws = self.pool_states[pool.index()].gateways.len();
         let intra = Exp::with_mean(0.015);
-        for &gw in &gws {
+        for g in 0..n_gws {
+            let gw = self.pool_states[pool.index()].gateways[g];
             let delay = SimDuration::from_millis(5) + intra.sample_duration(&mut self.rng_latency);
-            sched.after(delay, Event::InjectBlock { node: gw, hash });
+            sched.after(delay, Event::InjectBlock { node: gw, idx });
         }
     }
 
-    fn inject_block_at(&mut self, node: NodeId, hash: BlockHash, sched: &mut Scheduler<Event>) {
+    fn inject_block_at(&mut self, node: NodeId, idx: BlockIdx, sched: &mut Scheduler<Event>) {
         let (sends, action) = {
-            let Some(block) = self.blocks.get(&hash) else {
-                return;
-            };
-            self.nodes[node.index()].on_block_arrival(None, block, &self.net, &mut self.rng_net)
+            let block = self.blocks.by_idx(idx);
+            self.nodes[node.index()].on_block_arrival(
+                None,
+                block,
+                idx,
+                &self.net,
+                &mut self.rng_net,
+            )
         };
-        if let ImportAction::Schedule(h) = action {
-            let d = self.import_duration(node, h);
-            sched.after(d, Event::ImportDone { node, hash: h });
+        if let ImportAction::Schedule(i) = action {
+            let d = self.import_duration(node, i);
+            sched.after(d, Event::ImportDone { node, idx: i });
         }
         self.dispatch_sends(node, sends, sched);
     }
@@ -531,7 +559,7 @@ impl SimWorld {
     fn solve_normal(&mut self, pool: PoolId, now: SimTime, sched: &mut Scheduler<Event>) {
         let cfg = self.pools.pool(pool).clone();
         let plan = BlockPlan::decide(&cfg, &mut self.rng_mining);
-        let (parent, number) = self.pool_target[pool.index()];
+        let (parent, number) = self.pool_states[pool.index()].target;
         let gw = self.primary_gateway(pool);
         let uncles = self.nodes[gw.index()]
             .chain()
@@ -550,8 +578,8 @@ impl SimWorld {
             .salt(salt)
             .build();
         let hash = block.hash();
-        self.register_block(block);
-        self.broadcast_from_gateways(pool, hash, sched);
+        let idx = self.register_block(block);
+        self.broadcast_from_gateways(pool, idx, sched);
 
         // Malfunction burst: extra same-height siblings released at once.
         for k in 0..plan.malfunction_extra {
@@ -570,16 +598,15 @@ impl SimWorld {
                 .txs(sibling_txs)
                 .salt(salt)
                 .build();
-            let sh = sib.hash();
-            self.register_block(sib);
+            let sib_idx = self.register_block(sib);
             self.stats.duplicates_produced += 1;
-            self.broadcast_from_gateways(pool, sh, sched);
+            self.broadcast_from_gateways(pool, sib_idx, sched);
         }
 
         if plan.attempt_duplicate {
             // Keep mining at this height: the next solve yields a
             // duplicate (one-miner fork) instead of extending the chain.
-            self.dup_state[pool.index()] = Some(DupState {
+            self.pool_states[pool.index()].dup = Some(DupState {
                 parent,
                 height: number,
                 original: hash,
@@ -587,7 +614,7 @@ impl SimWorld {
                 txs,
             });
         } else {
-            self.pool_target[pool.index()] = (hash, number + 1);
+            self.pool_states[pool.index()].target = (hash, number + 1);
         }
     }
 
@@ -596,7 +623,7 @@ impl SimWorld {
         let gw = self.primary_gateway(pool);
         let head = self.nodes[gw.index()].chain().head();
         let head_number = self.nodes[gw.index()].chain().head_number();
-        self.pool_target[pool.index()] = if head_number >= ds.height {
+        self.pool_states[pool.index()].target = if head_number >= ds.height {
             (head, head_number + 1)
         } else {
             (ds.original, ds.height + 1)
@@ -609,7 +636,7 @@ impl SimWorld {
         let d = next_block_delay(share, self.interblock, &mut self.rng_mining);
         sched.after(d, Event::PoolSolve { pool });
 
-        if let Some(ds) = self.dup_state[pool.index()].take() {
+        if let Some(ds) = self.pool_states[pool.index()].dup.take() {
             let gw = self.primary_gateway(pool);
             let head_number = self.nodes[gw.index()].chain().head_number();
             // Duplicate is only worth publishing while it can still become
@@ -628,12 +655,11 @@ impl SimWorld {
                     .txs(txs)
                     .salt(salt)
                     .build();
-                let dh = dup.hash();
-                self.register_block(dup);
+                let dup_idx = self.register_block(dup);
                 self.stats.duplicates_produced += 1;
-                self.broadcast_from_gateways(pool, dh, sched);
+                self.broadcast_from_gateways(pool, dup_idx, sched);
                 if BlockPlan::continue_duplicating(&cfg, &mut self.rng_mining) {
-                    self.dup_state[pool.index()] = Some(ds);
+                    self.pool_states[pool.index()].dup = Some(ds);
                 } else {
                     self.resume_after_duplication(pool, &ds);
                 }
@@ -661,6 +687,9 @@ impl SimWorld {
                     self.logs[slot].record_tx(id, from, local, now);
                 }
             }
+            Message::Tx(id) => {
+                self.logs[slot].record_tx(*id, from, local, now);
+            }
             Message::GetBlock(_) => {}
         }
     }
@@ -679,44 +708,85 @@ impl SimWorld {
         }
         match msg {
             Message::Announce(hashes) => {
-                let sends = self.nodes[to.index()].on_announce(from, &hashes);
+                let resolve = |blocks: &BlockRegistry, h: BlockHash| {
+                    let idx = blocks
+                        .idx_of(h)
+                        .expect("announced hashes are registered at creation");
+                    (h, idx)
+                };
+                // Announcements carry one hash in practice; resolve on the
+                // stack and only fall back to a heap batch for real lists.
+                let sends = if let [h] = hashes[..] {
+                    let entry = [resolve(&self.blocks, h)];
+                    self.nodes[to.index()].on_announce(from, &entry)
+                } else {
+                    let entries: Vec<(BlockHash, BlockIdx)> =
+                        hashes.iter().map(|&h| resolve(&self.blocks, h)).collect();
+                    self.nodes[to.index()].on_announce(from, &entries)
+                };
                 for s in &sends {
                     if let Message::GetBlock(h) = s.msg {
+                        let idx = self.blocks.idx_of(h).expect("fetches target known blocks");
                         sched.after(
                             self.net.fetch_timeout,
-                            Event::FetchTimeout { node: to, hash: h },
+                            Event::FetchTimeout { node: to, idx },
                         );
                     }
                 }
                 self.dispatch_sends(to, sends, sched);
             }
             Message::NewBlock(h) | Message::BlockBody(h) => {
+                let Some(idx) = self.blocks.idx_of(h) else {
+                    return;
+                };
                 let (sends, action) = {
-                    let Some(block) = self.blocks.get(&h) else {
-                        return;
-                    };
+                    let block = self.blocks.by_idx(idx);
                     self.nodes[to.index()].on_block_arrival(
                         Some(from),
                         block,
+                        idx,
                         &self.net,
                         &mut self.rng_net,
                     )
                 };
-                if let ImportAction::Schedule(hash) = action {
-                    let d = self.import_duration(to, hash);
-                    sched.after(d, Event::ImportDone { node: to, hash });
+                if let ImportAction::Schedule(i) = action {
+                    let d = self.import_duration(to, i);
+                    sched.after(d, Event::ImportDone { node: to, idx: i });
                 }
                 self.dispatch_sends(to, sends, sched);
             }
             Message::GetBlock(h) => {
-                let sends = self.nodes[to.index()].on_get_block(from, h);
+                let Some(idx) = self.blocks.idx_of(h) else {
+                    return;
+                };
+                let sends = self.nodes[to.index()].on_get_block(from, h, idx);
+                self.dispatch_sends(to, sends, sched);
+            }
+            Message::Tx(id) => {
+                // The dominant gossip message: resolve the one transaction
+                // on the stack.
+                let sends = {
+                    let txs = &self.txs;
+                    let node = &mut self.nodes[to.index()];
+                    match txs.idx_of(id) {
+                        Some(ix) => node.on_transactions(
+                            Some(from),
+                            &[(ix, txs.by_idx(ix))],
+                            &self.net,
+                            &mut self.rng_net,
+                        ),
+                        None => Vec::new(),
+                    }
+                };
                 self.dispatch_sends(to, sends, sched);
             }
             Message::Transactions(ids) => {
                 let sends = {
                     let txs = &self.txs;
-                    let resolved: Vec<&Transaction> =
-                        ids.iter().filter_map(|id| txs.get(id)).collect();
+                    let resolved: Vec<(TxIdx, &Transaction)> = ids
+                        .iter()
+                        .filter_map(|&id| txs.idx_of(id).map(|ix| (ix, txs.by_idx(ix))))
+                        .collect();
                     self.nodes[to.index()].on_transactions(
                         Some(from),
                         &resolved,
@@ -729,16 +799,14 @@ impl SimWorld {
         }
     }
 
-    fn on_import_done(&mut self, node: NodeId, hash: BlockHash, sched: &mut Scheduler<Event>) {
+    fn on_import_done(&mut self, node: NodeId, idx: BlockIdx, sched: &mut Scheduler<Event>) {
         self.stats.imports += 1;
         let result = {
-            let Some(block) = self.blocks.get(&hash) else {
-                return;
-            };
+            let block = self.blocks.by_idx(idx);
             let txs = &self.txs;
             let included: Vec<&Transaction> =
-                block.txs().iter().filter_map(|t| txs.get(t)).collect();
-            self.nodes[node.index()].on_import_complete(block, &included, &self.net)
+                block.txs().iter().filter_map(|&t| txs.get(t)).collect();
+            self.nodes[node.index()].on_import_complete(block, idx, &included, &self.net)
         };
         if result.new_head {
             if let Some(pool) = self.gateway_pool[node.index()] {
@@ -754,14 +822,14 @@ impl SimWorld {
     fn on_retarget(&mut self, pool: PoolId) {
         // Only meaningful outside a duplication episode; duplication keeps
         // its own target and resumes from the head afterwards.
-        if self.dup_state[pool.index()].is_some() {
+        if self.pool_states[pool.index()].dup.is_some() {
             return;
         }
         let gw = self.primary_gateway(pool);
         let head = self.nodes[gw.index()].chain().head();
         let head_number = self.nodes[gw.index()].chain().head_number();
-        if head_number + 1 > self.pool_target[pool.index()].1 {
-            self.pool_target[pool.index()] = (head, head_number + 1);
+        if head_number + 1 > self.pool_states[pool.index()].target.1 {
+            self.pool_states[pool.index()].target = (head, head_number + 1);
         }
     }
 
@@ -773,36 +841,35 @@ impl SimWorld {
         }
         sched.after(ev.delay, Event::NextSubmission);
         for planned in ev.txs {
-            let id = TxId(self.next_tx_id);
-            self.next_tx_id += 1;
+            let id = TxId(self.txs.len() as u64 + 1);
             let homes = &self.account_homes[planned.sender.index() % self.account_homes.len()];
             let origin = homes[self.rng_workload.index(homes.len())];
             let submit_at = now + ev.delay + planned.offset;
-            self.txs.insert(
+            let idx = self.txs.insert(Transaction {
                 id,
-                Transaction {
-                    id,
-                    sender: planned.sender,
-                    nonce: planned.nonce,
-                    gas_price: planned.gas_price,
-                    gas: planned.gas,
-                    size: planned.size,
-                    submitted_at: submit_at,
-                    origin,
-                },
-            );
+                sender: planned.sender,
+                nonce: planned.nonce,
+                gas_price: planned.gas_price,
+                gas: planned.gas,
+                size: planned.size,
+                submitted_at: submit_at,
+                origin,
+            });
             self.stats.txs_submitted += 1;
-            sched.at(submit_at, Event::InjectTx { id });
+            sched.at(submit_at, Event::InjectTx { idx });
         }
     }
 
-    fn on_inject_tx(&mut self, id: TxId, sched: &mut Scheduler<Event>) {
-        let Some(origin) = self.txs.get(&id).map(|t| t.origin) else {
-            return;
-        };
+    fn on_inject_tx(&mut self, idx: TxIdx, sched: &mut Scheduler<Event>) {
+        let origin = self.txs.by_idx(idx).origin;
         let sends = {
-            let tx = &self.txs[&id];
-            self.nodes[origin.index()].on_transactions(None, &[tx], &self.net, &mut self.rng_net)
+            let tx = self.txs.by_idx(idx);
+            self.nodes[origin.index()].on_transactions(
+                None,
+                &[(idx, tx)],
+                &self.net,
+                &mut self.rng_net,
+            )
         };
         self.dispatch_sends(origin, sends, sched);
     }
@@ -814,24 +881,23 @@ impl World for SimWorld {
     fn handle(&mut self, now: SimTime, event: Event, sched: &mut Scheduler<Event>) {
         match event {
             Event::Deliver { from, to, msg } => self.on_deliver(now, from, to, msg, sched),
-            Event::ImportDone { node, hash } => self.on_import_done(node, hash, sched),
-            Event::FetchTimeout { node, hash } => {
-                let sends = self.nodes[node.index()].on_fetch_timeout(hash);
+            Event::ImportDone { node, idx } => self.on_import_done(node, idx, sched),
+            Event::FetchTimeout { node, idx } => {
+                let hash = self.blocks.by_idx(idx).hash();
+                let sends = self.nodes[node.index()].on_fetch_timeout(hash, idx);
                 for s in &sends {
                     if let Message::GetBlock(h) = s.msg {
-                        sched.after(
-                            self.net.fetch_timeout,
-                            Event::FetchTimeout { node, hash: h },
-                        );
+                        let i = self.blocks.idx_of(h).expect("fetches target known blocks");
+                        sched.after(self.net.fetch_timeout, Event::FetchTimeout { node, idx: i });
                     }
                 }
                 self.dispatch_sends(node, sends, sched);
             }
             Event::PoolSolve { pool } => self.solve(pool, now, sched),
             Event::PoolRetarget { pool } => self.on_retarget(pool),
-            Event::InjectBlock { node, hash } => self.inject_block_at(node, hash, sched),
+            Event::InjectBlock { node, idx } => self.inject_block_at(node, idx, sched),
             Event::NextSubmission => self.on_next_submission(now, sched),
-            Event::InjectTx { id } => self.on_inject_tx(id, sched),
+            Event::InjectTx { idx } => self.on_inject_tx(idx, sched),
         }
     }
 }
@@ -866,6 +932,12 @@ mod tests {
                 assert!(world.nodes[i].mempool().is_some(), "gateway {i}");
             }
         }
+        // Pool state is dense: one slot per pool, gateways wired.
+        assert_eq!(world.pool_states.len(), scenario.pools.len());
+        assert!(world
+            .pool_states
+            .iter()
+            .all(|ps| !ps.gateways.is_empty() && ps.dup.is_none()));
     }
 
     #[test]
@@ -883,6 +955,9 @@ mod tests {
         assert!((10..45).contains(&blocks), "blocks {blocks}");
         assert!(world.stats.messages > 1_000);
         assert!(world.stats.txs_submitted > 50);
+        // The registries interned every produced artifact.
+        assert_eq!(world.blocks.len() as u64, world.stats.blocks_produced);
+        assert_eq!(world.txs.len() as u64, world.stats.txs_submitted);
         // Every observer saw most blocks.
         for log in &world.logs {
             assert!(

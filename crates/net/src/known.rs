@@ -4,6 +4,17 @@
 //! to have (`knownBlocks`, `knownTxs`), bounded to avoid unbounded memory.
 //! The bound matters behaviorally: once evicted, an item may be re-sent,
 //! which is one source of the redundant receptions measured in Table II.
+//!
+//! Two implementations share the contract:
+//!
+//! - [`KnownSet`] — the generic original (`HashSet` + FIFO queue), kept as
+//!   the reference model for equivalence testing and for cold paths;
+//! - [`DenseKnownSet`] — the hot-path replacement over interned `u32`
+//!   keys: a linear-probing table with multiplicative hashing and
+//!   backward-shift deletion. One simulation holds a known-set per
+//!   (node, peer) pair and queries it per delivered message, so the
+//!   per-operation constant here is a first-order term of campaign wall
+//!   time.
 
 use std::collections::{HashSet, VecDeque};
 use std::hash::Hash;
@@ -64,6 +75,165 @@ impl<T: Copy + Eq + Hash> KnownSet<T> {
     }
 }
 
+/// Sentinel marking an empty probe-table slot (keys must stay below it —
+/// interned slots are sequential, so a campaign would need 4 billion
+/// artifacts to collide).
+const EMPTY: u32 = u32::MAX;
+
+/// A FIFO-bounded set of interned `u32` keys; behaviorally identical to
+/// [`KnownSet`] (same insert/contains results, same eviction order) but
+/// backed by a flat linear-probing table.
+///
+/// The table grows lazily from empty — a simulation holds one set per
+/// (node, peer) pair, most of which stay far below capacity — and is
+/// bounded by `cap`, so memory is O(min(items, cap)).
+#[derive(Debug, Clone)]
+pub struct DenseKnownSet {
+    /// Linear-probing table of keys; `EMPTY` marks free slots. Length is
+    /// always a power of two (or zero before the first insert).
+    table: Vec<u32>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u32>,
+    cap: usize,
+}
+
+impl DenseKnownSet {
+    /// Creates a set bounded to `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn with_capacity(cap: usize) -> Self {
+        assert!(cap > 0, "known-set capacity must be positive");
+        DenseKnownSet {
+            table: Vec::new(),
+            order: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Fibonacci-hash bucket of `key` in the current table.
+    #[inline]
+    fn bucket(&self, key: u32) -> usize {
+        debug_assert!(!self.table.is_empty());
+        let h = u64::from(key).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        (h >> 32) as usize & (self.table.len() - 1)
+    }
+
+    /// True if `key` is currently tracked.
+    #[inline]
+    pub fn contains(&self, key: u32) -> bool {
+        if self.table.is_empty() {
+            return false;
+        }
+        let mut i = self.bucket(key);
+        loop {
+            match self.table[i] {
+                EMPTY => return false,
+                k if k == key => return true,
+                _ => i = (i + 1) & (self.table.len() - 1),
+            }
+        }
+    }
+
+    /// Inserts `key`; returns `true` if it was new. Evicts the oldest
+    /// entry when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == u32::MAX` (reserved sentinel).
+    pub fn insert(&mut self, key: u32) -> bool {
+        assert_ne!(key, EMPTY, "u32::MAX is reserved");
+        if self.contains(key) {
+            return false;
+        }
+        // Keep load factor ≤ 1/2 while below the bound; at the bound the
+        // table is fixed and eviction holds occupancy constant.
+        if self.table.len() < 2 * (self.order.len() + 1) {
+            self.grow();
+        }
+        self.insert_slot(key);
+        self.order.push_back(key);
+        if self.order.len() > self.cap {
+            if let Some(old) = self.order.pop_front() {
+                self.erase(old);
+            }
+        }
+        true
+    }
+
+    /// Current number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    fn grow(&mut self) {
+        let new_len = (self.table.len() * 2)
+            .max(16)
+            .min((2 * self.cap + 1).next_power_of_two());
+        if new_len == self.table.len() {
+            return;
+        }
+        self.table = vec![EMPTY; new_len];
+        // Rebuild from the order queue (it holds exactly the live keys).
+        for i in 0..self.order.len() {
+            let key = self.order[i];
+            self.insert_slot(key);
+        }
+    }
+
+    /// Places `key` in its probe slot; the caller guarantees it is absent
+    /// and that a free slot exists.
+    #[inline]
+    fn insert_slot(&mut self, key: u32) {
+        let mask = self.table.len() - 1;
+        let mut i = self.bucket(key);
+        while self.table[i] != EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.table[i] = key;
+    }
+
+    /// Removes `key` using backward-shift deletion, keeping every probe
+    /// chain contiguous (no tombstones, so lookups never degrade).
+    fn erase(&mut self, key: u32) {
+        let mask = self.table.len() - 1;
+        let mut i = self.bucket(key);
+        loop {
+            match self.table[i] {
+                EMPTY => return, // not present (cannot happen for live keys)
+                k if k == key => break,
+                _ => i = (i + 1) & mask,
+            }
+        }
+        // Slot i is now free; pull back any displaced successors.
+        let mut j = i;
+        loop {
+            self.table[i] = EMPTY;
+            loop {
+                j = (j + 1) & mask;
+                let k = self.table[j];
+                if k == EMPTY {
+                    return;
+                }
+                // Move k back iff its home bucket is outside the cyclic
+                // range (i, j] — i.e. probing for k would pass through i.
+                let home = self.bucket(k);
+                if (j.wrapping_sub(home) & mask) >= (j.wrapping_sub(i) & mask) {
+                    self.table[i] = k;
+                    break;
+                }
+            }
+            i = j;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,5 +277,95 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_capacity_rejected() {
         let _: KnownSet<u32> = KnownSet::with_capacity(0);
+    }
+
+    #[test]
+    fn dense_set_matches_reference_on_basics() {
+        let mut s = DenseKnownSet::with_capacity(3);
+        assert!(s.is_empty());
+        assert!(s.insert(10));
+        assert!(!s.insert(10));
+        assert!(s.contains(10));
+        assert!(!s.contains(11));
+        for k in [11, 12, 13] {
+            assert!(s.insert(k)); // 13 evicts 10
+        }
+        assert_eq!(s.len(), 3);
+        assert!(!s.contains(10));
+        assert!(s.contains(11) && s.contains(12) && s.contains(13));
+        // Duplicate insert must not evict.
+        assert!(!s.insert(13));
+        assert!(s.contains(11));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn dense_set_rejects_sentinel_key() {
+        let mut s = DenseKnownSet::with_capacity(4);
+        s.insert(u32::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn dense_zero_capacity_rejected() {
+        let _ = DenseKnownSet::with_capacity(0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The dense replacement must be observationally identical to the
+        /// original [`KnownSet`] — same insert results, same membership,
+        /// same FIFO eviction — under arbitrary key streams and small
+        /// capacities (small caps maximize evictions, the hard part of
+        /// backward-shift deletion).
+        #[test]
+        fn dense_set_equivalent_to_knownset_model(
+            cap in 1usize..24,
+            keys in proptest::collection::vec(0u32..48, 0..256),
+        ) {
+            let mut dense = DenseKnownSet::with_capacity(cap);
+            let mut model: KnownSet<u32> = KnownSet::with_capacity(cap);
+            for &k in &keys {
+                prop_assert_eq!(dense.insert(k), model.insert(k), "insert {}", k);
+                prop_assert_eq!(dense.len(), model.len());
+                // Full-universe membership sweep after every operation.
+                for probe in 0..48u32 {
+                    prop_assert_eq!(
+                        dense.contains(probe),
+                        model.contains(probe),
+                        "probe {} after inserting {}",
+                        probe,
+                        k
+                    );
+                }
+            }
+        }
+
+        /// Same equivalence under adversarial clustering: keys drawn from
+        /// a tiny residue class collide heavily in the probe table,
+        /// stressing displacement chains across wrap-around.
+        #[test]
+        fn dense_set_survives_heavy_collisions(
+            cap in 1usize..12,
+            seeds in proptest::collection::vec(0u32..8, 0..192),
+        ) {
+            let mut dense = DenseKnownSet::with_capacity(cap);
+            let mut model: KnownSet<u32> = KnownSet::with_capacity(cap);
+            for &s in &seeds {
+                // Multiples of 16 share low bits; with a 16-slot table all
+                // of them fight for a handful of buckets.
+                let k = s * 16;
+                prop_assert_eq!(dense.insert(k), model.insert(k));
+                for probe in 0..8u32 {
+                    prop_assert_eq!(dense.contains(probe * 16), model.contains(probe * 16));
+                }
+            }
+            prop_assert_eq!(dense.len(), model.len());
+        }
     }
 }

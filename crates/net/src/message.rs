@@ -30,6 +30,11 @@ pub enum Message {
     BlockBody(BlockHash),
     /// A batch of complete transactions.
     Transactions(Vec<TxId>),
+    /// A single complete transaction — wire-equivalent to
+    /// `Transactions(vec![id])`, but with no heap payload. Transaction
+    /// gossip is overwhelmingly one-at-a-time, so the hot path pays no
+    /// allocation per relayed transaction.
+    Tx(TxId),
 }
 
 impl Message {
@@ -45,6 +50,7 @@ impl Message {
             Message::NewBlock(h) | Message::BlockBody(h) => block_size(*h).as_bytes(),
             Message::GetBlock(_) => ANNOUNCE_ENTRY_BYTES,
             Message::Transactions(txs) => txs.iter().map(|&t| tx_size(t).as_bytes()).sum::<u64>(),
+            Message::Tx(t) => tx_size(*t).as_bytes(),
         };
         ByteSize::from_bytes(MSG_OVERHEAD_BYTES + payload)
     }
@@ -94,6 +100,17 @@ mod tests {
             batch.size(fixed_block, fixed_tx).as_bytes(),
             MSG_OVERHEAD_BYTES + 360
         );
+    }
+
+    #[test]
+    fn singleton_tx_sizes_like_a_batch_of_one() {
+        let one = Message::Tx(TxId(1));
+        let batch = Message::Transactions(vec![TxId(1)]);
+        assert_eq!(
+            one.size(fixed_block, fixed_tx),
+            batch.size(fixed_block, fixed_tx)
+        );
+        assert!(!one.carries_block_body());
     }
 
     #[test]

@@ -6,19 +6,26 @@
 //! fresh transactions. It returns the [`Send`]s it wants performed; the
 //! simulation driver applies link latency and schedules delivery, keeping
 //! this type synchronous and unit-testable.
-
-use std::collections::HashMap;
+//!
+//! Hot-path layout: all per-peer and per-artifact state is dense. Blocks
+//! and transactions arrive with their campaign-interned slots
+//! ([`BlockIdx`]/[`TxIdx`], issued by the driver's registries at creation
+//! time), peers are addressed by connection position, and the
+//! known/seen/pending sets are `Vec`-indexed slabs and flat probe tables
+//! ([`DenseKnownSet`]) — no `BlockHash`- or `NodeId`-keyed hash maps
+//! anywhere on the per-message path. Wire messages still carry real
+//! hashes; slots never leave the process.
 
 use ethmeter_chain::block::Block;
 use ethmeter_chain::tx::Transaction;
 use ethmeter_chain::uncles::UnclePolicy;
 use ethmeter_geo::BandwidthClass;
 use ethmeter_sim::Xoshiro256;
-use ethmeter_types::{BlockHash, NodeId, Region, TxId};
+use ethmeter_types::{BlockHash, BlockIdx, NodeId, Region, TxId, TxIdx};
 
 use crate::config::{NetConfig, TxRelayPolicy};
 use crate::headerview::{HeaderInsert, HeaderView};
-use crate::known::KnownSet;
+use crate::known::DenseKnownSet;
 use crate::message::Message;
 use ethmeter_txpool::Mempool;
 
@@ -35,7 +42,7 @@ pub struct Send {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ImportAction {
     /// Schedule `on_import_complete` for this block after validation time.
-    Schedule(BlockHash),
+    Schedule(BlockIdx),
     /// Nothing to do (duplicate or unwanted).
     None,
 }
@@ -55,6 +62,9 @@ struct FetchState {
     tried: usize,
 }
 
+/// Sentinel in the `NodeId → peer position` table for non-peers.
+const NO_PEER: u32 = u32::MAX;
+
 /// A network node: peer links, chain view, gossip state, and (for miner
 /// gateways) a mempool.
 #[derive(Debug)]
@@ -63,14 +73,30 @@ pub struct Node {
     region: Region,
     bandwidth: BandwidthClass,
     peers: Vec<NodeId>,
-    peer_known_blocks: HashMap<NodeId, KnownSet<BlockHash>>,
-    peer_known_txs: HashMap<NodeId, KnownSet<TxId>>,
+    /// `peer_pos[node]` = position of `node` in `peers` (slab key for the
+    /// per-peer state below), or [`NO_PEER`].
+    peer_pos: Vec<u32>,
+    /// Per-peer known-block sets, by peer position, keyed by [`BlockIdx`].
+    peer_known_blocks: Vec<DenseKnownSet>,
+    /// Per-peer known-tx sets, by peer position, keyed by [`TxIdx`].
+    peer_known_txs: Vec<DenseKnownSet>,
     chain: HeaderView,
-    seen_txs: KnownSet<TxId>,
-    have_body: KnownSet<BlockHash>,
-    import_pending: HashMap<BlockHash, Option<NodeId>>,
-    fetching: HashMap<BlockHash, FetchState>,
+    /// Transactions this node has seen, keyed by [`TxIdx`].
+    seen_txs: DenseKnownSet,
+    /// Blocks whose body this node holds (or is importing), keyed by
+    /// [`BlockIdx`].
+    have_body: DenseKnownSet,
+    /// Blocks with a scheduled import: `(slot, provenance)`. In-flight
+    /// imports are at most a handful, so a flat vector with linear probes
+    /// beats any hashed structure.
+    import_pending: Vec<(BlockIdx, Option<NodeId>)>,
+    /// Blocks currently being fetched (same flat-vector reasoning).
+    fetching: Vec<(BlockIdx, FetchState)>,
     mempool: Option<Mempool>,
+    /// Reusable relay-candidate buffer (cleared per call; never observable).
+    scratch: Vec<NodeId>,
+    /// Second reusable buffer for fanout sampling (swapped with `scratch`).
+    scratch_picks: Vec<NodeId>,
 }
 
 impl Node {
@@ -87,14 +113,17 @@ impl Node {
             region,
             bandwidth,
             peers: Vec::new(),
-            peer_known_blocks: HashMap::new(),
-            peer_known_txs: HashMap::new(),
+            peer_pos: Vec::new(),
+            peer_known_blocks: Vec::new(),
+            peer_known_txs: Vec::new(),
             chain: HeaderView::new(genesis, cfg.header_window),
-            seen_txs: KnownSet::with_capacity(cfg.known_txs_cap),
-            have_body: KnownSet::with_capacity(4 * cfg.header_window as usize),
-            import_pending: HashMap::new(),
-            fetching: HashMap::new(),
+            seen_txs: DenseKnownSet::with_capacity(cfg.known_txs_cap),
+            have_body: DenseKnownSet::with_capacity(4 * cfg.header_window as usize),
+            import_pending: Vec::new(),
+            fetching: Vec::new(),
             mempool: None,
+            scratch: Vec::new(),
+            scratch_picks: Vec::new(),
         }
     }
 
@@ -143,12 +172,16 @@ impl Node {
     /// Panics on self-links or duplicate links.
     pub fn connect(&mut self, peer: NodeId, cfg: &NetConfig) {
         assert_ne!(peer, self.id, "self-link");
-        assert!(!self.peers.contains(&peer), "duplicate link to {peer}");
+        assert!(self.pos_of(peer).is_none(), "duplicate link to {peer}");
+        if self.peer_pos.len() <= peer.index() {
+            self.peer_pos.resize(peer.index() + 1, NO_PEER);
+        }
+        self.peer_pos[peer.index()] = self.peers.len() as u32;
         self.peers.push(peer);
         self.peer_known_blocks
-            .insert(peer, KnownSet::with_capacity(cfg.known_blocks_cap));
+            .push(DenseKnownSet::with_capacity(cfg.known_blocks_cap));
         self.peer_known_txs
-            .insert(peer, KnownSet::with_capacity(cfg.known_txs_cap));
+            .push(DenseKnownSet::with_capacity(cfg.known_txs_cap));
     }
 
     /// Degree of this node.
@@ -156,42 +189,68 @@ impl Node {
         self.peers.len()
     }
 
-    fn mark_peer_knows_block(&mut self, peer: NodeId, hash: BlockHash) {
-        if let Some(s) = self.peer_known_blocks.get_mut(&peer) {
-            s.insert(hash);
+    /// The slab position of `peer`, if connected.
+    #[inline]
+    fn pos_of(&self, peer: NodeId) -> Option<usize> {
+        match self.peer_pos.get(peer.index()) {
+            Some(&p) if p != NO_PEER => Some(p as usize),
+            _ => None,
         }
     }
 
-    fn peer_knows_block(&self, peer: NodeId, hash: BlockHash) -> bool {
-        self.peer_known_blocks
-            .get(&peer)
-            .is_some_and(|s| s.contains(hash))
+    #[inline]
+    fn mark_peer_knows_block(&mut self, peer: NodeId, idx: BlockIdx) {
+        if let Some(p) = self.pos_of(peer) {
+            self.peer_known_blocks[p].insert(idx.raw());
+        }
+    }
+
+    #[inline]
+    fn peer_knows_block(&self, pos: usize, idx: BlockIdx) -> bool {
+        self.peer_known_blocks[pos].contains(idx.raw())
+    }
+
+    #[inline]
+    fn pending_provenance(&mut self, idx: BlockIdx) -> Option<Option<NodeId>> {
+        self.import_pending
+            .iter()
+            .position(|&(i, _)| i == idx)
+            .map(|at| self.import_pending.swap_remove(at).1)
+    }
+
+    #[inline]
+    fn is_import_pending(&self, idx: BlockIdx) -> bool {
+        self.import_pending.iter().any(|&(i, _)| i == idx)
     }
 
     /// Handles a full block arriving — by unsolicited push (`NewBlock`),
     /// fetch response (`BlockBody`), or local mining (`from = None`).
     ///
-    /// Returns the immediate relays (full-block pushes to √(peers)) and
-    /// whether to schedule an import.
+    /// `idx` is the block's campaign-interned slot (from the driver's
+    /// registry). Returns the immediate relays (full-block pushes to
+    /// √(peers)) and whether to schedule an import.
     pub fn on_block_arrival(
         &mut self,
         from: Option<NodeId>,
         block: &Block,
+        idx: BlockIdx,
         cfg: &NetConfig,
         rng: &mut Xoshiro256,
     ) -> (Vec<Send>, ImportAction) {
         let hash = block.hash();
         if let Some(p) = from {
-            self.mark_peer_knows_block(p, hash);
+            self.mark_peer_knows_block(p, idx);
         }
-        self.fetching.remove(&hash);
-        if self.have_body.contains(hash)
+        if let Some(at) = self.fetching.iter().position(|(i, _)| *i == idx) {
+            self.fetching.swap_remove(at);
+        }
+        if self.have_body.contains(idx.raw())
             || self.chain.contains(hash)
-            || self.import_pending.contains_key(&hash)
+            || self.is_import_pending(idx)
         {
             return (Vec::new(), ImportAction::None);
         }
-        self.have_body.insert(hash);
+        self.have_body.insert(idx.raw());
 
         // Relay policy: push recent (head-candidate) blocks; optionally
         // also side blocks within the relay window.
@@ -202,60 +261,63 @@ impl Node {
 
         let mut sends = Vec::new();
         if relay {
-            let candidates: Vec<NodeId> = self
-                .peers
-                .iter()
-                .copied()
-                .filter(|&p| Some(p) != from && !self.peer_knows_block(p, hash))
-                .collect();
+            self.scratch.clear();
+            for pos in 0..self.peers.len() {
+                let p = self.peers[pos];
+                if Some(p) != from && !self.peer_knows_block(pos, idx) {
+                    self.scratch.push(p);
+                }
+            }
             // Locally produced blocks (miner gateways) are pushed to every
             // peer: pool gateway software floods its own blocks to minimize
             // orphan risk, unlike vanilla Geth's sqrt relay.
             let fanout = if from.is_none() {
-                candidates.len()
+                self.scratch.len()
             } else {
-                cfg.push_fanout(self.peers.len()).min(candidates.len())
+                cfg.push_fanout(self.peers.len()).min(self.scratch.len())
             };
-            let picks = rng.sample_indices(candidates.len(), fanout);
+            let picks = rng.sample_indices(self.scratch.len(), fanout);
+            sends.reserve_exact(picks.len());
             for i in picks {
-                let peer = candidates[i];
-                self.mark_peer_knows_block(peer, hash);
+                let peer = self.scratch[i];
+                self.mark_peer_knows_block(peer, idx);
                 sends.push(Send {
                     to: peer,
                     msg: Message::NewBlock(hash),
                 });
             }
         }
-        self.import_pending.insert(hash, from);
-        (sends, ImportAction::Schedule(hash))
+        self.import_pending.push((idx, from));
+        (sends, ImportAction::Schedule(idx))
     }
 
     /// Handles a `NewBlockHashes` announcement: fetch unknown blocks from
-    /// the announcer (Geth's fetcher).
-    pub fn on_announce(&mut self, from: NodeId, hashes: &[BlockHash]) -> Vec<Send> {
+    /// the announcer (Geth's fetcher). Entries pair each announced hash
+    /// with its interned slot.
+    pub fn on_announce(&mut self, from: NodeId, hashes: &[(BlockHash, BlockIdx)]) -> Vec<Send> {
         let mut sends = Vec::new();
-        for &hash in hashes {
-            self.mark_peer_knows_block(from, hash);
-            if self.have_body.contains(hash)
+        for &(hash, idx) in hashes {
+            self.mark_peer_knows_block(from, idx);
+            if self.have_body.contains(idx.raw())
                 || self.chain.contains(hash)
-                || self.import_pending.contains_key(&hash)
+                || self.is_import_pending(idx)
             {
                 continue;
             }
-            match self.fetching.get_mut(&hash) {
-                Some(f) => {
+            match self.fetching.iter_mut().find(|(i, _)| *i == idx) {
+                Some((_, f)) => {
                     if !f.announcers.contains(&from) {
                         f.announcers.push(from);
                     }
                 }
                 None => {
-                    self.fetching.insert(
-                        hash,
+                    self.fetching.push((
+                        idx,
                         FetchState {
                             announcers: vec![from],
                             tried: 1,
                         },
-                    );
+                    ));
                     sends.push(Send {
                         to: from,
                         msg: Message::GetBlock(hash),
@@ -270,14 +332,17 @@ impl Node {
     ///
     /// Returns the re-request (if any); the driver should re-arm the
     /// timeout when a request goes out.
-    pub fn on_fetch_timeout(&mut self, hash: BlockHash) -> Vec<Send> {
-        if self.have_body.contains(hash) || self.chain.contains(hash) {
-            self.fetching.remove(&hash);
+    pub fn on_fetch_timeout(&mut self, hash: BlockHash, idx: BlockIdx) -> Vec<Send> {
+        if self.have_body.contains(idx.raw()) || self.chain.contains(hash) {
+            if let Some(at) = self.fetching.iter().position(|(i, _)| *i == idx) {
+                self.fetching.swap_remove(at);
+            }
             return Vec::new();
         }
-        let Some(f) = self.fetching.get_mut(&hash) else {
+        let Some(at) = self.fetching.iter().position(|(i, _)| *i == idx) else {
             return Vec::new();
         };
+        let f = &mut self.fetching[at].1;
         if f.tried < f.announcers.len() {
             let next = f.announcers[f.tried];
             f.tried += 1;
@@ -287,17 +352,17 @@ impl Node {
             }]
         } else {
             // Out of announcers: give up; a push may still deliver it.
-            self.fetching.remove(&hash);
+            self.fetching.swap_remove(at);
             Vec::new()
         }
     }
 
     /// Serves a fetch request if the body is available.
-    pub fn on_get_block(&mut self, from: NodeId, hash: BlockHash) -> Vec<Send> {
-        if !self.have_body.contains(hash) {
+    pub fn on_get_block(&mut self, from: NodeId, hash: BlockHash, idx: BlockIdx) -> Vec<Send> {
+        if !self.have_body.contains(idx.raw()) {
             return Vec::new();
         }
-        self.mark_peer_knows_block(from, hash);
+        self.mark_peer_knows_block(from, idx);
         vec![Send {
             to: from,
             msg: Message::BlockBody(hash),
@@ -312,11 +377,12 @@ impl Node {
     pub fn on_import_complete(
         &mut self,
         block: &Block,
+        idx: BlockIdx,
         included: &[&Transaction],
         cfg: &NetConfig,
     ) -> ImportResult {
         let hash = block.hash();
-        let provenance = self.import_pending.remove(&hash).flatten();
+        let provenance = self.pending_provenance(idx).flatten();
         let outcome = self.chain.insert(
             hash,
             block.parent(),
@@ -349,16 +415,13 @@ impl Node {
         let head_number = self.chain.head_number();
         let recent = block.number() + cfg.relay_window > head_number;
         if new_head || (cfg.relay_non_head && recent) {
-            let targets: Vec<NodeId> = self
-                .peers
-                .iter()
-                .copied()
-                .filter(|&p| !self.peer_knows_block(p, hash))
-                .collect();
-            for peer in targets {
-                self.mark_peer_knows_block(peer, hash);
+            for pos in 0..self.peers.len() {
+                if self.peer_knows_block(pos, idx) {
+                    continue;
+                }
+                self.peer_known_blocks[pos].insert(idx.raw());
                 sends.push(Send {
-                    to: peer,
+                    to: self.peers[pos],
                     msg: Message::Announce(vec![hash]),
                 });
             }
@@ -367,26 +430,26 @@ impl Node {
     }
 
     /// Handles a batch of transactions (`from = None` for local
-    /// submissions injected by the workload).
+    /// submissions injected by the workload). Entries pair each
+    /// transaction with its interned slot.
     ///
     /// Returns the relays. Fresh transactions are added to the mempool if
     /// one is enabled.
     pub fn on_transactions(
         &mut self,
         from: Option<NodeId>,
-        txs: &[&Transaction],
+        txs: &[(TxIdx, &Transaction)],
         cfg: &NetConfig,
         rng: &mut Xoshiro256,
     ) -> Vec<Send> {
-        let mut fresh: Vec<TxId> = Vec::new();
-        for tx in txs {
-            if let Some(p) = from {
-                if let Some(s) = self.peer_known_txs.get_mut(&p) {
-                    s.insert(tx.id);
-                }
+        let from_pos = from.and_then(|p| self.pos_of(p));
+        let mut fresh: Vec<(TxIdx, TxId)> = Vec::new();
+        for &(idx, tx) in txs {
+            if let Some(p) = from_pos {
+                self.peer_known_txs[p].insert(idx.raw());
             }
-            if self.seen_txs.insert(tx.id) {
-                fresh.push(tx.id);
+            if self.seen_txs.insert(idx.raw()) {
+                fresh.push((idx, tx.id));
                 if let Some(pool) = self.mempool.as_mut() {
                     pool.add(tx);
                 }
@@ -395,48 +458,65 @@ impl Node {
         if fresh.is_empty() {
             return Vec::new();
         }
-        // Choose relay targets.
-        let candidates: Vec<NodeId> = self
-            .peers
-            .iter()
-            .copied()
-            .filter(|&p| Some(p) != from)
-            .collect();
-        let targets: Vec<NodeId> = match cfg.tx_relay {
-            TxRelayPolicy::All => candidates,
-            TxRelayPolicy::Sqrt => {
-                let fanout = cfg.push_fanout(self.peers.len()).min(candidates.len());
-                rng.sample_indices(candidates.len(), fanout)
-                    .into_iter()
-                    .map(|i| candidates[i])
-                    .collect()
+        // Choose relay targets (into the scratch buffer, so the common
+        // all-peers case allocates nothing).
+        self.scratch.clear();
+        for &p in &self.peers {
+            if Some(p) != from {
+                self.scratch.push(p);
             }
-        };
-        let mut sends = Vec::new();
-        for peer in targets {
-            let unknown: Vec<TxId> = {
-                let known = self
-                    .peer_known_txs
-                    .get(&peer)
-                    .expect("connected peers have known-sets");
-                fresh
-                    .iter()
-                    .copied()
-                    .filter(|&t| !known.contains(t))
-                    .collect()
-            };
-            if unknown.is_empty() {
-                continue;
-            }
-            if let Some(s) = self.peer_known_txs.get_mut(&peer) {
-                for &t in &unknown {
-                    s.insert(t);
+        }
+        if cfg.tx_relay == TxRelayPolicy::Sqrt {
+            let fanout = cfg.push_fanout(self.peers.len()).min(self.scratch.len());
+            let picks = rng.sample_indices(self.scratch.len(), fanout);
+            // Gather into the second persistent buffer and swap, keeping
+            // both allocations alive across calls (picks may reference
+            // positions in any order, so in-place compaction is unsafe).
+            self.scratch_picks.clear();
+            self.scratch_picks
+                .extend(picks.into_iter().map(|i| self.scratch[i]));
+            std::mem::swap(&mut self.scratch, &mut self.scratch_picks);
+        }
+        // `insert` returning true ⟺ the peer did not know the tx, so one
+        // fused probe replaces the old contains-then-insert pair; the set
+        // state afterwards is identical (duplicate inserts are no-ops).
+        let mut sends = Vec::with_capacity(self.scratch.len());
+        if let [(idx, id)] = fresh[..] {
+            // Dominant case: a single fresh transaction — no list
+            // materialization, no per-send heap payload.
+            for ti in 0..self.scratch.len() {
+                let peer = self.scratch[ti];
+                let pos = self.pos_of(peer).expect("connected peers have known-sets");
+                if self.peer_known_txs[pos].insert(idx.raw()) {
+                    sends.push(Send {
+                        to: peer,
+                        msg: Message::Tx(id),
+                    });
                 }
             }
-            sends.push(Send {
-                to: peer,
-                msg: Message::Transactions(unknown),
-            });
+            return sends;
+        }
+        for ti in 0..self.scratch.len() {
+            let peer = self.scratch[ti];
+            let pos = self.pos_of(peer).expect("connected peers have known-sets");
+            let known = &mut self.peer_known_txs[pos];
+            let mut unknown: Vec<TxId> = Vec::new();
+            for &(idx, id) in fresh.iter() {
+                if known.insert(idx.raw()) {
+                    unknown.push(id);
+                }
+            }
+            match unknown.len() {
+                0 => {}
+                1 => sends.push(Send {
+                    to: peer,
+                    msg: Message::Tx(unknown[0]),
+                }),
+                _ => sends.push(Send {
+                    to: peer,
+                    msg: Message::Transactions(unknown),
+                }),
+            }
         }
         sends
     }
@@ -461,14 +541,15 @@ impl Node {
         (parent, number, uncles, txs)
     }
 
-    /// Set of blocks currently being fetched (for driver timeout wiring).
-    pub fn is_fetching(&self, hash: BlockHash) -> bool {
-        self.fetching.contains_key(&hash)
+    /// True if this block is currently being fetched (for driver timeout
+    /// wiring).
+    pub fn is_fetching(&self, idx: BlockIdx) -> bool {
+        self.fetching.iter().any(|(i, _)| *i == idx)
     }
 
     /// True if the node holds (or is importing) this block's body.
-    pub fn has_block_body(&self, hash: BlockHash) -> bool {
-        self.have_body.contains(hash)
+    pub fn has_block_body(&self, idx: BlockIdx) -> bool {
+        self.have_body.contains(idx.raw())
     }
 }
 
@@ -476,6 +557,7 @@ impl Node {
 mod tests {
     use super::*;
     use ethmeter_chain::block::BlockBuilder;
+    use ethmeter_chain::BlockRegistry;
     use ethmeter_types::{AccountId, ByteSize, PoolId, SimTime};
     use std::collections::HashSet;
 
@@ -514,12 +596,32 @@ mod tests {
             .build()
     }
 
+    /// Interns `block` the way the driver does at creation time.
+    fn intern(reg: &mut BlockRegistry, block: &Block) -> BlockIdx {
+        reg.insert(block.clone())
+    }
+
+    fn tx(id: u64, origin: u32) -> Transaction {
+        Transaction {
+            id: TxId(id),
+            sender: AccountId(1),
+            nonce: 0,
+            gas_price: 5,
+            gas: 21_000,
+            size: ByteSize::from_bytes(180),
+            submitted_at: SimTime::ZERO,
+            origin: NodeId(origin),
+        }
+    }
+
     #[test]
     fn push_relays_to_sqrt_peers_and_schedules_import() {
+        let mut reg = BlockRegistry::new();
         let mut n = node(99, 25);
         let b = block1();
-        let (sends, action) = n.on_block_arrival(Some(NodeId(1)), &b, &cfg(), &mut rng());
-        assert_eq!(action, ImportAction::Schedule(b.hash()));
+        let idx = intern(&mut reg, &b);
+        let (sends, action) = n.on_block_arrival(Some(NodeId(1)), &b, idx, &cfg(), &mut rng());
+        assert_eq!(action, ImportAction::Schedule(idx));
         // sqrt(25) = 5 pushes, never back to the sender.
         assert_eq!(sends.len(), 5);
         assert!(sends.iter().all(|s| s.to != NodeId(1)));
@@ -533,23 +635,27 @@ mod tests {
 
     #[test]
     fn duplicate_arrivals_do_nothing() {
+        let mut reg = BlockRegistry::new();
         let mut n = node(99, 25);
         let b = block1();
-        let (_, first) = n.on_block_arrival(Some(NodeId(1)), &b, &cfg(), &mut rng());
+        let idx = intern(&mut reg, &b);
+        let (_, first) = n.on_block_arrival(Some(NodeId(1)), &b, idx, &cfg(), &mut rng());
         assert!(matches!(first, ImportAction::Schedule(_)));
-        let (sends, second) = n.on_block_arrival(Some(NodeId(2)), &b, &cfg(), &mut rng());
+        let (sends, second) = n.on_block_arrival(Some(NodeId(2)), &b, idx, &cfg(), &mut rng());
         assert!(sends.is_empty());
         assert_eq!(second, ImportAction::None);
     }
 
     #[test]
     fn import_complete_announces_to_unknowing_peers() {
+        let mut reg = BlockRegistry::new();
         let mut n = node(99, 10);
         let b = block1();
+        let idx = intern(&mut reg, &b);
         let c = cfg();
-        let (pushes, _) = n.on_block_arrival(Some(NodeId(1)), &b, &c, &mut rng());
+        let (pushes, _) = n.on_block_arrival(Some(NodeId(1)), &b, idx, &c, &mut rng());
         let pushed_to: HashSet<NodeId> = pushes.iter().map(|s| s.to).collect();
-        let res = n.on_import_complete(&b, &[], &c);
+        let res = n.on_import_complete(&b, idx, &[], &c);
         assert!(res.new_head);
         // Announcements go to everyone who neither sent nor received it.
         let announced: HashSet<NodeId> = res.sends.iter().map(|s| s.to).collect();
@@ -564,58 +670,67 @@ mod tests {
 
     #[test]
     fn announce_triggers_single_fetch() {
+        let mut reg = BlockRegistry::new();
         let mut n = node(99, 5);
         let b = block1();
-        let sends = n.on_announce(NodeId(1), &[b.hash()]);
+        let idx = intern(&mut reg, &b);
+        let sends = n.on_announce(NodeId(1), &[(b.hash(), idx)]);
         assert_eq!(sends.len(), 1);
         assert_eq!(sends[0].to, NodeId(1));
         assert!(matches!(sends[0].msg, Message::GetBlock(h) if h == b.hash()));
-        assert!(n.is_fetching(b.hash()));
+        assert!(n.is_fetching(idx));
         // Second announcer recorded, no second request.
-        let sends = n.on_announce(NodeId(2), &[b.hash()]);
+        let sends = n.on_announce(NodeId(2), &[(b.hash(), idx)]);
         assert!(sends.is_empty());
         // Timeout falls over to the second announcer.
-        let retry = n.on_fetch_timeout(b.hash());
+        let retry = n.on_fetch_timeout(b.hash(), idx);
         assert_eq!(retry.len(), 1);
         assert_eq!(retry[0].to, NodeId(2));
         // Exhausted announcers: gives up.
-        let give_up = n.on_fetch_timeout(b.hash());
+        let give_up = n.on_fetch_timeout(b.hash(), idx);
         assert!(give_up.is_empty());
-        assert!(!n.is_fetching(b.hash()));
+        assert!(!n.is_fetching(idx));
     }
 
     #[test]
     fn fetch_resolves_on_arrival() {
+        let mut reg = BlockRegistry::new();
         let mut n = node(99, 5);
         let b = block1();
-        n.on_announce(NodeId(1), &[b.hash()]);
-        let (_, action) = n.on_block_arrival(Some(NodeId(1)), &b, &cfg(), &mut rng());
+        let idx = intern(&mut reg, &b);
+        n.on_announce(NodeId(1), &[(b.hash(), idx)]);
+        let (_, action) = n.on_block_arrival(Some(NodeId(1)), &b, idx, &cfg(), &mut rng());
         assert!(matches!(action, ImportAction::Schedule(_)));
-        assert!(!n.is_fetching(b.hash()));
-        assert!(n.on_fetch_timeout(b.hash()).is_empty());
+        assert!(!n.is_fetching(idx));
+        assert!(n.on_fetch_timeout(b.hash(), idx).is_empty());
     }
 
     #[test]
     fn get_block_served_only_when_held() {
+        let mut reg = BlockRegistry::new();
         let mut n = node(99, 5);
         let b = block1();
-        assert!(n.on_get_block(NodeId(1), b.hash()).is_empty());
-        n.on_block_arrival(Some(NodeId(2)), &b, &cfg(), &mut rng());
-        let resp = n.on_get_block(NodeId(1), b.hash());
+        let idx = intern(&mut reg, &b);
+        assert!(n.on_get_block(NodeId(1), b.hash(), idx).is_empty());
+        n.on_block_arrival(Some(NodeId(2)), &b, idx, &cfg(), &mut rng());
+        assert!(n.has_block_body(idx));
+        let resp = n.on_get_block(NodeId(1), b.hash(), idx);
         assert_eq!(resp.len(), 1);
         assert!(matches!(resp[0].msg, Message::BlockBody(h) if h == b.hash()));
     }
 
     #[test]
     fn orphan_import_requests_parent() {
+        let mut reg = BlockRegistry::new();
         let mut n = node(99, 5);
         let c = cfg();
         // Block at height 2 whose parent (height 1) we never saw.
         let b1 = block1();
         let b2 = BlockBuilder::new(b1.hash(), 2, PoolId(0)).build();
-        let (_, action) = n.on_block_arrival(Some(NodeId(3)), &b2, &c, &mut rng());
+        let i2 = intern(&mut reg, &b2);
+        let (_, action) = n.on_block_arrival(Some(NodeId(3)), &b2, i2, &c, &mut rng());
         assert!(matches!(action, ImportAction::Schedule(_)));
-        let res = n.on_import_complete(&b2, &[], &c);
+        let res = n.on_import_complete(&b2, i2, &[], &c);
         assert!(!res.new_head);
         assert_eq!(res.sends.len(), 1);
         assert_eq!(res.sends[0].to, NodeId(3));
@@ -626,22 +741,13 @@ mod tests {
     fn transactions_relay_to_all_unknowing_peers() {
         let mut n = node(99, 6);
         let c = cfg();
-        let tx = Transaction {
-            id: TxId(1),
-            sender: AccountId(1),
-            nonce: 0,
-            gas_price: 5,
-            gas: 21_000,
-            size: ByteSize::from_bytes(180),
-            submitted_at: SimTime::ZERO,
-            origin: NodeId(0),
-        };
-        let sends = n.on_transactions(Some(NodeId(1)), &[&tx], &c, &mut rng());
+        let t1 = tx(1, 0);
+        let sends = n.on_transactions(Some(NodeId(1)), &[(TxIdx(0), &t1)], &c, &mut rng());
         // 5 peers other than the sender.
         assert_eq!(sends.len(), 5);
         // Replay: nothing fresh, nothing sent.
         assert!(n
-            .on_transactions(Some(NodeId(2)), &[&tx], &c, &mut rng())
+            .on_transactions(Some(NodeId(2)), &[(TxIdx(0), &t1)], &c, &mut rng())
             .is_empty());
     }
 
@@ -650,36 +756,19 @@ mod tests {
         let mut n = node(99, 25);
         let mut c = cfg();
         c.tx_relay = TxRelayPolicy::Sqrt;
-        let tx = Transaction {
-            id: TxId(2),
-            sender: AccountId(1),
-            nonce: 0,
-            gas_price: 5,
-            gas: 21_000,
-            size: ByteSize::from_bytes(180),
-            submitted_at: SimTime::ZERO,
-            origin: NodeId(0),
-        };
-        let sends = n.on_transactions(None, &[&tx], &c, &mut rng());
+        let t2 = tx(2, 0);
+        let sends = n.on_transactions(None, &[(TxIdx(1), &t2)], &c, &mut rng());
         assert_eq!(sends.len(), 5); // sqrt(25) = 5
     }
 
     #[test]
     fn mempool_integration_and_mining_template() {
+        let mut reg = BlockRegistry::new();
         let mut n = node(99, 3);
         n.enable_mempool();
         let c = cfg();
-        let tx0 = Transaction {
-            id: TxId(1),
-            sender: AccountId(1),
-            nonce: 0,
-            gas_price: 5,
-            gas: 21_000,
-            size: ByteSize::from_bytes(180),
-            submitted_at: SimTime::ZERO,
-            origin: NodeId(99),
-        };
-        n.on_transactions(None, &[&tx0], &c, &mut rng());
+        let tx0 = tx(1, 99);
+        n.on_transactions(None, &[(TxIdx(0), &tx0)], &c, &mut rng());
         assert_eq!(n.mempool().expect("enabled").len(), 1);
 
         let (parent, number, uncles, txs) = n.mine_template(UnclePolicy::Standard, 8_000_000);
@@ -692,17 +781,20 @@ mod tests {
         let b = BlockBuilder::new(genesis(), 1, PoolId(0))
             .txs(vec![TxId(1)])
             .build();
-        n.on_block_arrival(None, &b, &c, &mut rng());
-        let res = n.on_import_complete(&b, &[&tx0], &c);
+        let idx = intern(&mut reg, &b);
+        n.on_block_arrival(None, &b, idx, &c, &mut rng());
+        let res = n.on_import_complete(&b, idx, &[&tx0], &c);
         assert!(res.new_head);
         assert_eq!(n.mempool().expect("enabled").len(), 0);
     }
 
     #[test]
     fn locally_mined_block_pushes_to_all_peers() {
+        let mut reg = BlockRegistry::new();
         let mut n = node(99, 9);
         let b = block1();
-        let (sends, action) = n.on_block_arrival(None, &b, &cfg(), &mut rng());
+        let idx = intern(&mut reg, &b);
+        let (sends, action) = n.on_block_arrival(None, &b, idx, &cfg(), &mut rng());
         assert!(matches!(action, ImportAction::Schedule(_)));
         // Gateway flood: every peer, not just sqrt.
         assert_eq!(sends.len(), 9);
@@ -710,6 +802,7 @@ mod tests {
 
     #[test]
     fn stale_side_blocks_not_relayed_when_policy_off() {
+        let mut reg = BlockRegistry::new();
         let mut n = node(99, 9);
         let mut c = cfg();
         c.relay_non_head = false;
@@ -718,16 +811,34 @@ mod tests {
         for i in 1..=10u64 {
             let b = BlockBuilder::new(parent, i, PoolId(0)).salt(i).build();
             parent = b.hash();
-            n.on_block_arrival(Some(NodeId(1)), &b, &c, &mut rng());
-            n.on_import_complete(&b, &[], &c);
+            let idx = intern(&mut reg, &b);
+            n.on_block_arrival(Some(NodeId(1)), &b, idx, &c, &mut rng());
+            n.on_import_complete(&b, idx, &[], &c);
         }
         assert_eq!(n.chain().head_number(), 10);
         // A late fork block at height 1 does not improve the head and is
         // outside the relay window: no pushes.
         let stale = BlockBuilder::new(genesis(), 1, PoolId(5)).salt(99).build();
-        let (sends, action) = n.on_block_arrival(Some(NodeId(2)), &stale, &c, &mut rng());
+        let si = intern(&mut reg, &stale);
+        let (sends, action) = n.on_block_arrival(Some(NodeId(2)), &stale, si, &c, &mut rng());
         assert!(sends.is_empty());
         // It is still imported (valid block), just not relayed.
         assert!(matches!(action, ImportAction::Schedule(_)));
+    }
+
+    #[test]
+    fn messages_from_non_peers_are_tolerated() {
+        // Provenance marking from an unconnected node (e.g. a link torn
+        // down mid-flight in future scenarios) must be a silent no-op,
+        // exactly like the old NodeId-keyed map's `get_mut` miss.
+        let mut reg = BlockRegistry::new();
+        let mut n = node(99, 3);
+        let b = block1();
+        let idx = intern(&mut reg, &b);
+        let (sends, action) = n.on_block_arrival(Some(NodeId(1000)), &b, idx, &cfg(), &mut rng());
+        assert!(matches!(action, ImportAction::Schedule(_)));
+        // Relays still go to real peers (the stranger is not among them).
+        assert!(sends.iter().all(|s| s.to != NodeId(1000)));
+        assert!(!sends.is_empty());
     }
 }

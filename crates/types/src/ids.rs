@@ -82,6 +82,30 @@ id_newtype!(
     "tx-"
 );
 
+id_newtype!(
+    /// Dense interned slot of a block within one campaign.
+    ///
+    /// Blocks are interned into contiguous `u32` slots at creation time
+    /// (see `Interner` / the chain-side registries), so hot-path state can
+    /// live in `Vec`-indexed slabs instead of `BlockHash`-keyed hash maps.
+    /// A `BlockIdx` is only meaningful relative to the registry that
+    /// issued it; [`BlockHash`] remains the stable cross-boundary name.
+    BlockIdx,
+    u32,
+    "blk#"
+);
+
+id_newtype!(
+    /// Dense interned slot of a transaction within one campaign.
+    ///
+    /// The simulation driver assigns [`TxId`]s sequentially from 1, so a
+    /// transaction's dense slot is `id - 1`; this newtype keeps that
+    /// convention explicit at API boundaries.
+    TxIdx,
+    u32,
+    "tx#"
+);
+
 /// A block's height in the chain (the `number` field of an Ethereum header).
 pub type BlockNumber = u64;
 

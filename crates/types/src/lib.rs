@@ -25,10 +25,12 @@
 
 pub mod ids;
 pub mod region;
+pub mod registry;
 pub mod time;
 pub mod units;
 
-pub use ids::{AccountId, BlockHash, BlockNumber, NodeId, Nonce, PoolId, TxId};
+pub use ids::{AccountId, BlockHash, BlockIdx, BlockNumber, NodeId, Nonce, PoolId, TxId, TxIdx};
 pub use region::Region;
+pub use registry::{BuildFxHasher, FxHashMap, Interner};
 pub use time::{SimDuration, SimTime};
 pub use units::{Bandwidth, ByteSize, Gas};
