@@ -26,8 +26,17 @@ if [ -f BENCH_engine.json ]; then
     cp BENCH_engine.json "$saved_report"
 fi
 cargo bench -p ethmeter-bench --bench engine -- --quick
-test "$(jq -r .schema BENCH_engine.json)" = "ethmeter-bench-engine/v1"
+test "$(jq -r .schema BENCH_engine.json)" = "ethmeter-bench-engine/v2"
 jq -e '.presets | length == 3' BENCH_engine.json > /dev/null
+# v2 additions: per-preset counting-allocator metrics, PR-over-PR
+# baselines, and the multi-seed sweep-throughput survey.
+jq -e '.presets | all(has("allocs_per_event") and has("steady_allocs_per_event")
+                      and has("alloc_peak_bytes") and has("speedup_vs_pr2"))' \
+    BENCH_engine.json > /dev/null
+jq -e '.baseline | has("pr2_small_events_per_sec")' BENCH_engine.json > /dev/null
+jq -e '.sweep | has("reused_events_per_sec") and has("fresh_events_per_sec")
+                and has("reuse_speedup") and has("seeds") and has("threads_used")' \
+    BENCH_engine.json > /dev/null
 if [ -n "$saved_report" ]; then
     mv "$saved_report" BENCH_engine.json
 fi

@@ -281,7 +281,7 @@ mod tests {
             hashes.push(parent);
             tree.insert(b).expect("ok");
         }
-        let mut txs = HashMap::new();
+        let mut txs = ethmeter_types::FxHashMap::default();
         let t_submit = SimTime::ZERO + ib - SimDuration::from_secs(5);
         txs.insert(TxId(1), testutil::tx(1, 7, 0, t_submit));
 

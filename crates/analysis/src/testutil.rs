@@ -1,12 +1,12 @@
 //! Shared builders of synthetic campaigns with hand-computable properties.
 
-use std::collections::HashMap;
-
 use ethmeter_chain::block::BlockBuilder;
 use ethmeter_chain::tree::BlockTree;
 use ethmeter_chain::tx::Transaction;
 use ethmeter_measure::{BlockMsgKind, CampaignData, GroundTruth, ObserverLog, VantagePoint};
-use ethmeter_types::{AccountId, BlockHash, ByteSize, NodeId, PoolId, SimDuration, SimTime, TxId};
+use ethmeter_types::{
+    AccountId, BlockHash, ByteSize, FxHashMap, NodeId, PoolId, SimDuration, SimTime, TxId,
+};
 
 /// Number of canonical blocks the synthetic campaigns build.
 pub const BLOCKS: usize = 20;
@@ -35,7 +35,7 @@ pub fn linear_tree() -> (BlockTree, Vec<BlockHash>) {
 }
 
 /// Ground truth around a tree.
-pub fn truth(tree: BlockTree, txs: HashMap<TxId, Transaction>) -> GroundTruth {
+pub fn truth(tree: BlockTree, txs: FxHashMap<TxId, Transaction>) -> GroundTruth {
     GroundTruth {
         tree,
         txs,
@@ -106,7 +106,7 @@ pub fn campaign_with_block_spread_and_skew(
     }
     CampaignData {
         observers,
-        truth: truth(tree, HashMap::new()),
+        truth: truth(tree, FxHashMap::default()),
     }
 }
 

@@ -1,18 +1,26 @@
-//! Simulator-throughput benchmarks and the `BENCH_engine.json` report.
+//! Simulator-throughput benchmarks and the `BENCH_engine.json` report
+//! (schema `ethmeter-bench-engine/v2`).
 //!
-//! Two jobs in one harness:
+//! Three jobs in one harness:
 //!
 //! 1. Classic criterion-style microbenches: end-to-end campaign
 //!    execution, chain-only sequence generation (Figure 7 / §III-D's
 //!    substrate), the exact run-length theory, and the event-queue
 //!    push/pop hot path.
 //! 2. An events/sec throughput survey over the `tiny`/`small`/`medium`
-//!    presets, written to `BENCH_engine.json` at the repo root so the
-//!    trajectory of the simulation core is tracked across PRs. The file
-//!    also embeds the frozen pre-dense-rewrite baseline (measured on the
-//!    same reference container from the seed implementation), so the
-//!    report always answers "how much faster than the original hot path
-//!    are we now?".
+//!    presets, each with allocation metrics from a counting global
+//!    allocator: allocations per event for a fresh run, for a
+//!    reused-world run (the steady state the zero-allocation gossip path
+//!    targets), and the peak heap growth of a campaign.
+//! 3. A multi-seed sweep-throughput survey comparing reused-worker
+//!    sweeps ([`ethmeter_core::sweep::Sweep`]'s default) against
+//!    fresh-construction sweeps, quantifying what world reuse buys on
+//!    the seed-grid workloads of EXPERIMENTS.md.
+//!
+//! The report embeds two frozen baselines measured on the reference
+//! container: the seed implementation (pre-dense-rewrite) and the PR 2
+//! dense-index hot path, so it always answers "how much faster than the
+//! original — and than the previous PR — are we now?".
 //!
 //! Run `cargo bench -p ethmeter-bench --bench engine` for the full
 //! survey, or append `-- --quick` for the CI smoke mode (seconds, not
@@ -20,11 +28,14 @@
 
 use criterion::Criterion;
 use ethmeter_core::chainonly::{run_chain_only, ChainOnlyConfig};
-use ethmeter_core::{run_campaign, Preset, Scenario};
+use ethmeter_core::sweep::Sweep;
+use ethmeter_core::{run_campaign, CampaignRunner, Preset, Scenario};
 use ethmeter_sim::event::EventQueue;
 use ethmeter_stats::runs::{expected_maximal_runs, prob_run_at_least};
 use ethmeter_types::{SimDuration, SimTime};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Seed-implementation events/sec (commit "golden determinism harness",
@@ -36,13 +47,101 @@ const SEED_BASELINE_EPS: [(&str, f64); 3] = [
     ("medium", 911_207.0),
 ];
 
-/// One preset's throughput measurement.
+/// PR 2 (dense interned indices) events/sec, frozen from the committed
+/// `BENCH_engine.json` of that PR — the yardstick for this PR's
+/// zero-allocation + calendar-queue + key-major-bitmap hot path.
+const PR2_BASELINE_EPS: [(&str, f64); 3] = [
+    ("tiny", 3_610_530.662),
+    ("small", 2_986_817.635),
+    ("medium", 2_223_301.054),
+];
+
+// ---------------------------------------------------------------------------
+// Counting allocator: every heap operation in the process ticks these
+// counters, which is what lets the report state allocations per simulated
+// event — the metric the zero-allocation steady state is judged by.
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static HEAP_CURRENT: AtomicI64 = AtomicI64::new(0);
+static HEAP_PEAK: AtomicI64 = AtomicI64::new(0);
+
+#[inline]
+fn track_alloc(bytes: usize) {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    let cur = HEAP_CURRENT.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+    HEAP_PEAK.fetch_max(cur, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        track_alloc(layout.size());
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        HEAP_CURRENT.fetch_sub(layout.size() as i64, Ordering::Relaxed);
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        track_alloc(layout.size());
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        let delta = new_size as i64 - layout.size() as i64;
+        let cur = HEAP_CURRENT.fetch_add(delta, Ordering::Relaxed) + delta;
+        HEAP_PEAK.fetch_max(cur, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocation counters over one measured region.
+struct AllocDelta {
+    allocs: u64,
+    peak_growth_bytes: i64,
+}
+
+fn measure_allocs<R>(f: impl FnOnce() -> R) -> (R, AllocDelta) {
+    let start_allocs = ALLOCS.load(Ordering::Relaxed);
+    let start_heap = HEAP_CURRENT.load(Ordering::Relaxed);
+    HEAP_PEAK.store(start_heap, Ordering::Relaxed);
+    let out = f();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - start_allocs;
+    let peak_growth_bytes = HEAP_PEAK.load(Ordering::Relaxed) - start_heap;
+    (
+        out,
+        AllocDelta {
+            allocs,
+            peak_growth_bytes,
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+
+/// One preset's throughput + allocation measurement.
 struct PresetThroughput {
     name: &'static str,
     sim_seconds: f64,
     events: u64,
     best_wall_seconds: f64,
     events_per_sec: f64,
+    /// Allocations per event of a fresh `run_campaign` (world build
+    /// included, amortized over the run).
+    allocs_per_event: f64,
+    /// Allocations per event of a reused-world run (`CampaignRunner`'s
+    /// second run): the steady-state number the zero-allocation gossip
+    /// path targets.
+    steady_allocs_per_event: f64,
+    /// Peak heap growth of one fresh campaign, bytes.
+    alloc_peak_bytes: i64,
 }
 
 fn measure_preset(
@@ -67,10 +166,20 @@ fn measure_preset(
             best = wall;
         }
     }
+    // Allocation pass (separate from timing so counters don't share the
+    // measured region with `Instant` bookkeeping).
+    let (_, fresh) = measure_allocs(|| black_box(run_campaign(&scenario)));
+    let mut runner = CampaignRunner::new();
+    let _ = runner.run(&scenario); // populate the reusable world
+    let (_, steady) = measure_allocs(|| black_box(runner.run(&scenario)));
     let eps = events as f64 / best;
+    let allocs_per_event = fresh.allocs as f64 / events as f64;
+    let steady_allocs_per_event = steady.allocs as f64 / events as f64;
     println!(
         "  throughput/{name}: {events} events in {best:.3}s best-of-{samples} \
-         ({eps:.0} events/sec)"
+         ({eps:.0} events/sec, {allocs_per_event:.3} allocs/event fresh, \
+         {steady_allocs_per_event:.3} reused, peak {:.1} MiB)",
+        fresh.peak_growth_bytes as f64 / (1024.0 * 1024.0)
     );
     PresetThroughput {
         name,
@@ -78,11 +187,87 @@ fn measure_preset(
         events,
         best_wall_seconds: best,
         events_per_sec: eps,
+        allocs_per_event,
+        steady_allocs_per_event,
+        alloc_peak_bytes: fresh.peak_growth_bytes,
+    }
+}
+
+/// The multi-seed sweep survey: reused workers vs fresh construction on
+/// the same seed grid (identical outputs; the delta is pure wall clock).
+struct SweepThroughput {
+    preset: &'static str,
+    seeds: usize,
+    sim_seconds_per_job: f64,
+    threads_used: usize,
+    total_events: u64,
+    reused_wall_seconds: f64,
+    fresh_wall_seconds: f64,
+    reused_events_per_sec: f64,
+    fresh_events_per_sec: f64,
+    reuse_speedup: f64,
+}
+
+fn measure_sweep(seeds: usize, duration: SimDuration, samples: u32) -> SweepThroughput {
+    let base = Scenario::builder()
+        .preset(Preset::Tiny)
+        .duration(duration)
+        .build();
+    let time_sweep = |reuse: bool| -> (f64, u64, usize) {
+        let mut best = f64::INFINITY;
+        let mut events = 0;
+        let mut threads = 0;
+        for _ in 0..samples {
+            let sweep = Sweep::new(base.clone())
+                .seed_range(1, seeds)
+                .threads(4)
+                .reuse_workers(reuse);
+            let start = Instant::now();
+            let outcome = black_box(sweep.run());
+            let wall = start.elapsed().as_secs_f64();
+            events = outcome.events;
+            threads = outcome.threads_used;
+            if wall < best {
+                best = wall;
+            }
+        }
+        (best, events, threads)
+    };
+    let (fresh_wall, fresh_events, threads_used) = time_sweep(false);
+    let (reused_wall, reused_events, _) = time_sweep(true);
+    assert_eq!(
+        fresh_events, reused_events,
+        "reuse must not change sweep output"
+    );
+    let reused_eps = reused_events as f64 / reused_wall;
+    let fresh_eps = fresh_events as f64 / fresh_wall;
+    println!(
+        "  sweep/tiny-x{seeds}: {reused_events} events; reused {reused_wall:.3}s \
+         ({reused_eps:.0} ev/s) vs fresh {fresh_wall:.3}s ({fresh_eps:.0} ev/s) \
+         => {:.3}x",
+        reused_eps / fresh_eps
+    );
+    SweepThroughput {
+        preset: "tiny",
+        seeds,
+        sim_seconds_per_job: duration.as_secs_f64(),
+        threads_used,
+        total_events: reused_events,
+        reused_wall_seconds: reused_wall,
+        fresh_wall_seconds: fresh_wall,
+        reused_events_per_sec: reused_eps,
+        fresh_events_per_sec: fresh_eps,
+        reuse_speedup: reused_eps / fresh_eps,
     }
 }
 
 /// Event-queue microbench: ns per push+pop at a realistic pending-queue
-/// depth, with colliding timestamps to exercise the FIFO tie-break.
+/// depth, with campaign-like inter-event spacing (link delays spread over
+/// hundreds of microseconds to tens of milliseconds) plus a share of
+/// same-instant pushes to exercise the FIFO tie-break. The v1 suite used
+/// nanosecond-clustered timestamps, which no simulated workload produces
+/// and which a calendar queue intentionally does not optimize for; v2
+/// numbers measure the spacing the engine actually sees.
 fn measure_queue(samples: u32) -> f64 {
     const DEPTH: usize = 4_096;
     const OPS: usize = 200_000;
@@ -90,12 +275,19 @@ fn measure_queue(samples: u32) -> f64 {
     for _ in 0..samples {
         let mut q = EventQueue::with_capacity(DEPTH);
         for i in 0..DEPTH {
-            q.push(SimTime::from_nanos((i % 97) as u64), i as u64);
+            q.push(SimTime::from_nanos((i as u64 % 97) * 150_000), i as u64);
         }
         let start = Instant::now();
         for i in 0..OPS {
             let (t, _) = q.pop().expect("queue stays primed");
-            q.push(t + SimDuration::from_nanos((i % 131) as u64), i as u64);
+            // Delays 0.3–14 ms, like gossip hops; every 16th event lands
+            // at the exact instant just popped (a same-tick follow-up).
+            let delay = if i % 16 == 0 {
+                0
+            } else {
+                300_000 + (i as u64 % 131) * 105_000
+            };
+            q.push(t + SimDuration::from_nanos(delay), i as u64);
         }
         let wall = start.elapsed().as_secs_f64();
         black_box(&q);
@@ -150,50 +342,84 @@ fn json_f64(v: f64) -> String {
 fn write_report(
     mode: &str,
     presets: &[PresetThroughput],
+    sweep: &SweepThroughput,
     queue_push_pop_ns: f64,
     criterion: &Criterion,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"ethmeter-bench-engine/v1\",\n");
+    out.push_str("  \"schema\": \"ethmeter-bench-engine/v2\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"baseline\": {\n");
     out.push_str(
-        "    \"note\": \"seed implementation (pre dense-state rewrite), full mode, reference container\",\n",
+        "    \"note\": \"frozen reference-container baselines: seed implementation (pre dense-state rewrite) and PR 2 (dense interned indices), full mode\",\n",
     );
-    for (i, (name, eps)) in SEED_BASELINE_EPS.iter().enumerate() {
-        let comma = if i + 1 < SEED_BASELINE_EPS.len() {
+    for (name, eps) in SEED_BASELINE_EPS.iter() {
+        out.push_str(&format!(
+            "    \"{name}_events_per_sec\": {},\n",
+            json_f64(*eps)
+        ));
+    }
+    for (i, (name, eps)) in PR2_BASELINE_EPS.iter().enumerate() {
+        let comma = if i + 1 < PR2_BASELINE_EPS.len() {
             ","
         } else {
             ""
         };
         out.push_str(&format!(
-            "    \"{name}_events_per_sec\": {}{comma}\n",
+            "    \"pr2_{name}_events_per_sec\": {}{comma}\n",
             json_f64(*eps)
         ));
     }
     out.push_str("  },\n");
     out.push_str("  \"presets\": [\n");
     for (i, p) in presets.iter().enumerate() {
-        let baseline = SEED_BASELINE_EPS
+        let seed_base = SEED_BASELINE_EPS
             .iter()
             .find(|(n, _)| *n == p.name)
             .map(|(_, e)| *e);
-        let speedup = baseline.map_or(f64::NAN, |b| p.events_per_sec / b);
+        let pr2_base = PR2_BASELINE_EPS
+            .iter()
+            .find(|(n, _)| *n == p.name)
+            .map(|(_, e)| *e);
+        let speedup = seed_base.map_or(f64::NAN, |b| p.events_per_sec / b);
+        let speedup_pr2 = pr2_base.map_or(f64::NAN, |b| p.events_per_sec / b);
         let comma = if i + 1 < presets.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"sim_seconds\": {}, \"events\": {}, \
              \"best_wall_seconds\": {}, \"events_per_sec\": {}, \
-             \"speedup_vs_baseline\": {}}}{comma}\n",
+             \"speedup_vs_baseline\": {}, \"speedup_vs_pr2\": {}, \
+             \"allocs_per_event\": {}, \"steady_allocs_per_event\": {}, \
+             \"alloc_peak_bytes\": {}}}{comma}\n",
             p.name,
             json_f64(p.sim_seconds),
             p.events,
             json_f64(p.best_wall_seconds),
             json_f64(p.events_per_sec),
             json_f64(speedup),
+            json_f64(speedup_pr2),
+            json_f64(p.allocs_per_event),
+            json_f64(p.steady_allocs_per_event),
+            p.alloc_peak_bytes,
         ));
     }
     out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"sweep\": {{\"preset\": \"{}\", \"seeds\": {}, \"sim_seconds_per_job\": {}, \
+         \"threads_used\": {}, \"total_events\": {}, \"reused_wall_seconds\": {}, \
+         \"fresh_wall_seconds\": {}, \"reused_events_per_sec\": {}, \
+         \"fresh_events_per_sec\": {}, \"reuse_speedup\": {}}},\n",
+        sweep.preset,
+        sweep.seeds,
+        json_f64(sweep.sim_seconds_per_job),
+        sweep.threads_used,
+        sweep.total_events,
+        json_f64(sweep.reused_wall_seconds),
+        json_f64(sweep.fresh_wall_seconds),
+        json_f64(sweep.reused_events_per_sec),
+        json_f64(sweep.fresh_events_per_sec),
+        json_f64(sweep.reuse_speedup),
+    ));
     out.push_str(&format!(
         "  \"queue_push_pop_ns\": {},\n",
         json_f64(queue_push_pop_ns)
@@ -232,7 +458,7 @@ fn main() {
         )
     } else {
         (
-            3,
+            5,
             SimDuration::from_mins(20),
             SimDuration::from_mins(30),
             SimDuration::from_mins(10),
@@ -244,10 +470,17 @@ fn main() {
         measure_preset("medium", Preset::Medium, medium_d, samples),
     ];
 
+    println!("group: sweep");
+    let sweep = if quick {
+        measure_sweep(6, SimDuration::from_mins(1), 1)
+    } else {
+        measure_sweep(16, SimDuration::from_mins(2), 3)
+    };
+
     println!("group: queue");
     let queue_ns = measure_queue(if quick { 1 } else { 5 });
 
-    let report = write_report(mode, &presets, queue_ns, &criterion);
+    let report = write_report(mode, &presets, &sweep, queue_ns, &criterion);
     // CARGO_MANIFEST_DIR = crates/bench; the report lives at the repo root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &report).expect("write BENCH_engine.json");

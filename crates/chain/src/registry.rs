@@ -12,9 +12,7 @@
 //! exported datasets all speak [`BlockHash`]/[`TxId`]; slots never leak
 //! out of a single campaign.
 
-use std::collections::HashMap;
-
-use ethmeter_types::{BlockHash, BlockIdx, Interner, TxId, TxIdx};
+use ethmeter_types::{BlockHash, BlockIdx, FxHashMap, Interner, TxId, TxIdx};
 
 use crate::block::Block;
 use crate::tx::Transaction;
@@ -75,6 +73,25 @@ impl BlockRegistry {
     /// True if no block was registered.
     pub fn is_empty(&self) -> bool {
         self.blocks.is_empty()
+    }
+
+    /// All registered blocks, in slot (= creation) order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Moves every block out, in slot order, leaving the interner behind.
+    /// The registry is unusable afterwards until [`BlockRegistry::clear`]
+    /// runs — this exists so the campaign boundary can materialize owned
+    /// ground-truth blocks without cloning them.
+    pub fn take_blocks(&mut self) -> Vec<Block> {
+        std::mem::take(&mut self.blocks)
+    }
+
+    /// Forgets every block, retaining allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.interner.clear();
+        self.blocks.clear();
     }
 }
 
@@ -155,10 +172,22 @@ impl TxRegistry {
         self.txs.iter()
     }
 
+    /// Forgets every transaction, retaining allocated capacity for reuse.
+    pub fn clear(&mut self) {
+        self.txs.clear();
+    }
+
     /// Converts into the boundary representation used by exported ground
     /// truth (analysis consumes a `TxId`-keyed map).
-    pub fn into_map(self) -> HashMap<TxId, Transaction> {
+    pub fn into_map(self) -> FxHashMap<TxId, Transaction> {
         self.txs.into_iter().map(|t| (t.id, t)).collect()
+    }
+
+    /// [`TxRegistry::into_map`] by cloning, leaving the registry intact —
+    /// the campaign boundary for reused worlds, which keep their registry
+    /// allocation across runs.
+    pub fn to_map(&self) -> FxHashMap<TxId, Transaction> {
+        self.txs.iter().map(|t| (t.id, t.clone())).collect()
     }
 }
 

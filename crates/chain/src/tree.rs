@@ -116,6 +116,15 @@ impl BlockTree {
         self.genesis
     }
 
+    /// The hash every [`BlockTree::new`] roots at, without building a
+    /// tree. Drivers that materialize their ground-truth tree only at the
+    /// campaign boundary still need this hash at construction time.
+    pub fn shared_genesis_hash() -> BlockHash {
+        BlockBuilder::new(BlockHash::ZERO, 0, GENESIS_MINER)
+            .build()
+            .hash()
+    }
+
     /// The current best block.
     pub fn head(&self) -> BlockHash {
         self.head

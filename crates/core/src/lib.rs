@@ -39,7 +39,7 @@ pub mod scenario;
 pub mod sweep;
 pub mod world;
 
-pub use runner::{run_campaign, CampaignOutcome};
+pub use runner::{run_campaign, CampaignOutcome, CampaignRunner};
 pub use scenario::{Preset, Scenario, ScenarioBuilder};
 pub use sweep::{Sweep, SweepOutcome, SweepRun};
 pub use world::{RunStats, SimWorld};
@@ -61,7 +61,7 @@ pub use ethmeter_workload as workload;
 /// The most common imports, re-exported for `use ethmeter_core::prelude::*`.
 pub mod prelude {
     pub use crate::chainonly::{run_chain_only, ChainOnlyConfig};
-    pub use crate::runner::{run_campaign, CampaignOutcome};
+    pub use crate::runner::{run_campaign, CampaignOutcome, CampaignRunner};
     pub use crate::scenario::{Preset, Scenario};
     pub use crate::sweep::{Sweep, SweepOutcome, SweepRun};
     pub use crate::{analysis, chain, geo, measure, mining, net, sim, stats, types, workload};

@@ -1,4 +1,4 @@
-//! One-call campaign execution.
+//! One-call campaign execution, and the reusable worker runner.
 
 use ethmeter_measure::CampaignData;
 use ethmeter_sim::engine::RunOutcome;
@@ -30,19 +30,78 @@ pub fn run_campaign(scenario: &Scenario) -> CampaignOutcome {
     for (t, e) in initial {
         engine.schedule(t, e);
     }
+    let (stats, events) = drive(&mut engine, scenario);
+    // One-shot path: the world is consumed, so logs and the transaction
+    // table move into the dataset instead of being cloned out.
+    CampaignOutcome {
+        campaign: engine.into_world().into_campaign(scenario.duration),
+        stats,
+        events,
+    }
+}
+
+/// A reusable campaign worker: one engine + one world, reset between
+/// runs.
+///
+/// [`run_campaign`] rebuilds the entire world per call — registries, node
+/// tables, per-peer known-set probe tables, observer-log maps, the event
+/// queue's slab. For a single campaign that is irrelevant; for a sweep
+/// worker executing hundreds of jobs it is pure overhead. `CampaignRunner`
+/// keeps one [`SimWorld`] and its [`Engine`] alive across a whole job
+/// stream, resetting them between runs so every allocation is reused.
+///
+/// The contract is exact equivalence: `runner.run(s)` returns a
+/// [`CampaignOutcome`] bit-identical to `run_campaign(s)` for every
+/// scenario, in any order, regardless of what ran before (pinned by the
+/// reset proptest below and the sweep equivalence suite).
+#[derive(Debug, Default)]
+pub struct CampaignRunner {
+    engine: Option<Engine<SimWorld>>,
+}
+
+impl CampaignRunner {
+    /// Creates a runner with no world yet (built lazily on first run).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one campaign, reusing the previous run's allocations.
+    pub fn run(&mut self, scenario: &Scenario) -> CampaignOutcome {
+        let engine = match self.engine.as_mut() {
+            Some(engine) => {
+                engine.reset();
+                engine.world_mut().reset(scenario);
+                engine
+            }
+            None => {
+                self.engine = Some(Engine::new(SimWorld::new(scenario)));
+                self.engine.as_mut().expect("just inserted")
+            }
+        };
+        let initial = engine.world_mut().initial_events();
+        for (t, e) in initial {
+            engine.schedule(t, e);
+        }
+        let (stats, events) = drive(engine, scenario);
+        // Reuse path: the world survives for the next reset, so logs and
+        // the transaction table are cloned out.
+        CampaignOutcome {
+            campaign: engine.world_mut().take_campaign(scenario.duration),
+            stats,
+            events,
+        }
+    }
+}
+
+/// Drives a primed engine to the scenario horizon (shared by the
+/// one-shot and reusable paths); campaign extraction differs per path.
+fn drive(engine: &mut Engine<SimWorld>, scenario: &Scenario) -> (RunStats, u64) {
     let outcome = engine.run_until(SimTime::ZERO + scenario.duration);
     debug_assert!(
         outcome == RunOutcome::DeadlineReached || outcome == RunOutcome::QueueExhausted,
         "unexpected engine outcome {outcome:?}"
     );
-    let events = engine.processed();
-    let world = engine.into_world();
-    let stats = world.stats;
-    CampaignOutcome {
-        campaign: world.into_campaign(scenario.duration),
-        stats,
-        events,
-    }
+    (engine.world().stats, engine.processed())
 }
 
 #[cfg(test)]
@@ -78,5 +137,65 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert_eq!(a.events, b.events);
         assert_eq!(a.campaign.truth.tree.head(), b.campaign.truth.tree.head());
+    }
+
+    #[test]
+    fn reused_runner_matches_one_shot_execution() {
+        let mut runner = CampaignRunner::new();
+        for seed in [5, 6, 5] {
+            let scenario = Scenario::builder()
+                .preset(Preset::Tiny)
+                .seed(seed)
+                .duration(SimDuration::from_mins(2))
+                .build();
+            let reused = runner.run(&scenario);
+            let fresh = run_campaign(&scenario);
+            assert_eq!(reused.stats, fresh.stats, "seed {seed}");
+            assert_eq!(reused.events, fresh.events, "seed {seed}");
+            assert_eq!(
+                reused.campaign.fingerprint(),
+                fresh.campaign.fingerprint(),
+                "seed {seed}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::scenario::Preset;
+    use ethmeter_types::SimDuration;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A `SimWorld::reset`-reused world must produce a campaign
+        /// fingerprint identical to a freshly constructed world, across
+        /// random seeds and preset shapes. The runner persists across
+        /// cases, so every case also exercises "reset after an arbitrary
+        /// previous job" — the sweep worker's exact usage pattern.
+        #[test]
+        fn reset_reuse_is_fingerprint_identical(
+            seed in 0u64..1_000_000,
+            shape in 0u8..3,
+            mins in 1u64..3,
+        ) {
+            use std::cell::RefCell;
+            thread_local! {
+                static RUNNER: RefCell<CampaignRunner> =
+                    RefCell::new(CampaignRunner::new());
+            }
+            let builder = Scenario::builder().seed(seed).duration(SimDuration::from_mins(mins));
+            let scenario = match shape {
+                0 => builder.preset(Preset::Tiny).build(),
+                1 => builder.preset(Preset::Tiny).ordinary_nodes(40).build(),
+                _ => builder.preset(Preset::Tiny).tx_rate(1.5).build(),
+            };
+            let fresh = run_campaign(&scenario);
+            let reused = RUNNER.with(|r| r.borrow_mut().run(&scenario));
+            prop_assert_eq!(reused.stats, fresh.stats);
+            prop_assert_eq!(reused.events, fresh.events);
+            prop_assert_eq!(reused.campaign.fingerprint(), fresh.campaign.fingerprint());
+        }
     }
 }

@@ -9,11 +9,20 @@
 //! `std::thread` workers and collects every [`CampaignOutcome`] plus
 //! aggregate counters.
 //!
-//! Each job is an independent [`run_campaign`] call on its own scenario
-//! clone, so per-seed results are **bit-identical** to running the same
-//! scenario sequentially — the worker count only changes wall-clock time,
-//! never output. [`run_campaign`] remains the single-campaign fast path;
-//! a sweep of one seed adds only thread-spawn overhead.
+//! Each job produces the outcome of an independent [`run_campaign`] call
+//! on its own scenario clone, so per-seed results are **bit-identical** to
+//! running the same scenario sequentially — the worker count only changes
+//! wall-clock time, never output. [`run_campaign`] remains the
+//! single-campaign fast path; a sweep of one seed adds only thread-spawn
+//! overhead.
+//!
+//! Workers reuse state: each thread owns one [`CampaignRunner`] (a
+//! [`crate::world::SimWorld`] + engine pair reset between jobs), so
+//! registries, node tables, known-set probe tables, observer logs, and
+//! the event-queue slab are allocated once per worker instead of once per
+//! seed. [`Sweep::reuse_workers`] can disable this (fresh construction
+//! per job) — the output is identical either way; the toggle exists so
+//! the bench suite can measure exactly what reuse buys.
 //!
 //! # Example
 //!
@@ -35,7 +44,7 @@ use std::thread;
 
 use ethmeter_types::BlockHash;
 
-use crate::runner::{run_campaign, CampaignOutcome};
+use crate::runner::{run_campaign, CampaignOutcome, CampaignRunner};
 use crate::scenario::Scenario;
 use crate::world::RunStats;
 
@@ -51,6 +60,7 @@ pub struct Sweep {
     seeds: Vec<u64>,
     threads: usize,
     variants: Vec<(String, VariantFn)>,
+    reuse_workers: bool,
 }
 
 impl Sweep {
@@ -62,7 +72,18 @@ impl Sweep {
             seeds: Vec::new(),
             threads: 0,
             variants: Vec::new(),
+            reuse_workers: true,
         }
+    }
+
+    /// Controls per-worker world reuse (default `true`). With `false`
+    /// every job constructs its world from scratch, exactly like calling
+    /// [`run_campaign`] in a loop. Results are bit-identical either way;
+    /// disabling reuse only costs wall-clock time (the bench suite uses
+    /// this to quantify the difference).
+    pub fn reuse_workers(mut self, reuse: bool) -> Self {
+        self.reuse_workers = reuse;
+        self
     }
 
     /// Sets the seed axis explicitly.
@@ -138,18 +159,27 @@ impl Sweep {
             let handles: Vec<_> = (0..threads)
                 .map(|_| {
                     scope.spawn(|| {
+                        // One reusable world+engine per worker thread: the
+                        // whole job stream runs on a single allocation
+                        // footprint. Outcomes are bit-identical to fresh
+                        // construction (the CampaignRunner contract).
+                        let mut runner = self.reuse_workers.then(CampaignRunner::new);
                         let mut mine = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             let Some((variant, scenario)) = jobs.get(i) else {
                                 break;
                             };
+                            let outcome = match runner.as_mut() {
+                                Some(r) => r.run(scenario),
+                                None => run_campaign(scenario),
+                            };
                             mine.push((
                                 i,
                                 SweepRun {
                                     seed: scenario.seed,
                                     variant: variant.clone(),
-                                    outcome: run_campaign(scenario),
+                                    outcome,
                                 },
                             ));
                         }

@@ -2,9 +2,8 @@
 //!
 //! [`SimWorld`] owns every entity of a campaign — the P2P nodes (ordinary
 //! peers, pool gateways, instrumented observers), the global block and
-//! transaction registries, the ground-truth block tree, the mining races,
-//! and the workload generator — and interprets the [`Event`] alphabet for
-//! the [`ethmeter_sim::Engine`].
+//! transaction registries, the mining races, and the workload generator —
+//! and interprets the [`Event`] alphabet for the [`ethmeter_sim::Engine`].
 //!
 //! Storage is dense end to end: blocks and transactions are interned into
 //! contiguous slots at creation time ([`ethmeter_chain::BlockRegistry`] /
@@ -14,14 +13,27 @@
 //! Real hashes appear exactly where the outside world looks: wire
 //! messages and observer logs.
 //!
+//! The steady state is also allocation-free: node handlers append their
+//! outgoing messages to one world-owned `Vec<Send>` recycled across every
+//! event, the scheduler writes follow-up events straight into the
+//! engine's queue slab, small wire payloads live inline in the
+//! [`Message`] itself, fan-out sampling and block packing run through
+//! world- and node-owned scratch buffers, and the ground-truth block tree
+//! is materialized from the registry only at the campaign boundary — the
+//! hot path never clones a block.
+//!
+//! Worlds are reusable: [`SimWorld::reset`] rewinds everything to what
+//! `SimWorld::new` would build for a scenario while retaining every
+//! allocation (registries, node tables, known-set probe tables, observer
+//! logs), which is what lets sweep workers run whole job streams without
+//! rebuilding their heap footprint per seed.
+//!
 //! Timing model per message: fixed processing overhead + sender-uplink
 //! serialization + sampled geographic link latency + receiver-downlink
 //! serialization. Block imports additionally pay a validation delay that
 //! grows with transaction count (why empty blocks win races), and pools
 //! re-target their miners a sampled lag after their gateway switches heads
 //! (the stale-mining window behind the fork rate).
-
-use std::collections::HashSet;
 
 use ethmeter_chain::block::{Block, BlockBuilder};
 use ethmeter_chain::tree::BlockTree;
@@ -36,8 +48,8 @@ use ethmeter_sim::dist::{Exp, LogNormal};
 use ethmeter_sim::engine::Scheduler;
 use ethmeter_sim::{World, Xoshiro256};
 use ethmeter_types::{
-    BlockHash, BlockIdx, BlockNumber, ByteSize, NodeId, PoolId, Region, SimDuration, SimTime, TxId,
-    TxIdx,
+    BlockHash, BlockIdx, BlockNumber, ByteSize, FxHashSet, NodeId, PoolId, Region, SimDuration,
+    SimTime, TxId, TxIdx,
 };
 
 use crate::scenario::Scenario;
@@ -158,6 +170,9 @@ pub struct SimWorld {
     gas_limit: u64,
     miner_lag: Exp,
     import_jitter: LogNormal,
+    /// Intra-pool distribution delay of a sealed block to each gateway,
+    /// built once here instead of per broadcast.
+    intra_gateway_delay: Exp,
     duration: SimDuration,
 
     // Entities (all Vec-indexed by raw NodeId).
@@ -169,11 +184,14 @@ pub struct SimWorld {
     logs: Vec<ObserverLog>,
     vantages: Vec<VantagePoint>,
 
-    // Registries and ground truth. Blocks and txs are interned at
-    // creation; every hot lookup is a dense-slot array index.
+    // Registries. Blocks and txs are interned at creation; every hot
+    // lookup is a dense-slot array index. The registry is also the single
+    // owner of every block: ground truth is derived from it at the
+    // campaign boundary instead of being cloned block-by-block during the
+    // run.
     blocks: BlockRegistry,
     txs: TxRegistry,
-    truth: BlockTree,
+    genesis: BlockHash,
 
     // Mining (Vec-indexed by raw PoolId).
     pools: PoolDirectory,
@@ -192,6 +210,14 @@ pub struct SimWorld {
     rng_workload: Xoshiro256,
     rng_latency: Xoshiro256,
     rng_clock: Xoshiro256,
+
+    // Recycled per-event buffers (cleared before use; never observable).
+    /// Outgoing-message buffer shared by every handler invocation.
+    send_scratch: Vec<Send>,
+    /// Mempool packing buffer.
+    pack_buf: Vec<TxId>,
+    /// Recent-ancestor transaction set for double-inclusion guarding.
+    ancestor_scratch: FxHashSet<TxId>,
 
     block_salt: u64,
     /// Run counters.
@@ -215,59 +241,125 @@ impl SimWorld {
     /// Builds the world for a scenario (topology, node placement, gateway
     /// wiring, observers) without scheduling anything.
     pub fn new(scenario: &Scenario) -> Self {
+        let genesis = BlockTree::shared_genesis_hash();
+        let mut world = SimWorld {
+            net: scenario.net.clone(),
+            latency: scenario.latency.clone(),
+            interblock: scenario.interblock,
+            gas_limit: scenario.gas_limit,
+            miner_lag: Exp::with_mean(1.0),
+            import_jitter: LogNormal::with_median(1.0, 0.1),
+            intra_gateway_delay: Exp::with_mean(0.015),
+            duration: scenario.duration,
+            nodes: Vec::new(),
+            node_meta: Vec::new(),
+            gateway_pool: Vec::new(),
+            observer_slot: Vec::new(),
+            observers: Vec::new(),
+            logs: Vec::new(),
+            vantages: Vec::new(),
+            blocks: BlockRegistry::new(),
+            txs: TxRegistry::new(),
+            genesis,
+            pools: scenario.pools.clone(),
+            pool_states: Vec::new(),
+            generator: ethmeter_workload::TxGenerator::new(scenario.workload.clone()),
+            account_homes: Vec::new(),
+            rng_net: Xoshiro256::seed_from_u64(0),
+            rng_mining: Xoshiro256::seed_from_u64(0),
+            rng_workload: Xoshiro256::seed_from_u64(0),
+            rng_latency: Xoshiro256::seed_from_u64(0),
+            rng_clock: Xoshiro256::seed_from_u64(0),
+            send_scratch: Vec::new(),
+            pack_buf: Vec::new(),
+            ancestor_scratch: FxHashSet::default(),
+            block_salt: 1,
+            stats: RunStats::default(),
+        };
+        world.reset(scenario);
+        world
+    }
+
+    /// Rewinds the world to exactly what `SimWorld::new(scenario)` builds
+    /// — same topology, same placement, same RNG streams, same observers —
+    /// while reusing every allocation already held: the registries, the
+    /// node slabs and their known-set probe tables, the observer-log maps,
+    /// and the scratch buffers. `new` itself is implemented through this
+    /// method, so the fresh and reused paths cannot diverge.
+    ///
+    /// A world whose campaign was extracted with [`SimWorld::take_campaign`]
+    /// must be reset before its next run.
+    pub fn reset(&mut self, scenario: &Scenario) {
         let mut root = Xoshiro256::seed_from_u64(scenario.seed);
         let mut rng_topo = root.fork("topology");
         let mut rng_place = root.fork("placement");
-        let rng_net = root.fork("net");
-        let rng_mining = root.fork("mining");
-        let rng_workload = root.fork("workload");
-        let rng_latency = root.fork("latency");
+        self.rng_net = root.fork("net");
+        self.rng_mining = root.fork("mining");
+        self.rng_workload = root.fork("workload");
+        self.rng_latency = root.fork("latency");
         let mut rng_clock = root.fork("clock");
 
-        let pools = scenario.pools.clone();
+        self.net = scenario.net.clone();
+        self.latency = scenario.latency.clone();
+        self.interblock = scenario.interblock;
+        self.gas_limit = scenario.gas_limit;
+        self.miner_lag = Exp::with_mean(scenario.miner_lag_mean.as_secs_f64().max(1e-6));
+        self.import_jitter = LogNormal::with_median(1.0, scenario.net.import_jitter_sigma);
+        self.intra_gateway_delay = Exp::with_mean(0.015);
+        self.duration = scenario.duration;
+        self.pools = scenario.pools.clone();
+        self.vantages = scenario.vantages.clone();
+
         let n_ordinary = scenario.ordinary_nodes;
-        let total_gateways: usize = pools.iter().map(|p| p.gateway_count).sum();
+        let total_gateways: usize = self.pools.iter().map(|p| p.gateway_count).sum();
         let n_obs = scenario.vantages.len();
         let n = n_ordinary + total_gateways + n_obs;
 
         // Regions and bandwidth per node.
         let region_weights: Vec<f64> = scenario.region_weights.iter().map(|&(_, w)| w).collect();
         let regions: Vec<Region> = scenario.region_weights.iter().map(|&(r, _)| r).collect();
-        let mut node_meta: Vec<(Region, BandwidthClass)> = Vec::with_capacity(n);
+        self.node_meta.clear();
+        self.node_meta.reserve(n);
         for _ in 0..n_ordinary {
             let region = regions[rng_place.choose_weighted(&region_weights)];
-            node_meta.push((region, BandwidthClass::sample_ordinary(&mut rng_place)));
+            self.node_meta
+                .push((region, BandwidthClass::sample_ordinary(&mut rng_place)));
         }
-        let mut gateways: Vec<Vec<NodeId>> = vec![Vec::new(); pools.len()];
-        let mut gateway_pool: Vec<Option<PoolId>> = vec![None; n_ordinary];
-        for pool in pools.iter() {
+        let mut gateways: Vec<Vec<NodeId>> = vec![Vec::new(); self.pools.len()];
+        self.gateway_pool.clear();
+        self.gateway_pool.resize(n_ordinary, None);
+        for pool in self.pools.iter() {
             for region in pool.plan_gateway_regions() {
-                let id = NodeId(node_meta.len() as u32);
-                node_meta.push((region, BandwidthClass::Backbone));
-                gateway_pool.push(Some(pool.id));
+                let id = NodeId(self.node_meta.len() as u32);
+                self.node_meta.push((region, BandwidthClass::Backbone));
+                self.gateway_pool.push(Some(pool.id));
                 gateways[pool.id.index()].push(id);
             }
         }
-        let mut observer_slot: Vec<Option<usize>> = vec![None; node_meta.len()];
-        let mut observers = Vec::new();
-        let mut logs = Vec::new();
+        self.observer_slot.clear();
+        self.observer_slot.resize(self.node_meta.len(), None);
+        self.observers.clear();
         for (slot, v) in scenario.vantages.iter().enumerate() {
-            let id = NodeId(node_meta.len() as u32);
-            node_meta.push((v.region, BandwidthClass::Backbone));
-            gateway_pool.push(None);
-            observer_slot.push(Some(slot));
-            observers.push(ObserverState {
+            self.node_meta.push((v.region, BandwidthClass::Backbone));
+            self.gateway_pool.push(None);
+            self.observer_slot.push(Some(slot));
+            self.observers.push(ObserverState {
                 skew: scenario.clock.skew(&mut rng_clock),
             });
-            logs.push(ObserverLog::new());
-            let _ = id;
+            // Observer logs are reused across campaigns: clear in place.
+            match self.logs.get_mut(slot) {
+                Some(log) => log.clear(),
+                None => self.logs.push(ObserverLog::new()),
+            }
         }
+        self.logs.truncate(n_obs);
+        self.rng_clock = rng_clock;
 
         // Topology: dial targets per role.
         let mut targets = Vec::with_capacity(n);
         let mut caps = Vec::with_capacity(n);
-        for i in 0..node_meta.len() {
-            if let Some(slot) = observer_slot[i] {
+        for i in 0..self.node_meta.len() {
+            if let Some(slot) = self.observer_slot[i] {
                 // The paper's main observers ran "unlimited" peers, which
                 // on mainnet meant holding a few percent of the ~15,000
                 // nodes. We scale that adjacency *fraction*: observers
@@ -277,7 +369,7 @@ impl SimWorld {
                 // every gateway. The redundancy observer keeps Geth's
                 // default 25 peers.
                 let v = &scenario.vantages[slot];
-                let scaled_cap = (node_meta.len() / 3).max(32);
+                let scaled_cap = (self.node_meta.len() / 3).max(32);
                 let t = if v.default_peers {
                     v.peer_target
                 } else {
@@ -285,7 +377,7 @@ impl SimWorld {
                 };
                 targets.push(t);
                 caps.push(t + 16);
-            } else if gateway_pool[i].is_some() {
+            } else if self.gateway_pool[i].is_some() {
                 targets.push(scenario.gateway_degree);
                 caps.push(scenario.gateway_degree * 2);
             } else {
@@ -297,6 +389,8 @@ impl SimWorld {
         // Pool gateways are hidden infrastructure: observers cannot peer
         // with them directly, so measurements see blocks only after at
         // least one public hop — as in the real network.
+        let observer_slot = &self.observer_slot;
+        let gateway_pool = &self.gateway_pool;
         let is_observer = |v: usize| observer_slot[v].is_some();
         let is_gateway = |v: usize| gateway_pool[v].is_some();
         let topo = Topology::random_with_constraint(
@@ -305,81 +399,68 @@ impl SimWorld {
             |a, b| !((is_observer(a) && is_gateway(b)) || (is_observer(b) && is_gateway(a))),
         );
 
-        let truth = BlockTree::new();
-        let genesis = truth.genesis_hash();
-        let mut nodes: Vec<Node> = (0..node_meta.len())
-            .map(|i| {
-                Node::new(
+        self.genesis = BlockTree::shared_genesis_hash();
+        for i in 0..self.node_meta.len() {
+            let (region, bandwidth) = self.node_meta[i];
+            match self.nodes.get_mut(i) {
+                Some(node) => node.reset(
                     NodeId(i as u32),
-                    node_meta[i].0,
-                    node_meta[i].1,
-                    genesis,
+                    region,
+                    bandwidth,
+                    self.genesis,
                     &scenario.net,
-                )
-            })
-            .collect();
-        for i in 0..node_meta.len() {
+                ),
+                None => self.nodes.push(Node::new(
+                    NodeId(i as u32),
+                    region,
+                    bandwidth,
+                    self.genesis,
+                    &scenario.net,
+                )),
+            }
+        }
+        self.nodes.truncate(self.node_meta.len());
+        for i in 0..self.node_meta.len() {
             for &j in topo.neighbors(NodeId(i as u32)) {
                 if j.index() > i {
-                    nodes[i].connect(j, &scenario.net);
-                    nodes[j.index()].connect(NodeId(i as u32), &scenario.net);
+                    self.nodes[i].connect(j, &scenario.net);
+                    self.nodes[j.index()].connect(NodeId(i as u32), &scenario.net);
                 }
             }
         }
         for list in &gateways {
             for &g in list {
-                nodes[g.index()].enable_mempool();
+                self.nodes[g.index()].enable_mempool();
             }
         }
 
         // Accounts live on ordinary nodes, three submission points each.
-        let mut account_homes = Vec::with_capacity(scenario.workload.accounts);
+        self.account_homes.clear();
+        self.account_homes.reserve(scenario.workload.accounts);
         for _ in 0..scenario.workload.accounts {
-            account_homes.push([
+            self.account_homes.push([
                 NodeId(rng_place.index(n_ordinary.max(1)) as u32),
                 NodeId(rng_place.index(n_ordinary.max(1)) as u32),
                 NodeId(rng_place.index(n_ordinary.max(1)) as u32),
             ]);
         }
 
-        let pool_states = gateways
-            .into_iter()
-            .map(|gws| PoolState {
+        self.pool_states.clear();
+        self.pool_states
+            .extend(gateways.into_iter().map(|gws| PoolState {
                 gateways: gws,
-                target: (genesis, 1),
+                target: (self.genesis, 1),
                 dup: None,
-            })
-            .collect();
-        SimWorld {
-            net: scenario.net.clone(),
-            latency: scenario.latency.clone(),
-            interblock: scenario.interblock,
-            gas_limit: scenario.gas_limit,
-            miner_lag: Exp::with_mean(scenario.miner_lag_mean.as_secs_f64().max(1e-6)),
-            import_jitter: LogNormal::with_median(1.0, scenario.net.import_jitter_sigma),
-            duration: scenario.duration,
-            nodes,
-            node_meta,
-            gateway_pool,
-            observer_slot,
-            observers,
-            logs,
-            vantages: scenario.vantages.clone(),
-            blocks: BlockRegistry::new(),
-            txs: TxRegistry::new(),
-            truth,
-            pool_states,
-            pools,
-            generator: ethmeter_workload::TxGenerator::new(scenario.workload.clone()),
-            account_homes,
-            rng_net,
-            rng_mining,
-            rng_workload,
-            rng_latency,
-            rng_clock,
-            block_salt: 1,
-            stats: RunStats::default(),
-        }
+            }));
+
+        self.blocks.clear();
+        self.txs.clear();
+        self.generator = ethmeter_workload::TxGenerator::new(scenario.workload.clone());
+        self.send_scratch.clear();
+        self.pack_buf.clear();
+        self.ancestor_scratch.clear();
+        self.block_salt = 1;
+        self.stats = RunStats::default();
     }
 
     /// The events that bootstrap a run (one solve per pool, the workload
@@ -399,12 +480,55 @@ impl SimWorld {
         evs
     }
 
+    /// Materializes the ground-truth block tree from the registry by
+    /// replaying every block in creation order — identical to the tree an
+    /// incremental builder would have produced, because parents are always
+    /// registered before children.
+    fn build_truth_tree(blocks: impl IntoIterator<Item = Block>) -> BlockTree {
+        let mut tree = BlockTree::new();
+        for block in blocks {
+            // Duplicate hashes cannot occur (the registry deduplicates at
+            // interning time); orphans cannot occur (creation order).
+            let _ = tree.insert(block);
+        }
+        tree
+    }
+
+    /// Finishes the campaign without consuming the world: observer logs
+    /// and the transaction table are cloned out (the world keeps its
+    /// allocations for the next [`SimWorld::reset`]), while ground-truth
+    /// blocks are *moved* out of the registry — the world must be reset
+    /// before it runs again.
+    pub fn take_campaign(&mut self, duration: SimDuration) -> ethmeter_measure::CampaignData {
+        let tree = Self::build_truth_tree(self.blocks.take_blocks());
+        ethmeter_measure::CampaignData {
+            observers: self
+                .vantages
+                .iter()
+                .cloned()
+                .zip(self.logs.iter().cloned())
+                .collect(),
+            truth: ethmeter_measure::GroundTruth {
+                tree,
+                txs: self.txs.to_map(),
+                pool_names: self.pools.iter().map(|p| p.name.clone()).collect(),
+                pool_shares: self.pools.iter().map(|p| p.share).collect(),
+                interblock: self.interblock,
+                duration,
+            },
+        }
+    }
+
     /// Finishes the campaign: hands out observer logs and ground truth.
-    pub fn into_campaign(self, duration: SimDuration) -> ethmeter_measure::CampaignData {
+    /// Unlike [`SimWorld::take_campaign`], this consumes the world and
+    /// *moves* the logs and the transaction table into the dataset — the
+    /// one-shot path pays no clone of the campaign's largest structures.
+    pub fn into_campaign(mut self, duration: SimDuration) -> ethmeter_measure::CampaignData {
+        let tree = Self::build_truth_tree(self.blocks.take_blocks());
         ethmeter_measure::CampaignData {
             observers: self.vantages.into_iter().zip(self.logs).collect(),
             truth: ethmeter_measure::GroundTruth {
-                tree: self.truth,
+                tree,
                 txs: self.txs.into_map(),
                 pool_names: self.pools.iter().map(|p| p.name.clone()).collect(),
                 pool_shares: self.pools.iter().map(|p| p.share).collect(),
@@ -419,9 +543,11 @@ impl SimWorld {
         self.nodes.len()
     }
 
-    /// Ground-truth tree (for in-flight inspection).
-    pub fn truth(&self) -> &BlockTree {
-        &self.truth
+    /// Ground-truth tree, materialized from the registry (for in-flight
+    /// or post-run inspection; the campaign boundary builds the same tree
+    /// without cloning).
+    pub fn truth(&self) -> BlockTree {
+        Self::build_truth_tree(self.blocks.blocks().iter().cloned())
     }
 
     /// Gateway placement per pool: `(pool name, regions of its gateways)`.
@@ -451,10 +577,16 @@ impl SimWorld {
         base.mul_f64(hw * self.import_jitter.sample(&mut self.rng_net))
     }
 
-    /// Applies link timing and schedules delivery of a node's sends.
-    fn dispatch_sends(&mut self, from: NodeId, sends: Vec<Send>, sched: &mut Scheduler<Event>) {
+    /// Applies link timing and schedules delivery of a node's sends,
+    /// draining the buffer so it can be recycled.
+    fn dispatch_sends(
+        &mut self,
+        from: NodeId,
+        sends: &mut Vec<Send>,
+        sched: &mut Scheduler<Event>,
+    ) {
         let (from_region, from_bw) = self.node_meta[from.index()];
-        for send in sends {
+        for send in sends.drain(..) {
             let size = {
                 let blocks = &self.blocks;
                 let txs = &self.txs;
@@ -482,39 +614,42 @@ impl SimWorld {
         }
     }
 
-    /// Transactions already included in the last few ancestors of `parent`
-    /// (guards against double inclusion while imports are in flight).
-    fn recent_ancestor_txs(&self, parent: BlockHash) -> HashSet<TxId> {
-        let mut out = HashSet::new();
+    /// Packs a block template for `pool` on top of `parent`, filtering
+    /// out transactions already included in the last few ancestors (the
+    /// guard against double inclusion while imports are in flight). Runs
+    /// entirely on world-owned scratch; only the returned template (which
+    /// the block will own) is allocated.
+    fn pack_for(&mut self, pool: PoolId, parent: BlockHash) -> Vec<TxId> {
+        let gw = self.primary_gateway(pool);
+        let mut packed = std::mem::take(&mut self.pack_buf);
+        match self.nodes[gw.index()].mempool() {
+            Some(m) => m.pack_into(self.gas_limit, &mut packed),
+            None => packed.clear(),
+        }
+        self.ancestor_scratch.clear();
         let mut cur = parent;
         for _ in 0..8 {
             let Some(b) = self.blocks.get(cur) else {
                 break;
             };
-            out.extend(b.txs().iter().copied());
+            self.ancestor_scratch.extend(b.txs().iter().copied());
             cur = b.parent();
         }
+        let included = &self.ancestor_scratch;
+        let out = packed
+            .iter()
+            .copied()
+            .filter(|t| !included.contains(t))
+            .collect();
+        self.pack_buf = packed;
         out
     }
 
-    fn pack_for(&mut self, pool: PoolId, parent: BlockHash) -> Vec<TxId> {
-        let gw = self.primary_gateway(pool);
-        let packed = self.nodes[gw.index()]
-            .mempool()
-            .map(|m| m.pack(self.gas_limit))
-            .unwrap_or_default();
-        let included = self.recent_ancestor_txs(parent);
-        packed
-            .into_iter()
-            .filter(|t| !included.contains(t))
-            .collect()
-    }
-
-    /// Registers a block in the registry and ground truth, returning its
-    /// dense slot.
+    /// Registers a block, returning its dense slot. The registry is the
+    /// single owner; ground truth is derived from it at the campaign
+    /// boundary.
     fn register_block(&mut self, block: Block) -> BlockIdx {
         self.stats.blocks_produced += 1;
-        let _ = self.truth.insert(block.clone());
         self.blocks.insert(block)
     }
 
@@ -529,16 +664,19 @@ impl SimWorld {
         sched: &mut Scheduler<Event>,
     ) {
         let n_gws = self.pool_states[pool.index()].gateways.len();
-        let intra = Exp::with_mean(0.015);
         for g in 0..n_gws {
             let gw = self.pool_states[pool.index()].gateways[g];
-            let delay = SimDuration::from_millis(5) + intra.sample_duration(&mut self.rng_latency);
+            let delay = SimDuration::from_millis(5)
+                + self
+                    .intra_gateway_delay
+                    .sample_duration(&mut self.rng_latency);
             sched.after(delay, Event::InjectBlock { node: gw, idx });
         }
     }
 
     fn inject_block_at(&mut self, node: NodeId, idx: BlockIdx, sched: &mut Scheduler<Event>) {
-        let (sends, action) = {
+        let mut sends = std::mem::take(&mut self.send_scratch);
+        let action = {
             let block = self.blocks.by_idx(idx);
             self.nodes[node.index()].on_block_arrival(
                 None,
@@ -546,13 +684,15 @@ impl SimWorld {
                 idx,
                 &self.net,
                 &mut self.rng_net,
+                &mut sends,
             )
         };
         if let ImportAction::Schedule(i) = action {
             let d = self.import_duration(node, i);
             sched.after(d, Event::ImportDone { node, idx: i });
         }
-        self.dispatch_sends(node, sends, sched);
+        self.dispatch_sends(node, &mut sends, sched);
+        self.send_scratch = sends;
     }
 
     /// Builds and publishes one block for `pool` at its current target.
@@ -675,7 +815,7 @@ impl SimWorld {
         let local = self.observers[slot].skew.read(now, &mut self.rng_clock);
         match msg {
             Message::Announce(hashes) => {
-                for &h in hashes {
+                for &h in hashes.iter() {
                     self.logs[slot].record_block_msg(h, BlockMsgKind::Announce, from, local, now);
                 }
             }
@@ -683,7 +823,7 @@ impl SimWorld {
                 self.logs[slot].record_block_msg(*h, BlockMsgKind::FullBlock, from, local, now);
             }
             Message::Transactions(ids) => {
-                for &id in ids {
+                for &id in ids.iter() {
                     self.logs[slot].record_tx(id, from, local, now);
                 }
             }
@@ -706,6 +846,7 @@ impl SimWorld {
         if let Some(slot) = self.observer_slot[to.index()] {
             self.record_observation(slot, from, &msg, now);
         }
+        let mut sends = std::mem::take(&mut self.send_scratch);
         match msg {
             Message::Announce(hashes) => {
                 let resolve = |blocks: &BlockRegistry, h: BlockHash| {
@@ -716,14 +857,14 @@ impl SimWorld {
                 };
                 // Announcements carry one hash in practice; resolve on the
                 // stack and only fall back to a heap batch for real lists.
-                let sends = if let [h] = hashes[..] {
+                if let [h] = hashes[..] {
                     let entry = [resolve(&self.blocks, h)];
-                    self.nodes[to.index()].on_announce(from, &entry)
+                    self.nodes[to.index()].on_announce(from, &entry, &mut sends);
                 } else {
                     let entries: Vec<(BlockHash, BlockIdx)> =
                         hashes.iter().map(|&h| resolve(&self.blocks, h)).collect();
-                    self.nodes[to.index()].on_announce(from, &entries)
-                };
+                    self.nodes[to.index()].on_announce(from, &entries, &mut sends);
+                }
                 for s in &sends {
                     if let Message::GetBlock(h) = s.msg {
                         let idx = self.blocks.idx_of(h).expect("fetches target known blocks");
@@ -733,55 +874,54 @@ impl SimWorld {
                         );
                     }
                 }
-                self.dispatch_sends(to, sends, sched);
+                self.dispatch_sends(to, &mut sends, sched);
             }
             Message::NewBlock(h) | Message::BlockBody(h) => {
-                let Some(idx) = self.blocks.idx_of(h) else {
-                    return;
-                };
-                let (sends, action) = {
-                    let block = self.blocks.by_idx(idx);
-                    self.nodes[to.index()].on_block_arrival(
-                        Some(from),
-                        block,
-                        idx,
-                        &self.net,
-                        &mut self.rng_net,
-                    )
-                };
-                if let ImportAction::Schedule(i) = action {
-                    let d = self.import_duration(to, i);
-                    sched.after(d, Event::ImportDone { node: to, idx: i });
+                if let Some(idx) = self.blocks.idx_of(h) {
+                    let action = {
+                        let block = self.blocks.by_idx(idx);
+                        self.nodes[to.index()].on_block_arrival(
+                            Some(from),
+                            block,
+                            idx,
+                            &self.net,
+                            &mut self.rng_net,
+                            &mut sends,
+                        )
+                    };
+                    if let ImportAction::Schedule(i) = action {
+                        let d = self.import_duration(to, i);
+                        sched.after(d, Event::ImportDone { node: to, idx: i });
+                    }
+                    self.dispatch_sends(to, &mut sends, sched);
                 }
-                self.dispatch_sends(to, sends, sched);
             }
             Message::GetBlock(h) => {
-                let Some(idx) = self.blocks.idx_of(h) else {
-                    return;
-                };
-                let sends = self.nodes[to.index()].on_get_block(from, h, idx);
-                self.dispatch_sends(to, sends, sched);
+                if let Some(idx) = self.blocks.idx_of(h) {
+                    self.nodes[to.index()].on_get_block(from, h, idx, &mut sends);
+                    self.dispatch_sends(to, &mut sends, sched);
+                }
             }
             Message::Tx(id) => {
                 // The dominant gossip message: resolve the one transaction
                 // on the stack.
-                let sends = {
+                {
                     let txs = &self.txs;
                     let node = &mut self.nodes[to.index()];
-                    match txs.idx_of(id) {
-                        Some(ix) => node.on_transactions(
+                    if let Some(ix) = txs.idx_of(id) {
+                        node.on_transactions(
                             Some(from),
                             &[(ix, txs.by_idx(ix))],
                             &self.net,
                             &mut self.rng_net,
-                        ),
-                        None => Vec::new(),
+                            &mut sends,
+                        );
                     }
-                };
-                self.dispatch_sends(to, sends, sched);
+                }
+                self.dispatch_sends(to, &mut sends, sched);
             }
             Message::Transactions(ids) => {
-                let sends = {
+                {
                     let txs = &self.txs;
                     let resolved: Vec<(TxIdx, &Transaction)> = ids
                         .iter()
@@ -792,23 +932,28 @@ impl SimWorld {
                         &resolved,
                         &self.net,
                         &mut self.rng_net,
-                    )
-                };
-                self.dispatch_sends(to, sends, sched);
+                        &mut sends,
+                    );
+                }
+                self.dispatch_sends(to, &mut sends, sched);
             }
         }
+        debug_assert!(sends.is_empty(), "dispatch_sends drains the buffer");
+        self.send_scratch = sends;
     }
 
     fn on_import_done(&mut self, node: NodeId, idx: BlockIdx, sched: &mut Scheduler<Event>) {
         self.stats.imports += 1;
-        let result = {
+        let mut sends = std::mem::take(&mut self.send_scratch);
+        let new_head = {
             let block = self.blocks.by_idx(idx);
             let txs = &self.txs;
             let included: Vec<&Transaction> =
                 block.txs().iter().filter_map(|&t| txs.get(t)).collect();
-            self.nodes[node.index()].on_import_complete(block, idx, &included, &self.net)
+            self.nodes[node.index()]
+                .on_import_complete(block, idx, &included, &self.net, &mut sends)
         };
-        if result.new_head {
+        if new_head {
             if let Some(pool) = self.gateway_pool[node.index()] {
                 if self.primary_gateway(pool) == node {
                     let lag = self.miner_lag.sample_duration(&mut self.rng_mining);
@@ -816,7 +961,8 @@ impl SimWorld {
                 }
             }
         }
-        self.dispatch_sends(node, result.sends, sched);
+        self.dispatch_sends(node, &mut sends, sched);
+        self.send_scratch = sends;
     }
 
     fn on_retarget(&mut self, pool: PoolId) {
@@ -862,16 +1008,19 @@ impl SimWorld {
 
     fn on_inject_tx(&mut self, idx: TxIdx, sched: &mut Scheduler<Event>) {
         let origin = self.txs.by_idx(idx).origin;
-        let sends = {
+        let mut sends = std::mem::take(&mut self.send_scratch);
+        {
             let tx = self.txs.by_idx(idx);
             self.nodes[origin.index()].on_transactions(
                 None,
                 &[(idx, tx)],
                 &self.net,
                 &mut self.rng_net,
-            )
-        };
-        self.dispatch_sends(origin, sends, sched);
+                &mut sends,
+            );
+        }
+        self.dispatch_sends(origin, &mut sends, sched);
+        self.send_scratch = sends;
     }
 }
 
@@ -884,14 +1033,16 @@ impl World for SimWorld {
             Event::ImportDone { node, idx } => self.on_import_done(node, idx, sched),
             Event::FetchTimeout { node, idx } => {
                 let hash = self.blocks.by_idx(idx).hash();
-                let sends = self.nodes[node.index()].on_fetch_timeout(hash, idx);
+                let mut sends = std::mem::take(&mut self.send_scratch);
+                self.nodes[node.index()].on_fetch_timeout(hash, idx, &mut sends);
                 for s in &sends {
                     if let Message::GetBlock(h) = s.msg {
                         let i = self.blocks.idx_of(h).expect("fetches target known blocks");
                         sched.after(self.net.fetch_timeout, Event::FetchTimeout { node, idx: i });
                     }
                 }
-                self.dispatch_sends(node, sends, sched);
+                self.dispatch_sends(node, &mut sends, sched);
+                self.send_scratch = sends;
             }
             Event::PoolSolve { pool } => self.solve(pool, now, sched),
             Event::PoolRetarget { pool } => self.on_retarget(pool),
@@ -996,5 +1147,62 @@ mod tests {
         assert_eq!(a, b, "same seed must reproduce the identical run");
         let c = run(8);
         assert_ne!(a.1, c.1, "different seeds diverge");
+    }
+
+    #[test]
+    fn reset_reproduces_a_fresh_world() {
+        let scenario_a = Scenario::builder()
+            .preset(Preset::Tiny)
+            .seed(21)
+            .duration(SimDuration::from_mins(3))
+            .build();
+        let scenario_b = Scenario::builder()
+            .preset(Preset::Tiny)
+            .seed(22)
+            .ordinary_nodes(48)
+            .duration(SimDuration::from_mins(3))
+            .build();
+
+        let run_fresh = |scenario: &Scenario| {
+            let mut world = SimWorld::new(scenario);
+            let initial = world.initial_events();
+            let mut engine = Engine::new(world);
+            for (t, e) in initial {
+                engine.schedule(t, e);
+            }
+            engine.run_until(SimTime::ZERO + scenario.duration);
+            let mut w = engine.into_world();
+            (w.stats, w.take_campaign(scenario.duration).fingerprint())
+        };
+
+        // One world, reset across two differently-shaped scenarios (node
+        // counts differ, so slabs shrink and regrow), must match fresh
+        // construction bit for bit.
+        let mut engine = Engine::new(SimWorld::new(&scenario_a));
+        let run_reused = |engine: &mut Engine<SimWorld>, scenario: &Scenario| {
+            engine.reset();
+            engine.world_mut().reset(scenario);
+            let initial = engine.world_mut().initial_events();
+            for (t, e) in initial {
+                engine.schedule(t, e);
+            }
+            engine.run_until(SimTime::ZERO + scenario.duration);
+            let stats = engine.world_mut().stats;
+            (
+                stats,
+                engine
+                    .world_mut()
+                    .take_campaign(scenario.duration)
+                    .fingerprint(),
+            )
+        };
+        for scenario in [&scenario_a, &scenario_b, &scenario_a] {
+            assert_eq!(
+                run_reused(&mut engine, scenario),
+                run_fresh(scenario),
+                "reused world diverged on seed {}",
+                scenario.seed
+            );
+        }
     }
 }

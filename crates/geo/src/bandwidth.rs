@@ -31,8 +31,24 @@ impl BandwidthClass {
     }
 
     /// Serialization time of `size` bytes on this class's link.
+    ///
+    /// The three class capacities divide 8×10⁹ exactly (or nearly), so
+    /// each case reduces `bytes * 8e9 / bits_per_sec` to a constant
+    /// multiply — bit-identical to [`Bandwidth::transfer_time`] (asserted
+    /// by test) but division-free on the per-message hot path.
+    #[inline]
     pub fn transfer_time(self, size: ByteSize) -> SimDuration {
-        self.capacity().transfer_time(size)
+        let bytes = size.as_bytes();
+        let nanos = match self {
+            // 8e9 / 50e6 = 160 ns per byte, exactly.
+            BandwidthClass::Residential => bytes * 160,
+            // 8e9 / 1e9 = 8 ns per byte, exactly.
+            BandwidthClass::Datacenter => bytes * 8,
+            // floor(bytes * 8e9 / 10e9) = floor(bytes * 4 / 5): the
+            // constant divisor compiles to a multiply.
+            BandwidthClass::Backbone => bytes * 4 / 5,
+        };
+        SimDuration::from_nanos(nanos)
     }
 
     /// Block validation speed factor relative to a commodity datacenter
@@ -124,5 +140,30 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(BandwidthClass::Backbone.to_string(), "backbone");
+    }
+
+    #[test]
+    fn class_fast_path_matches_generic_division() {
+        // The per-class constant-multiply shortcut must be bit-identical
+        // to the generic `Bandwidth::transfer_time` quotient for every
+        // size the simulation can produce (and then some).
+        let classes = [
+            BandwidthClass::Residential,
+            BandwidthClass::Datacenter,
+            BandwidthClass::Backbone,
+        ];
+        let sizes = (0..2_000u64)
+            .map(ByteSize::from_bytes)
+            .chain((0..200u64).map(|k| ByteSize::from_kib(25 * k)))
+            .chain([ByteSize::from_bytes(u64::from(u32::MAX))]);
+        for size in sizes {
+            for class in classes {
+                assert_eq!(
+                    class.transfer_time(size),
+                    class.capacity().transfer_time(size),
+                    "{class:?} at {size}"
+                );
+            }
+        }
     }
 }

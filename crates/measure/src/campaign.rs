@@ -1,10 +1,8 @@
 //! The complete dataset of one measurement campaign.
 
-use std::collections::HashMap;
-
 use ethmeter_chain::tree::BlockTree;
 use ethmeter_chain::tx::Transaction;
-use ethmeter_types::{PoolId, SimDuration, TxId};
+use ethmeter_types::{FxHashMap, PoolId, SimDuration, TxId};
 
 use crate::csv;
 use crate::log::ObserverLog;
@@ -17,8 +15,9 @@ use crate::vantage::VantagePoint;
 pub struct GroundTruth {
     /// Every block produced during the campaign (main chain and forks).
     pub tree: BlockTree,
-    /// Every transaction submitted.
-    pub txs: HashMap<TxId, Transaction>,
+    /// Every transaction submitted (keyed through `FxHasher64`; the
+    /// fingerprint and every exporter sort before iterating).
+    pub txs: FxHashMap<TxId, Transaction>,
     /// Pool names by id (for report labels).
     pub pool_names: Vec<String>,
     /// Pool hash-power shares by id.
@@ -186,7 +185,7 @@ mod tests {
                 .collect(),
             truth: GroundTruth {
                 tree: BlockTree::new(),
-                txs: HashMap::new(),
+                txs: FxHashMap::default(),
                 pool_names: vec!["Ethermine".into()],
                 pool_shares: vec![0.2532],
                 interblock: SimDuration::from_secs_f64(13.3),

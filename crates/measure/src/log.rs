@@ -7,9 +7,7 @@
 //! month-scale simulations in memory. Raw per-message streams can be
 //! reconstructed for small runs via the `csv` module's record export.
 
-use std::collections::HashMap;
-
-use ethmeter_types::{BlockHash, NodeId, SimTime, TxId};
+use ethmeter_types::{BlockHash, FxHashMap, NodeId, SimTime, TxId};
 
 /// How a block reached the observer (Table II's two message families).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,8 +65,12 @@ pub struct TxRecord {
 /// Everything one observer recorded.
 #[derive(Debug, Clone, Default)]
 pub struct ObserverLog {
-    blocks: HashMap<BlockHash, BlockRecord>,
-    txs: HashMap<TxId, TxRecord>,
+    /// Keyed through `FxHasher64`: recording happens once per delivered
+    /// message at every observer, and block/tx ids are already well-mixed
+    /// 64-bit values, so the default SipHash is pure overhead. Nothing
+    /// iterates these maps for output without sorting first.
+    blocks: FxHashMap<BlockHash, BlockRecord>,
+    txs: FxHashMap<TxId, TxRecord>,
     tx_arrivals: u64,
 }
 
@@ -157,6 +159,14 @@ impl ObserverLog {
     /// Iterates over transaction records (arbitrary order).
     pub fn txs(&self) -> impl Iterator<Item = &TxRecord> + '_ {
         self.txs.values()
+    }
+
+    /// Forgets every record, retaining the maps' allocations. A cleared
+    /// log behaves exactly like a new one.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+        self.txs.clear();
+        self.tx_arrivals = 0;
     }
 }
 

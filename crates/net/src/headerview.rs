@@ -94,6 +94,38 @@ impl HeaderView {
         }
     }
 
+    /// Rewinds the view to a fresh root, keeping every map's allocation.
+    /// Behaviorally identical to `HeaderView::new(genesis, window)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is smaller than the uncle depth.
+    pub fn reset(&mut self, genesis: BlockHash, window: u64) {
+        assert!(
+            window > MAX_UNCLE_DEPTH + 1,
+            "window must exceed the uncle depth"
+        );
+        self.entries.clear();
+        self.entries.insert(
+            genesis,
+            Entry {
+                parent: BlockHash::ZERO,
+                number: 0,
+                miner: PoolId(u16::MAX),
+                td: 0,
+            },
+        );
+        self.canonical.clear();
+        self.canonical.insert(0, genesis);
+        self.head = genesis;
+        self.head_number = 0;
+        self.head_td = 0;
+        self.genesis = genesis;
+        self.referenced.clear();
+        self.orphans.clear();
+        self.window = window;
+    }
+
     /// The current best block.
     pub fn head(&self) -> BlockHash {
         self.head

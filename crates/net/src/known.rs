@@ -5,16 +5,20 @@
 //! The bound matters behaviorally: once evicted, an item may be re-sent,
 //! which is one source of the redundant receptions measured in Table II.
 //!
-//! Two implementations share the contract:
+//! Three implementations share the contract:
 //!
 //! - [`KnownSet`] — the generic original (`HashSet` + FIFO queue), kept as
 //!   the reference model for equivalence testing and for cold paths;
 //! - [`DenseKnownSet`] — the hot-path replacement over interned `u32`
 //!   keys: a linear-probing table with multiplicative hashing and
-//!   backward-shift deletion. One simulation holds a known-set per
-//!   (node, peer) pair and queries it per delivered message, so the
-//!   per-operation constant here is a first-order term of campaign wall
-//!   time.
+//!   backward-shift deletion;
+//! - [`PeerKnownSet`] — a whole *family* of bounded sets (one per peer of
+//!   a node) sharing a key-major bitmap. Transaction gossip floods one
+//!   recent key across every peer link of a node in a tight time window;
+//!   with per-peer probe tables each of those operations lands in a
+//!   different table (a cache miss per insert — measured as the single
+//!   largest cost of the simulation hot path), whereas key-major rows put
+//!   all of a key's per-peer bits on the same cache line.
 
 use std::collections::{HashSet, VecDeque};
 use std::hash::Hash;
@@ -144,15 +148,32 @@ impl DenseKnownSet {
     /// Panics if `key == u32::MAX` (reserved sentinel).
     pub fn insert(&mut self, key: u32) -> bool {
         assert_ne!(key, EMPTY, "u32::MAX is reserved");
-        if self.contains(key) {
-            return false;
-        }
         // Keep load factor ≤ 1/2 while below the bound; at the bound the
         // table is fixed and eviction holds occupancy constant.
         if self.table.len() < 2 * (self.order.len() + 1) {
+            // Growth path (rare): membership check, then rebuild + place.
+            if self.contains(key) {
+                return false;
+            }
             self.grow();
+            self.insert_slot(key);
+        } else {
+            // Hot path: one fused probe walk either finds the key
+            // (present — no-op) or the first empty slot, which is exactly
+            // where `insert_slot` would place it.
+            let mask = self.table.len() - 1;
+            let mut i = self.bucket(key);
+            loop {
+                match self.table[i] {
+                    EMPTY => {
+                        self.table[i] = key;
+                        break;
+                    }
+                    k if k == key => return false,
+                    _ => i = (i + 1) & mask,
+                }
+            }
         }
-        self.insert_slot(key);
         self.order.push_back(key);
         if self.order.len() > self.cap {
             if let Some(old) = self.order.pop_front() {
@@ -170,6 +191,27 @@ impl DenseKnownSet {
     /// True if nothing is tracked.
     pub fn is_empty(&self) -> bool {
         self.order.is_empty()
+    }
+
+    /// Forgets every key, keeping the probe table's allocation. A cleared
+    /// set answers every query exactly like a fresh one (the table size
+    /// only affects probe positions, never membership or eviction).
+    pub fn clear(&mut self) {
+        self.table.fill(EMPTY);
+        self.order.clear();
+    }
+
+    /// [`DenseKnownSet::clear`] plus a new capacity bound — the reuse
+    /// path for per-peer sets whose configuration may change between
+    /// campaigns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn reset(&mut self, cap: usize) {
+        assert!(cap > 0, "known-set capacity must be positive");
+        self.cap = cap;
+        self.clear();
     }
 
     fn grow(&mut self) {
@@ -231,6 +273,195 @@ impl DenseKnownSet {
             }
             i = j;
         }
+    }
+}
+
+/// Rows per bitmap page (power of two).
+const PAGE_ROWS: usize = 1024;
+
+/// One page of the key-major bitmap: `PAGE_ROWS × words` bits plus a
+/// live-bit count so fully evicted pages can be freed.
+#[derive(Debug, Clone)]
+struct Page {
+    bits: Vec<u64>,
+    live: u32,
+}
+
+/// A family of FIFO-bounded known-sets — one per peer position of a node
+/// — over dense `u32` keys, sharing one key-major bitmap.
+///
+/// Behaviorally, `(insert, contains)` on peer `p` is identical to an
+/// independent [`KnownSet`]/[`DenseKnownSet`] per peer (same results,
+/// same per-peer FIFO eviction; pinned by the `peer_family_*` property
+/// tests below against a per-peer [`KnownSet`] model). The
+/// difference is layout: bit `p` of row `key` lives next to every other
+/// peer's bit for the same key, so the flood of one fresh key across all
+/// of a node's links touches one or two cache lines instead of one probe
+/// table per peer.
+///
+/// Memory is bounded: rows live in [`PAGE_ROWS`]-row pages that are
+/// allocated on first touch and freed when eviction clears their last
+/// bit, so steady state holds only the sliding window of recent keys
+/// (`≈ cap` rows), not the whole campaign's key space.
+#[derive(Debug, Clone, Default)]
+pub struct PeerKnownSet {
+    /// `pages[key / PAGE_ROWS]`, each `PAGE_ROWS × words` bits.
+    pages: Vec<Option<Page>>,
+    /// Per-peer insertion order for FIFO eviction.
+    order: Vec<VecDeque<u32>>,
+    /// Per-peer capacity bound.
+    caps: Vec<usize>,
+    /// `u64` words per row — sized to the highest peer position.
+    words: usize,
+    /// Cleared order queues parked across `clear` for reuse.
+    spare: Vec<VecDeque<u32>>,
+}
+
+impl PeerKnownSet {
+    /// Creates an empty family with no peers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers the next peer position with its capacity bound and
+    /// returns that position. Positions are dense (0, 1, 2, …), matching
+    /// the node's connection-order peer slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`, or if a peer is added after keys were
+    /// inserted and the row width would have to grow (peers are wired
+    /// before gossip starts, so this cannot happen in a simulation).
+    pub fn add_peer(&mut self, cap: usize) -> usize {
+        assert!(cap > 0, "known-set capacity must be positive");
+        let pos = self.caps.len();
+        self.caps.push(cap);
+        self.order.push(self.spare.pop().unwrap_or_default());
+        let needed = pos / 64 + 1;
+        if needed > self.words {
+            assert!(
+                self.pages.iter().all(Option::is_none),
+                "cannot widen rows after keys were inserted"
+            );
+            self.words = needed;
+        }
+        pos
+    }
+
+    /// Number of registered peers.
+    pub fn peers(&self) -> usize {
+        self.caps.len()
+    }
+
+    /// Number of keys currently tracked for peer `pos`.
+    pub fn len_of(&self, pos: usize) -> usize {
+        self.order[pos].len()
+    }
+
+    /// True if peer `pos` is known to have `key`.
+    #[inline]
+    pub fn contains(&self, pos: usize, key: u32) -> bool {
+        let row = key as usize;
+        match self.pages.get(row / PAGE_ROWS) {
+            Some(Some(page)) => {
+                let at = (row % PAGE_ROWS) * self.words + pos / 64;
+                page.bits[at] & (1u64 << (pos % 64)) != 0
+            }
+            _ => false,
+        }
+    }
+
+    /// Inserts `key` for peer `pos`; returns `true` if it was new for
+    /// that peer. Evicts the peer's oldest key when its bound is full —
+    /// exactly [`KnownSet`] semantics per peer.
+    #[inline]
+    pub fn insert(&mut self, pos: usize, key: u32) -> bool {
+        let row = key as usize;
+        let page_idx = row / PAGE_ROWS;
+        let at = (row % PAGE_ROWS) * self.words + pos / 64;
+        let mask = 1u64 << (pos % 64);
+        // Hot path: the key's page exists (it covers the sliding window
+        // of recent keys, which is where gossip lives).
+        match self.pages.get_mut(page_idx) {
+            Some(Some(page)) => {
+                let bits = &mut page.bits[at];
+                if *bits & mask != 0 {
+                    return false;
+                }
+                *bits |= mask;
+                page.live += 1;
+            }
+            _ => self.insert_cold(page_idx, at, mask),
+        }
+        self.order[pos].push_back(key);
+        if self.order[pos].len() > self.caps[pos] {
+            if let Some(old) = self.order[pos].pop_front() {
+                self.clear_bit(pos, old);
+            }
+        }
+        true
+    }
+
+    /// Page-fault path of [`PeerKnownSet::insert`]: allocates the page
+    /// and sets the (necessarily fresh) bit.
+    #[cold]
+    fn insert_cold(&mut self, page_idx: usize, at: usize, mask: u64) {
+        if page_idx >= self.pages.len() {
+            self.pages.resize(page_idx + 1, None);
+        }
+        let words = self.words;
+        let page = self.pages[page_idx].get_or_insert_with(|| Page {
+            bits: vec![0; PAGE_ROWS * words],
+            live: 0,
+        });
+        debug_assert_eq!(page.bits[at] & mask, 0, "fresh page has no set bits");
+        page.bits[at] |= mask;
+        page.live += 1;
+    }
+
+    /// Clears peer `pos`'s bit for `key`, freeing the page if it was the
+    /// last live bit.
+    fn clear_bit(&mut self, pos: usize, key: u32) {
+        let row = key as usize;
+        let page_idx = row / PAGE_ROWS;
+        let slot = self.pages[page_idx]
+            .as_mut()
+            .expect("live keys have a page");
+        let at = (row % PAGE_ROWS) * self.words + pos / 64;
+        let mask = 1u64 << (pos % 64);
+        debug_assert!(slot.bits[at] & mask != 0, "order holds only live keys");
+        slot.bits[at] &= !mask;
+        slot.live -= 1;
+        if slot.live == 0 {
+            // The sliding eviction window has moved past this page:
+            // release it so memory tracks the window, not the campaign.
+            self.pages[page_idx] = None;
+        }
+    }
+
+    /// Forgets every key and every peer, parking the order queues for
+    /// reuse by the next [`PeerKnownSet::add_peer`] round. A cleared
+    /// family behaves exactly like a new one; peers must be
+    /// re-registered. (Bitmap pages are dropped: they track the sliding
+    /// eviction window and are reallocated lazily, a handful of
+    /// page-sized allocations per campaign.)
+    pub fn clear(&mut self) {
+        self.pages.clear();
+        for mut q in self.order.drain(..) {
+            q.clear();
+            self.spare.push(q);
+        }
+        self.caps.clear();
+        self.words = 0;
+    }
+
+    /// Bytes currently held by live bitmap pages (diagnostics).
+    pub fn page_bytes(&self) -> usize {
+        self.pages
+            .iter()
+            .flatten()
+            .map(|p| p.bits.len() * std::mem::size_of::<u64>())
+            .sum()
     }
 }
 
@@ -366,6 +597,156 @@ mod proptests {
                 }
             }
             prop_assert_eq!(dense.len(), model.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod peer_family_tests {
+    use super::*;
+
+    #[test]
+    fn per_peer_independence_and_eviction() {
+        let mut fam = PeerKnownSet::new();
+        assert_eq!(fam.add_peer(2), 0);
+        assert_eq!(fam.add_peer(3), 1);
+        assert_eq!(fam.peers(), 2);
+        // Peer 0 fills and evicts; peer 1 is untouched by it.
+        assert!(fam.insert(0, 10));
+        assert!(!fam.insert(0, 10), "duplicate per peer");
+        assert!(fam.insert(0, 11));
+        assert!(fam.insert(0, 12)); // evicts 10 for peer 0
+        assert!(!fam.contains(0, 10));
+        assert!(fam.contains(0, 11) && fam.contains(0, 12));
+        assert!(!fam.contains(1, 11), "peers are independent");
+        assert!(fam.insert(1, 11));
+        assert!(fam.contains(1, 11));
+        assert_eq!(fam.len_of(0), 2);
+        assert_eq!(fam.len_of(1), 1);
+    }
+
+    #[test]
+    fn pages_free_as_the_window_slides() {
+        let mut fam = PeerKnownSet::new();
+        fam.add_peer(4);
+        // Walk keys across several pages with a tiny cap: old pages must
+        // be released once eviction clears their last bit.
+        for key in 0..(PAGE_ROWS as u32 * 3) {
+            fam.insert(0, key);
+        }
+        assert_eq!(fam.len_of(0), 4);
+        assert!(
+            fam.page_bytes() <= 2 * PAGE_ROWS * std::mem::size_of::<u64>(),
+            "stale pages must be freed, held {} bytes",
+            fam.page_bytes()
+        );
+        // Keys far behind the window read as absent.
+        assert!(!fam.contains(0, 0));
+    }
+
+    #[test]
+    fn clear_requires_reregistration_and_forgets_everything() {
+        let mut fam = PeerKnownSet::new();
+        fam.add_peer(8);
+        fam.insert(0, 5);
+        fam.clear();
+        assert_eq!(fam.peers(), 0);
+        assert_eq!(fam.add_peer(8), 0);
+        assert!(!fam.contains(0, 5), "cleared families forget");
+        assert!(fam.insert(0, 5));
+    }
+
+    #[test]
+    fn wide_positions_use_multiple_words() {
+        let mut fam = PeerKnownSet::new();
+        for _ in 0..130 {
+            fam.add_peer(16);
+        }
+        // Positions on different u64 words of the same key row.
+        assert!(fam.insert(0, 7));
+        assert!(fam.insert(64, 7));
+        assert!(fam.insert(129, 7));
+        assert!(fam.contains(0, 7) && fam.contains(64, 7) && fam.contains(129, 7));
+        assert!(!fam.contains(1, 7));
+    }
+}
+
+#[cfg(test)]
+mod peer_family_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The family must be observationally identical to one
+        /// independent [`KnownSet`] per peer — same insert results, same
+        /// membership, same FIFO eviction — under arbitrary interleaved
+        /// `(peer, key)` streams. Small caps maximize evictions (and
+        /// page frees); keys span multiple bitmap pages.
+        #[test]
+        fn peer_family_equivalent_to_independent_knownsets(
+            caps in proptest::collection::vec(1usize..6, 1..6),
+            ops in proptest::collection::vec((0usize..6, 0u32..2_600), 0..384),
+        ) {
+            let mut fam = PeerKnownSet::new();
+            let mut models: Vec<KnownSet<u32>> = Vec::new();
+            for &cap in &caps {
+                fam.add_peer(cap);
+                models.push(KnownSet::with_capacity(cap));
+            }
+            for &(pos, key) in &ops {
+                let pos = pos % caps.len();
+                prop_assert_eq!(
+                    fam.insert(pos, key),
+                    models[pos].insert(key),
+                    "insert ({}, {})",
+                    pos,
+                    key
+                );
+                prop_assert_eq!(fam.len_of(pos), models[pos].len());
+            }
+            // Full membership sweep at the end, across page boundaries.
+            for (pos, model) in models.iter().enumerate() {
+                for probe in (0..2_600).step_by(13) {
+                    prop_assert_eq!(
+                        fam.contains(pos, probe),
+                        model.contains(probe),
+                        "probe ({}, {})",
+                        pos,
+                        probe
+                    );
+                }
+            }
+        }
+
+        /// `clear` + re-registration behaves exactly like a fresh family
+        /// (the sweep-worker reuse path).
+        #[test]
+        fn peer_family_reuse_matches_fresh(
+            first in proptest::collection::vec((0usize..4, 0u32..2_000), 0..128),
+            second in proptest::collection::vec((0usize..4, 0u32..2_000), 0..128),
+        ) {
+            let mut reused = PeerKnownSet::new();
+            for _ in 0..4 {
+                reused.add_peer(3);
+            }
+            for &(pos, key) in &first {
+                reused.insert(pos, key);
+            }
+            reused.clear();
+            let mut fresh = PeerKnownSet::new();
+            for _ in 0..4 {
+                reused.add_peer(3);
+                fresh.add_peer(3);
+            }
+            for &(pos, key) in &second {
+                prop_assert_eq!(reused.insert(pos, key), fresh.insert(pos, key));
+            }
+            for pos in 0..4 {
+                prop_assert_eq!(reused.len_of(pos), fresh.len_of(pos));
+                for probe in (0..2_000).step_by(7) {
+                    prop_assert_eq!(reused.contains(pos, probe), fresh.contains(pos, probe));
+                }
+            }
         }
     }
 }

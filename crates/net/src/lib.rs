@@ -14,10 +14,11 @@
 //!   fanout ([`config::TxRelayPolicy`]) for large-scale runs.
 //!
 //! Nodes are *decision machines*: each handler consumes a message and
-//! returns the [`node::Send`]s it wants performed. Link latency, bandwidth
-//! serialization, and validation delays are applied by the simulation
-//! driver (`ethmeter-core`), which keeps this crate free of event-loop
-//! concerns and independently testable.
+//! appends the [`node::Send`]s it wants performed to a caller-owned
+//! buffer (recycled by the driver, so the steady state allocates
+//! nothing). Link latency, bandwidth serialization, and validation delays
+//! are applied by the simulation driver (`ethmeter-core`), which keeps
+//! this crate free of event-loop concerns and independently testable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,6 +33,6 @@ pub mod topology;
 pub use config::{NetConfig, TxRelayPolicy};
 pub use headerview::HeaderView;
 pub use known::KnownSet;
-pub use message::Message;
+pub use message::{AnnounceList, Message, TxBatch};
 pub use node::{ImportAction, Node, Send};
 pub use topology::Topology;

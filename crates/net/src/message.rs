@@ -6,7 +6,7 @@
 //! round-trip announcements trigger. Transactions travel in batched
 //! `Transactions` messages.
 
-use ethmeter_types::{BlockHash, ByteSize, TxId};
+use ethmeter_types::{BlockHash, ByteSize, InlineVec, TxId};
 
 /// Approximate wire overhead of any devp2p message (RLP framing, message
 /// id, signature envelope).
@@ -15,12 +15,24 @@ pub const MSG_OVERHEAD_BYTES: u64 = 60;
 /// Bytes per announced hash in `NewBlockHashes` (hash + number).
 pub const ANNOUNCE_ENTRY_BYTES: u64 = 40;
 
+/// The hash list of an `Announce`. Real announcements carry one or two
+/// hashes, so the payload lives inline in the message — constructing and
+/// fanning one out per peer allocates nothing.
+pub type AnnounceList = InlineVec<BlockHash, 2>;
+
+/// The id list of a `Transactions` batch. Small batches (the common case
+/// outside bursts) stay inline; large bursts spill to the heap. Three is
+/// the largest inline capacity that keeps `Message` no bigger than its
+/// pre-inline-payload size (the message is copied through the event slab
+/// on every hop, so its footprint is itself a hot-path constant).
+pub type TxBatch = InlineVec<TxId, 3>;
+
 /// A protocol message. Block bodies are addressed by hash; the driver
 /// resolves bodies through its block registry when sizing and delivering.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
     /// `NewBlockHashes`: light announcement of block availability.
-    Announce(Vec<BlockHash>),
+    Announce(AnnounceList),
     /// `NewBlock`: unsolicited full block (header + body), the "direct
     /// propagation" path.
     NewBlock(BlockHash),
@@ -29,7 +41,7 @@ pub enum Message {
     /// The fetch response carrying the full block.
     BlockBody(BlockHash),
     /// A batch of complete transactions.
-    Transactions(Vec<TxId>),
+    Transactions(TxBatch),
     /// A single complete transaction — wire-equivalent to
     /// `Transactions(vec![id])`, but with no heap payload. Transaction
     /// gossip is overwhelmingly one-at-a-time, so the hot path pays no
@@ -76,7 +88,7 @@ mod tests {
 
     #[test]
     fn announcement_is_light() {
-        let ann = Message::Announce(vec![BlockHash(1)]);
+        let ann = Message::Announce(AnnounceList::one(BlockHash(1)));
         let full = Message::NewBlock(BlockHash(1));
         let a = ann.size(fixed_block, fixed_tx);
         let f = full.size(fixed_block, fixed_tx);
@@ -87,15 +99,19 @@ mod tests {
 
     #[test]
     fn batched_announcements_scale() {
-        let one = Message::Announce(vec![BlockHash(1)]).size(fixed_block, fixed_tx);
-        let three = Message::Announce(vec![BlockHash(1), BlockHash(2), BlockHash(3)])
-            .size(fixed_block, fixed_tx);
+        let one = Message::Announce(AnnounceList::one(BlockHash(1))).size(fixed_block, fixed_tx);
+        let three = Message::Announce(AnnounceList::from_slice(&[
+            BlockHash(1),
+            BlockHash(2),
+            BlockHash(3),
+        ]))
+        .size(fixed_block, fixed_tx);
         assert_eq!(three.as_bytes() - one.as_bytes(), 2 * ANNOUNCE_ENTRY_BYTES);
     }
 
     #[test]
     fn tx_batch_sums_sizes() {
-        let batch = Message::Transactions(vec![TxId(1), TxId(2)]);
+        let batch = Message::Transactions(TxBatch::from_slice(&[TxId(1), TxId(2)]));
         assert_eq!(
             batch.size(fixed_block, fixed_tx).as_bytes(),
             MSG_OVERHEAD_BYTES + 360
@@ -105,7 +121,7 @@ mod tests {
     #[test]
     fn singleton_tx_sizes_like_a_batch_of_one() {
         let one = Message::Tx(TxId(1));
-        let batch = Message::Transactions(vec![TxId(1)]);
+        let batch = Message::Transactions(TxBatch::one(TxId(1)));
         assert_eq!(
             one.size(fixed_block, fixed_tx),
             batch.size(fixed_block, fixed_tx)
@@ -117,8 +133,8 @@ mod tests {
     fn body_kind_classification() {
         assert!(Message::NewBlock(BlockHash(1)).carries_block_body());
         assert!(Message::BlockBody(BlockHash(1)).carries_block_body());
-        assert!(!Message::Announce(vec![]).carries_block_body());
+        assert!(!Message::Announce(AnnounceList::new()).carries_block_body());
         assert!(!Message::GetBlock(BlockHash(1)).carries_block_body());
-        assert!(!Message::Transactions(vec![]).carries_block_body());
+        assert!(!Message::Transactions(TxBatch::new()).carries_block_body());
     }
 }

@@ -15,6 +15,13 @@
 //! ([`DenseKnownSet`]) — no `BlockHash`- or `NodeId`-keyed hash maps
 //! anywhere on the per-message path. Wire messages still carry real
 //! hashes; slots never leave the process.
+//!
+//! Handlers are allocation-free in steady state: every handler appends
+//! its outgoing messages to a caller-owned `Vec<Send>` (the driver
+//! recycles one buffer across all events), message payloads inline their
+//! one-or-two ids
+//! ([`crate::message::AnnounceList`]/[`crate::message::TxBatch`]), and
+//! all intermediate candidate lists live in per-node scratch buffers.
 
 use ethmeter_chain::block::Block;
 use ethmeter_chain::tx::Transaction;
@@ -25,8 +32,8 @@ use ethmeter_types::{BlockHash, BlockIdx, NodeId, Region, TxId, TxIdx};
 
 use crate::config::{NetConfig, TxRelayPolicy};
 use crate::headerview::{HeaderInsert, HeaderView};
-use crate::known::DenseKnownSet;
-use crate::message::Message;
+use crate::known::{DenseKnownSet, PeerKnownSet};
+use crate::message::{AnnounceList, Message, TxBatch};
 use ethmeter_txpool::Mempool;
 
 /// An outgoing message the driver must deliver.
@@ -45,15 +52,6 @@ pub enum ImportAction {
     Schedule(BlockIdx),
     /// Nothing to do (duplicate or unwanted).
     None,
-}
-
-/// Result of completing an import.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ImportResult {
-    /// Messages to deliver (post-import announcements, parent fetches).
-    pub sends: Vec<Send>,
-    /// True if the block became the node's head.
-    pub new_head: bool,
 }
 
 #[derive(Debug, Clone)]
@@ -78,11 +76,16 @@ pub struct Node {
     peer_pos: Vec<u32>,
     /// Per-peer known-block sets, by peer position, keyed by [`BlockIdx`].
     peer_known_blocks: Vec<DenseKnownSet>,
-    /// Per-peer known-tx sets, by peer position, keyed by [`TxIdx`].
-    peer_known_txs: Vec<DenseKnownSet>,
+    /// Per-peer known-tx sets, by peer position, keyed by [`TxIdx`] —
+    /// one key-major bitmap family (see [`PeerKnownSet`]): transaction
+    /// floods touch every peer's bit for the same recent key, so the
+    /// shared rows keep those operations on hot cache lines.
+    peer_known_txs: PeerKnownSet,
     chain: HeaderView,
-    /// Transactions this node has seen, keyed by [`TxIdx`].
-    seen_txs: DenseKnownSet,
+    /// Transactions this node has seen, keyed by [`TxIdx`] — a
+    /// single-member [`PeerKnownSet`], so membership bits of consecutive
+    /// recent transactions share cache lines.
+    seen_txs: PeerKnownSet,
     /// Blocks whose body this node holds (or is importing), keyed by
     /// [`BlockIdx`].
     have_body: DenseKnownSet,
@@ -93,10 +96,19 @@ pub struct Node {
     /// Blocks currently being fetched (same flat-vector reasoning).
     fetching: Vec<(BlockIdx, FetchState)>,
     mempool: Option<Mempool>,
-    /// Reusable relay-candidate buffer (cleared per call; never observable).
-    scratch: Vec<NodeId>,
+    /// A cleared mempool parked here across [`Node::reset`] so a node
+    /// that is a gateway again next campaign reuses the allocation.
+    spare_mempool: Option<Mempool>,
+    /// Reusable relay-candidate buffer of `(peer position, peer)` pairs
+    /// (cleared per call; never observable). Carrying the position avoids
+    /// a `peer_pos` lookup per send in the fan-out loops.
+    scratch: Vec<(u32, NodeId)>,
     /// Second reusable buffer for fanout sampling (swapped with `scratch`).
-    scratch_picks: Vec<NodeId>,
+    scratch_picks: Vec<(u32, NodeId)>,
+    /// Reusable buffer for sampled fan-out indices.
+    scratch_idx: Vec<usize>,
+    /// Reusable `(slot, id)` buffer of fresh transactions per batch.
+    scratch_fresh: Vec<(TxIdx, TxId)>,
 }
 
 impl Node {
@@ -115,16 +127,61 @@ impl Node {
             peers: Vec::new(),
             peer_pos: Vec::new(),
             peer_known_blocks: Vec::new(),
-            peer_known_txs: Vec::new(),
+            peer_known_txs: PeerKnownSet::new(),
             chain: HeaderView::new(genesis, cfg.header_window),
-            seen_txs: DenseKnownSet::with_capacity(cfg.known_txs_cap),
+            seen_txs: {
+                let mut seen = PeerKnownSet::new();
+                seen.add_peer(cfg.known_txs_cap);
+                seen
+            },
             have_body: DenseKnownSet::with_capacity(4 * cfg.header_window as usize),
             import_pending: Vec::new(),
             fetching: Vec::new(),
             mempool: None,
+            spare_mempool: None,
             scratch: Vec::new(),
             scratch_picks: Vec::new(),
+            scratch_idx: Vec::new(),
+            scratch_fresh: Vec::new(),
         }
+    }
+
+    /// Rewinds the node to the state `Node::new(id, region, bandwidth,
+    /// genesis, cfg)` would build, keeping every allocation: peer slabs,
+    /// per-peer known-set tables (reused by the next [`Node::connect`]
+    /// calls), the header view's maps, and the mempool (if re-enabled).
+    /// Campaign-over-campaign behavior is identical to a fresh node.
+    pub fn reset(
+        &mut self,
+        id: NodeId,
+        region: Region,
+        bandwidth: BandwidthClass,
+        genesis: BlockHash,
+        cfg: &NetConfig,
+    ) {
+        self.id = id;
+        self.region = region;
+        self.bandwidth = bandwidth;
+        self.peers.clear();
+        self.peer_pos.clear();
+        // peer_known_blocks intentionally keeps its (stale) sets;
+        // `connect` re-initializes slot `pos` before `peers` grows past
+        // it, so stale state is never reachable.
+        self.peer_known_txs.clear();
+        self.chain.reset(genesis, cfg.header_window);
+        self.seen_txs.clear();
+        self.seen_txs.add_peer(cfg.known_txs_cap);
+        self.have_body.reset(4 * cfg.header_window as usize);
+        self.import_pending.clear();
+        self.fetching.clear();
+        if let Some(mut pool) = self.mempool.take() {
+            pool.clear();
+            self.spare_mempool = Some(pool);
+        }
+        self.scratch.clear();
+        self.scratch_picks.clear();
+        self.scratch_idx.clear();
+        self.scratch_fresh.clear();
     }
 
     /// The node's id.
@@ -156,7 +213,7 @@ impl Node {
     /// executable transactions).
     pub fn enable_mempool(&mut self) {
         if self.mempool.is_none() {
-            self.mempool = Some(Mempool::new());
+            self.mempool = Some(self.spare_mempool.take().unwrap_or_default());
         }
     }
 
@@ -176,12 +233,19 @@ impl Node {
         if self.peer_pos.len() <= peer.index() {
             self.peer_pos.resize(peer.index() + 1, NO_PEER);
         }
-        self.peer_pos[peer.index()] = self.peers.len() as u32;
+        let pos = self.peers.len();
+        self.peer_pos[peer.index()] = pos as u32;
         self.peers.push(peer);
-        self.peer_known_blocks
-            .push(DenseKnownSet::with_capacity(cfg.known_blocks_cap));
-        self.peer_known_txs
-            .push(DenseKnownSet::with_capacity(cfg.known_txs_cap));
+        // Reuse a known-set left behind by `reset`, if one exists at this
+        // slab position; otherwise grow the slab.
+        match self.peer_known_blocks.get_mut(pos) {
+            Some(set) => set.reset(cfg.known_blocks_cap),
+            None => self
+                .peer_known_blocks
+                .push(DenseKnownSet::with_capacity(cfg.known_blocks_cap)),
+        }
+        let tx_pos = self.peer_known_txs.add_peer(cfg.known_txs_cap);
+        debug_assert_eq!(tx_pos, pos, "peer slabs advance in lockstep");
     }
 
     /// Degree of this node.
@@ -227,8 +291,8 @@ impl Node {
     /// fetch response (`BlockBody`), or local mining (`from = None`).
     ///
     /// `idx` is the block's campaign-interned slot (from the driver's
-    /// registry). Returns the immediate relays (full-block pushes to
-    /// √(peers)) and whether to schedule an import.
+    /// registry). Appends the immediate relays (full-block pushes to
+    /// √(peers)) to `out` and returns whether to schedule an import.
     pub fn on_block_arrival(
         &mut self,
         from: Option<NodeId>,
@@ -236,7 +300,8 @@ impl Node {
         idx: BlockIdx,
         cfg: &NetConfig,
         rng: &mut Xoshiro256,
-    ) -> (Vec<Send>, ImportAction) {
+        out: &mut Vec<Send>,
+    ) -> ImportAction {
         let hash = block.hash();
         if let Some(p) = from {
             self.mark_peer_knows_block(p, idx);
@@ -248,7 +313,7 @@ impl Node {
             || self.chain.contains(hash)
             || self.is_import_pending(idx)
         {
-            return (Vec::new(), ImportAction::None);
+            return ImportAction::None;
         }
         self.have_body.insert(idx.raw());
 
@@ -259,13 +324,12 @@ impl Node {
         let recent = block.number() + cfg.relay_window > head_number;
         let relay = improves || (cfg.relay_non_head && recent);
 
-        let mut sends = Vec::new();
         if relay {
             self.scratch.clear();
             for pos in 0..self.peers.len() {
                 let p = self.peers[pos];
                 if Some(p) != from && !self.peer_knows_block(pos, idx) {
-                    self.scratch.push(p);
+                    self.scratch.push((pos as u32, p));
                 }
             }
             // Locally produced blocks (miner gateways) are pushed to every
@@ -276,26 +340,31 @@ impl Node {
             } else {
                 cfg.push_fanout(self.peers.len()).min(self.scratch.len())
             };
-            let picks = rng.sample_indices(self.scratch.len(), fanout);
-            sends.reserve_exact(picks.len());
-            for i in picks {
-                let peer = self.scratch[i];
-                self.mark_peer_knows_block(peer, idx);
-                sends.push(Send {
+            let n_candidates = self.scratch.len();
+            rng.sample_indices_into(n_candidates, fanout, &mut self.scratch_idx);
+            out.reserve(self.scratch_idx.len());
+            for t in 0..self.scratch_idx.len() {
+                let (pos, peer) = self.scratch[self.scratch_idx[t]];
+                self.peer_known_blocks[pos as usize].insert(idx.raw());
+                out.push(Send {
                     to: peer,
                     msg: Message::NewBlock(hash),
                 });
             }
         }
         self.import_pending.push((idx, from));
-        (sends, ImportAction::Schedule(idx))
+        ImportAction::Schedule(idx)
     }
 
     /// Handles a `NewBlockHashes` announcement: fetch unknown blocks from
     /// the announcer (Geth's fetcher). Entries pair each announced hash
-    /// with its interned slot.
-    pub fn on_announce(&mut self, from: NodeId, hashes: &[(BlockHash, BlockIdx)]) -> Vec<Send> {
-        let mut sends = Vec::new();
+    /// with its interned slot. Requests are appended to `out`.
+    pub fn on_announce(
+        &mut self,
+        from: NodeId,
+        hashes: &[(BlockHash, BlockIdx)],
+        out: &mut Vec<Send>,
+    ) {
         for &(hash, idx) in hashes {
             self.mark_peer_knows_block(from, idx);
             if self.have_body.contains(idx.raw())
@@ -318,69 +387,77 @@ impl Node {
                             tried: 1,
                         },
                     ));
-                    sends.push(Send {
+                    out.push(Send {
                         to: from,
                         msg: Message::GetBlock(hash),
                     });
                 }
             }
         }
-        sends
     }
 
     /// Fetch timeout: re-request from the next announcer, or give up.
     ///
-    /// Returns the re-request (if any); the driver should re-arm the
-    /// timeout when a request goes out.
-    pub fn on_fetch_timeout(&mut self, hash: BlockHash, idx: BlockIdx) -> Vec<Send> {
+    /// Appends the re-request (if any) to `out`; the driver should re-arm
+    /// the timeout when a request goes out.
+    pub fn on_fetch_timeout(&mut self, hash: BlockHash, idx: BlockIdx, out: &mut Vec<Send>) {
         if self.have_body.contains(idx.raw()) || self.chain.contains(hash) {
             if let Some(at) = self.fetching.iter().position(|(i, _)| *i == idx) {
                 self.fetching.swap_remove(at);
             }
-            return Vec::new();
+            return;
         }
         let Some(at) = self.fetching.iter().position(|(i, _)| *i == idx) else {
-            return Vec::new();
+            return;
         };
         let f = &mut self.fetching[at].1;
         if f.tried < f.announcers.len() {
             let next = f.announcers[f.tried];
             f.tried += 1;
-            vec![Send {
+            out.push(Send {
                 to: next,
                 msg: Message::GetBlock(hash),
-            }]
+            });
         } else {
             // Out of announcers: give up; a push may still deliver it.
             self.fetching.swap_remove(at);
-            Vec::new()
         }
     }
 
-    /// Serves a fetch request if the body is available.
-    pub fn on_get_block(&mut self, from: NodeId, hash: BlockHash, idx: BlockIdx) -> Vec<Send> {
+    /// Serves a fetch request if the body is available (appended to
+    /// `out`).
+    pub fn on_get_block(
+        &mut self,
+        from: NodeId,
+        hash: BlockHash,
+        idx: BlockIdx,
+        out: &mut Vec<Send>,
+    ) {
         if !self.have_body.contains(idx.raw()) {
-            return Vec::new();
+            return;
         }
         self.mark_peer_knows_block(from, idx);
-        vec![Send {
+        out.push(Send {
             to: from,
             msg: Message::BlockBody(hash),
-        }]
+        });
     }
 
     /// Completes an import after validation latency: inserts into the
-    /// chain view, prunes the mempool, and announces to unknowing peers.
+    /// chain view, prunes the mempool, and announces to unknowing peers
+    /// (appended to `out`).
     ///
     /// `included` must be the block's transactions (resolved by the driver
-    /// from its registry).
+    /// from its registry). Returns true if the block became the node's
+    /// head.
     pub fn on_import_complete(
         &mut self,
         block: &Block,
         idx: BlockIdx,
         included: &[&Transaction],
         cfg: &NetConfig,
-    ) -> ImportResult {
+        out: &mut Vec<Send>,
+    ) -> bool {
         let hash = block.hash();
         let provenance = self.pending_provenance(idx).flatten();
         let outcome = self.chain.insert(
@@ -390,19 +467,18 @@ impl Node {
             block.miner(),
             block.uncles(),
         );
-        let mut sends = Vec::new();
         let new_head = matches!(outcome, HeaderInsert::NewHead { .. });
 
         if outcome == HeaderInsert::Orphaned {
             // Ask whoever gave us the block for its parent (Geth's fetcher
             // backfill). If it was locally mined there is no one to ask.
             if let Some(p) = provenance {
-                sends.push(Send {
+                out.push(Send {
                     to: p,
                     msg: Message::GetBlock(block.parent()),
                 });
             }
-            return ImportResult { sends, new_head };
+            return new_head;
         }
 
         if let Some(pool) = self.mempool.as_mut() {
@@ -411,7 +487,9 @@ impl Node {
             }
         }
 
-        // Post-import announcement to everyone not known to have it.
+        // Post-import announcement to everyone not known to have it. The
+        // single-hash payload lives inline in the message, so the per-peer
+        // fan-out allocates nothing.
         let head_number = self.chain.head_number();
         let recent = block.number() + cfg.relay_window > head_number;
         if new_head || (cfg.relay_non_head && recent) {
@@ -420,35 +498,39 @@ impl Node {
                     continue;
                 }
                 self.peer_known_blocks[pos].insert(idx.raw());
-                sends.push(Send {
+                out.push(Send {
                     to: self.peers[pos],
-                    msg: Message::Announce(vec![hash]),
+                    msg: Message::Announce(AnnounceList::one(hash)),
                 });
             }
         }
-        ImportResult { sends, new_head }
+        new_head
     }
 
     /// Handles a batch of transactions (`from = None` for local
     /// submissions injected by the workload). Entries pair each
     /// transaction with its interned slot.
     ///
-    /// Returns the relays. Fresh transactions are added to the mempool if
-    /// one is enabled.
+    /// Appends the relays to `out`. Fresh transactions are added to the
+    /// mempool if one is enabled.
     pub fn on_transactions(
         &mut self,
         from: Option<NodeId>,
         txs: &[(TxIdx, &Transaction)],
         cfg: &NetConfig,
         rng: &mut Xoshiro256,
-    ) -> Vec<Send> {
+        out: &mut Vec<Send>,
+    ) {
         let from_pos = from.and_then(|p| self.pos_of(p));
-        let mut fresh: Vec<(TxIdx, TxId)> = Vec::new();
+        // The fresh list lives in a node-owned buffer; take/restore keeps
+        // the allocation across calls while the mempool borrow is live.
+        let mut fresh = std::mem::take(&mut self.scratch_fresh);
+        fresh.clear();
         for &(idx, tx) in txs {
             if let Some(p) = from_pos {
-                self.peer_known_txs[p].insert(idx.raw());
+                self.peer_known_txs.insert(p, idx.raw());
             }
-            if self.seen_txs.insert(idx.raw()) {
+            if self.seen_txs.insert(0, idx.raw()) {
                 fresh.push((idx, tx.id));
                 if let Some(pool) = self.mempool.as_mut() {
                     pool.add(tx);
@@ -456,69 +538,73 @@ impl Node {
             }
         }
         if fresh.is_empty() {
-            return Vec::new();
+            self.scratch_fresh = fresh;
+            return;
         }
         // Choose relay targets (into the scratch buffer, so the common
         // all-peers case allocates nothing).
         self.scratch.clear();
-        for &p in &self.peers {
+        for pos in 0..self.peers.len() {
+            let p = self.peers[pos];
             if Some(p) != from {
-                self.scratch.push(p);
+                self.scratch.push((pos as u32, p));
             }
         }
         if cfg.tx_relay == TxRelayPolicy::Sqrt {
             let fanout = cfg.push_fanout(self.peers.len()).min(self.scratch.len());
-            let picks = rng.sample_indices(self.scratch.len(), fanout);
+            let n_candidates = self.scratch.len();
+            rng.sample_indices_into(n_candidates, fanout, &mut self.scratch_idx);
             // Gather into the second persistent buffer and swap, keeping
             // both allocations alive across calls (picks may reference
             // positions in any order, so in-place compaction is unsafe).
             self.scratch_picks.clear();
-            self.scratch_picks
-                .extend(picks.into_iter().map(|i| self.scratch[i]));
+            for t in 0..self.scratch_idx.len() {
+                self.scratch_picks.push(self.scratch[self.scratch_idx[t]]);
+            }
             std::mem::swap(&mut self.scratch, &mut self.scratch_picks);
         }
         // `insert` returning true ⟺ the peer did not know the tx, so one
         // fused probe replaces the old contains-then-insert pair; the set
         // state afterwards is identical (duplicate inserts are no-ops).
-        let mut sends = Vec::with_capacity(self.scratch.len());
+        out.reserve(self.scratch.len());
         if let [(idx, id)] = fresh[..] {
             // Dominant case: a single fresh transaction — no list
             // materialization, no per-send heap payload.
             for ti in 0..self.scratch.len() {
-                let peer = self.scratch[ti];
-                let pos = self.pos_of(peer).expect("connected peers have known-sets");
-                if self.peer_known_txs[pos].insert(idx.raw()) {
-                    sends.push(Send {
+                let (pos, peer) = self.scratch[ti];
+                if self.peer_known_txs.insert(pos as usize, idx.raw()) {
+                    out.push(Send {
                         to: peer,
                         msg: Message::Tx(id),
                     });
                 }
             }
-            return sends;
+            self.scratch_fresh = fresh;
+            return;
         }
         for ti in 0..self.scratch.len() {
-            let peer = self.scratch[ti];
-            let pos = self.pos_of(peer).expect("connected peers have known-sets");
-            let known = &mut self.peer_known_txs[pos];
-            let mut unknown: Vec<TxId> = Vec::new();
+            let (pos, peer) = self.scratch[ti];
+            // Small batches inline in the message; only outsized bursts
+            // spill to the heap.
+            let mut unknown = TxBatch::new();
             for &(idx, id) in fresh.iter() {
-                if known.insert(idx.raw()) {
+                if self.peer_known_txs.insert(pos as usize, idx.raw()) {
                     unknown.push(id);
                 }
             }
             match unknown.len() {
                 0 => {}
-                1 => sends.push(Send {
+                1 => out.push(Send {
                     to: peer,
                     msg: Message::Tx(unknown[0]),
                 }),
-                _ => sends.push(Send {
+                _ => out.push(Send {
                     to: peer,
                     msg: Message::Transactions(unknown),
                 }),
             }
         }
-        sends
+        self.scratch_fresh = fresh;
     }
 
     /// Builds a mining template from this gateway's view: parent (current
@@ -614,13 +700,70 @@ mod tests {
         }
     }
 
+    /// Out-buffer wrappers so assertions read like the old value-returning
+    /// API.
+    fn arrive(
+        n: &mut Node,
+        from: Option<NodeId>,
+        b: &Block,
+        idx: BlockIdx,
+        c: &NetConfig,
+        rng: &mut Xoshiro256,
+    ) -> (Vec<Send>, ImportAction) {
+        let mut sends = Vec::new();
+        let action = n.on_block_arrival(from, b, idx, c, rng, &mut sends);
+        (sends, action)
+    }
+
+    fn import(
+        n: &mut Node,
+        b: &Block,
+        idx: BlockIdx,
+        included: &[&Transaction],
+        c: &NetConfig,
+    ) -> (Vec<Send>, bool) {
+        let mut sends = Vec::new();
+        let new_head = n.on_import_complete(b, idx, included, c, &mut sends);
+        (sends, new_head)
+    }
+
+    fn announce(n: &mut Node, from: NodeId, entries: &[(BlockHash, BlockIdx)]) -> Vec<Send> {
+        let mut sends = Vec::new();
+        n.on_announce(from, entries, &mut sends);
+        sends
+    }
+
+    fn timeout(n: &mut Node, hash: BlockHash, idx: BlockIdx) -> Vec<Send> {
+        let mut sends = Vec::new();
+        n.on_fetch_timeout(hash, idx, &mut sends);
+        sends
+    }
+
+    fn get_block(n: &mut Node, from: NodeId, hash: BlockHash, idx: BlockIdx) -> Vec<Send> {
+        let mut sends = Vec::new();
+        n.on_get_block(from, hash, idx, &mut sends);
+        sends
+    }
+
+    fn transactions(
+        n: &mut Node,
+        from: Option<NodeId>,
+        txs: &[(TxIdx, &Transaction)],
+        c: &NetConfig,
+        rng: &mut Xoshiro256,
+    ) -> Vec<Send> {
+        let mut sends = Vec::new();
+        n.on_transactions(from, txs, c, rng, &mut sends);
+        sends
+    }
+
     #[test]
     fn push_relays_to_sqrt_peers_and_schedules_import() {
         let mut reg = BlockRegistry::new();
         let mut n = node(99, 25);
         let b = block1();
         let idx = intern(&mut reg, &b);
-        let (sends, action) = n.on_block_arrival(Some(NodeId(1)), &b, idx, &cfg(), &mut rng());
+        let (sends, action) = arrive(&mut n, Some(NodeId(1)), &b, idx, &cfg(), &mut rng());
         assert_eq!(action, ImportAction::Schedule(idx));
         // sqrt(25) = 5 pushes, never back to the sender.
         assert_eq!(sends.len(), 5);
@@ -634,14 +777,31 @@ mod tests {
     }
 
     #[test]
+    fn handlers_append_to_the_out_buffer() {
+        // The driver recycles one buffer across events; handlers must
+        // append, never clear.
+        let mut reg = BlockRegistry::new();
+        let mut n = node(99, 25);
+        let b = block1();
+        let idx = intern(&mut reg, &b);
+        let mut sends = vec![Send {
+            to: NodeId(7),
+            msg: Message::GetBlock(BlockHash(1234)),
+        }];
+        n.on_block_arrival(Some(NodeId(1)), &b, idx, &cfg(), &mut rng(), &mut sends);
+        assert_eq!(sends[0].to, NodeId(7), "pre-existing entry untouched");
+        assert_eq!(sends.len(), 6);
+    }
+
+    #[test]
     fn duplicate_arrivals_do_nothing() {
         let mut reg = BlockRegistry::new();
         let mut n = node(99, 25);
         let b = block1();
         let idx = intern(&mut reg, &b);
-        let (_, first) = n.on_block_arrival(Some(NodeId(1)), &b, idx, &cfg(), &mut rng());
+        let (_, first) = arrive(&mut n, Some(NodeId(1)), &b, idx, &cfg(), &mut rng());
         assert!(matches!(first, ImportAction::Schedule(_)));
-        let (sends, second) = n.on_block_arrival(Some(NodeId(2)), &b, idx, &cfg(), &mut rng());
+        let (sends, second) = arrive(&mut n, Some(NodeId(2)), &b, idx, &cfg(), &mut rng());
         assert!(sends.is_empty());
         assert_eq!(second, ImportAction::None);
     }
@@ -653,19 +813,23 @@ mod tests {
         let b = block1();
         let idx = intern(&mut reg, &b);
         let c = cfg();
-        let (pushes, _) = n.on_block_arrival(Some(NodeId(1)), &b, idx, &c, &mut rng());
+        let (pushes, _) = arrive(&mut n, Some(NodeId(1)), &b, idx, &c, &mut rng());
         let pushed_to: HashSet<NodeId> = pushes.iter().map(|s| s.to).collect();
-        let res = n.on_import_complete(&b, idx, &[], &c);
-        assert!(res.new_head);
+        let (sends, new_head) = import(&mut n, &b, idx, &[], &c);
+        assert!(new_head);
         // Announcements go to everyone who neither sent nor received it.
-        let announced: HashSet<NodeId> = res.sends.iter().map(|s| s.to).collect();
+        let announced: HashSet<NodeId> = sends.iter().map(|s| s.to).collect();
         assert!(announced.is_disjoint(&pushed_to));
         assert!(!announced.contains(&NodeId(1)));
         assert_eq!(announced.len(), 9 - pushed_to.len());
-        assert!(res
-            .sends
+        assert!(sends
             .iter()
-            .all(|s| matches!(&s.msg, Message::Announce(v) if v == &vec![b.hash()])));
+            .all(|s| matches!(&s.msg, Message::Announce(v) if v[..] == [b.hash()])));
+        // The inline payload never touches the heap.
+        assert!(sends.iter().all(|s| match &s.msg {
+            Message::Announce(v) => v.is_inline(),
+            _ => false,
+        }));
     }
 
     #[test]
@@ -674,20 +838,20 @@ mod tests {
         let mut n = node(99, 5);
         let b = block1();
         let idx = intern(&mut reg, &b);
-        let sends = n.on_announce(NodeId(1), &[(b.hash(), idx)]);
+        let sends = announce(&mut n, NodeId(1), &[(b.hash(), idx)]);
         assert_eq!(sends.len(), 1);
         assert_eq!(sends[0].to, NodeId(1));
         assert!(matches!(sends[0].msg, Message::GetBlock(h) if h == b.hash()));
         assert!(n.is_fetching(idx));
         // Second announcer recorded, no second request.
-        let sends = n.on_announce(NodeId(2), &[(b.hash(), idx)]);
+        let sends = announce(&mut n, NodeId(2), &[(b.hash(), idx)]);
         assert!(sends.is_empty());
         // Timeout falls over to the second announcer.
-        let retry = n.on_fetch_timeout(b.hash(), idx);
+        let retry = timeout(&mut n, b.hash(), idx);
         assert_eq!(retry.len(), 1);
         assert_eq!(retry[0].to, NodeId(2));
         // Exhausted announcers: gives up.
-        let give_up = n.on_fetch_timeout(b.hash(), idx);
+        let give_up = timeout(&mut n, b.hash(), idx);
         assert!(give_up.is_empty());
         assert!(!n.is_fetching(idx));
     }
@@ -698,11 +862,11 @@ mod tests {
         let mut n = node(99, 5);
         let b = block1();
         let idx = intern(&mut reg, &b);
-        n.on_announce(NodeId(1), &[(b.hash(), idx)]);
-        let (_, action) = n.on_block_arrival(Some(NodeId(1)), &b, idx, &cfg(), &mut rng());
+        announce(&mut n, NodeId(1), &[(b.hash(), idx)]);
+        let (_, action) = arrive(&mut n, Some(NodeId(1)), &b, idx, &cfg(), &mut rng());
         assert!(matches!(action, ImportAction::Schedule(_)));
         assert!(!n.is_fetching(idx));
-        assert!(n.on_fetch_timeout(b.hash(), idx).is_empty());
+        assert!(timeout(&mut n, b.hash(), idx).is_empty());
     }
 
     #[test]
@@ -711,10 +875,10 @@ mod tests {
         let mut n = node(99, 5);
         let b = block1();
         let idx = intern(&mut reg, &b);
-        assert!(n.on_get_block(NodeId(1), b.hash(), idx).is_empty());
-        n.on_block_arrival(Some(NodeId(2)), &b, idx, &cfg(), &mut rng());
+        assert!(get_block(&mut n, NodeId(1), b.hash(), idx).is_empty());
+        arrive(&mut n, Some(NodeId(2)), &b, idx, &cfg(), &mut rng());
         assert!(n.has_block_body(idx));
-        let resp = n.on_get_block(NodeId(1), b.hash(), idx);
+        let resp = get_block(&mut n, NodeId(1), b.hash(), idx);
         assert_eq!(resp.len(), 1);
         assert!(matches!(resp[0].msg, Message::BlockBody(h) if h == b.hash()));
     }
@@ -728,13 +892,13 @@ mod tests {
         let b1 = block1();
         let b2 = BlockBuilder::new(b1.hash(), 2, PoolId(0)).build();
         let i2 = intern(&mut reg, &b2);
-        let (_, action) = n.on_block_arrival(Some(NodeId(3)), &b2, i2, &c, &mut rng());
+        let (_, action) = arrive(&mut n, Some(NodeId(3)), &b2, i2, &c, &mut rng());
         assert!(matches!(action, ImportAction::Schedule(_)));
-        let res = n.on_import_complete(&b2, i2, &[], &c);
-        assert!(!res.new_head);
-        assert_eq!(res.sends.len(), 1);
-        assert_eq!(res.sends[0].to, NodeId(3));
-        assert!(matches!(res.sends[0].msg, Message::GetBlock(h) if h == b1.hash()));
+        let (sends, new_head) = import(&mut n, &b2, i2, &[], &c);
+        assert!(!new_head);
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].to, NodeId(3));
+        assert!(matches!(sends[0].msg, Message::GetBlock(h) if h == b1.hash()));
     }
 
     #[test]
@@ -742,13 +906,13 @@ mod tests {
         let mut n = node(99, 6);
         let c = cfg();
         let t1 = tx(1, 0);
-        let sends = n.on_transactions(Some(NodeId(1)), &[(TxIdx(0), &t1)], &c, &mut rng());
+        let sends = transactions(&mut n, Some(NodeId(1)), &[(TxIdx(0), &t1)], &c, &mut rng());
         // 5 peers other than the sender.
         assert_eq!(sends.len(), 5);
         // Replay: nothing fresh, nothing sent.
-        assert!(n
-            .on_transactions(Some(NodeId(2)), &[(TxIdx(0), &t1)], &c, &mut rng())
-            .is_empty());
+        assert!(
+            transactions(&mut n, Some(NodeId(2)), &[(TxIdx(0), &t1)], &c, &mut rng()).is_empty()
+        );
     }
 
     #[test]
@@ -757,8 +921,32 @@ mod tests {
         let mut c = cfg();
         c.tx_relay = TxRelayPolicy::Sqrt;
         let t2 = tx(2, 0);
-        let sends = n.on_transactions(None, &[(TxIdx(1), &t2)], &c, &mut rng());
+        let sends = transactions(&mut n, None, &[(TxIdx(1), &t2)], &c, &mut rng());
         assert_eq!(sends.len(), 5); // sqrt(25) = 5
+    }
+
+    #[test]
+    fn tx_batches_relay_inline() {
+        let mut n = node(99, 4);
+        let c = cfg();
+        let (t1, t2) = (tx(1, 0), tx(2, 0));
+        let sends = transactions(
+            &mut n,
+            Some(NodeId(1)),
+            &[(TxIdx(0), &t1), (TxIdx(1), &t2)],
+            &c,
+            &mut rng(),
+        );
+        assert_eq!(sends.len(), 3);
+        for s in &sends {
+            match &s.msg {
+                Message::Transactions(batch) => {
+                    assert_eq!(batch[..], [TxId(1), TxId(2)]);
+                    assert!(batch.is_inline(), "2-element batch must stay inline");
+                }
+                other => panic!("expected a batch, got {other:?}"),
+            }
+        }
     }
 
     #[test]
@@ -768,7 +956,7 @@ mod tests {
         n.enable_mempool();
         let c = cfg();
         let tx0 = tx(1, 99);
-        n.on_transactions(None, &[(TxIdx(0), &tx0)], &c, &mut rng());
+        transactions(&mut n, None, &[(TxIdx(0), &tx0)], &c, &mut rng());
         assert_eq!(n.mempool().expect("enabled").len(), 1);
 
         let (parent, number, uncles, txs) = n.mine_template(UnclePolicy::Standard, 8_000_000);
@@ -782,9 +970,9 @@ mod tests {
             .txs(vec![TxId(1)])
             .build();
         let idx = intern(&mut reg, &b);
-        n.on_block_arrival(None, &b, idx, &c, &mut rng());
-        let res = n.on_import_complete(&b, idx, &[&tx0], &c);
-        assert!(res.new_head);
+        arrive(&mut n, None, &b, idx, &c, &mut rng());
+        let (_, new_head) = import(&mut n, &b, idx, &[&tx0], &c);
+        assert!(new_head);
         assert_eq!(n.mempool().expect("enabled").len(), 0);
     }
 
@@ -794,7 +982,7 @@ mod tests {
         let mut n = node(99, 9);
         let b = block1();
         let idx = intern(&mut reg, &b);
-        let (sends, action) = n.on_block_arrival(None, &b, idx, &cfg(), &mut rng());
+        let (sends, action) = arrive(&mut n, None, &b, idx, &cfg(), &mut rng());
         assert!(matches!(action, ImportAction::Schedule(_)));
         // Gateway flood: every peer, not just sqrt.
         assert_eq!(sends.len(), 9);
@@ -812,15 +1000,15 @@ mod tests {
             let b = BlockBuilder::new(parent, i, PoolId(0)).salt(i).build();
             parent = b.hash();
             let idx = intern(&mut reg, &b);
-            n.on_block_arrival(Some(NodeId(1)), &b, idx, &c, &mut rng());
-            n.on_import_complete(&b, idx, &[], &c);
+            arrive(&mut n, Some(NodeId(1)), &b, idx, &c, &mut rng());
+            import(&mut n, &b, idx, &[], &c);
         }
         assert_eq!(n.chain().head_number(), 10);
         // A late fork block at height 1 does not improve the head and is
         // outside the relay window: no pushes.
         let stale = BlockBuilder::new(genesis(), 1, PoolId(5)).salt(99).build();
         let si = intern(&mut reg, &stale);
-        let (sends, action) = n.on_block_arrival(Some(NodeId(2)), &stale, si, &c, &mut rng());
+        let (sends, action) = arrive(&mut n, Some(NodeId(2)), &stale, si, &c, &mut rng());
         assert!(sends.is_empty());
         // It is still imported (valid block), just not relayed.
         assert!(matches!(action, ImportAction::Schedule(_)));
@@ -835,10 +1023,67 @@ mod tests {
         let mut n = node(99, 3);
         let b = block1();
         let idx = intern(&mut reg, &b);
-        let (sends, action) = n.on_block_arrival(Some(NodeId(1000)), &b, idx, &cfg(), &mut rng());
+        let (sends, action) = arrive(&mut n, Some(NodeId(1000)), &b, idx, &cfg(), &mut rng());
         assert!(matches!(action, ImportAction::Schedule(_)));
         // Relays still go to real peers (the stranger is not among them).
         assert!(sends.iter().all(|s| s.to != NodeId(1000)));
         assert!(!sends.is_empty());
+    }
+
+    #[test]
+    fn reset_behaves_like_a_fresh_node() {
+        let c = cfg();
+        let mut rng_a = rng();
+        // Drive a node through a full little lifecycle...
+        let mut reg = BlockRegistry::new();
+        let mut used = node(99, 8);
+        used.enable_mempool();
+        let b = block1();
+        let idx = intern(&mut reg, &b);
+        arrive(&mut used, Some(NodeId(1)), &b, idx, &c, &mut rng_a);
+        import(&mut used, &b, idx, &[], &c);
+        let t1 = tx(1, 0);
+        transactions(
+            &mut used,
+            Some(NodeId(2)),
+            &[(TxIdx(0), &t1)],
+            &c,
+            &mut rng_a,
+        );
+
+        // ...then reset it and wire the same topology as a fresh twin.
+        used.reset(
+            NodeId(99),
+            Region::WesternEurope,
+            BandwidthClass::Datacenter,
+            genesis(),
+            &c,
+        );
+        for p in 0..8 {
+            used.connect(NodeId(p), &c);
+        }
+        used.enable_mempool();
+        let mut fresh = node(99, 8);
+        fresh.enable_mempool();
+
+        assert_eq!(used.chain().head(), fresh.chain().head());
+        assert_eq!(used.degree(), fresh.degree());
+        assert_eq!(used.mempool().expect("enabled").len(), 0);
+        // Identical RNG stream + identical state must produce identical
+        // sends for a fresh campaign's first block and transaction.
+        let mut reg2 = BlockRegistry::new();
+        let b2 = BlockBuilder::new(genesis(), 1, PoolId(2)).salt(7).build();
+        let i2 = intern(&mut reg2, &b2);
+        let mut r1 = Xoshiro256::seed_from_u64(5);
+        let mut r2 = Xoshiro256::seed_from_u64(5);
+        let (s_used, a_used) = arrive(&mut used, Some(NodeId(1)), &b2, i2, &c, &mut r1);
+        let (s_fresh, a_fresh) = arrive(&mut fresh, Some(NodeId(1)), &b2, i2, &c, &mut r2);
+        assert_eq!(s_used, s_fresh);
+        assert_eq!(a_used, a_fresh);
+        let t9 = tx(9, 0);
+        assert_eq!(
+            transactions(&mut used, Some(NodeId(3)), &[(TxIdx(5), &t9)], &c, &mut r1),
+            transactions(&mut fresh, Some(NodeId(3)), &[(TxIdx(5), &t9)], &c, &mut r2),
+        );
     }
 }

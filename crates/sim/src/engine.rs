@@ -23,18 +23,22 @@ pub trait World {
 }
 
 /// Interface handed to [`World::handle`] for scheduling follow-up events.
+///
+/// Writes go straight into the engine's event queue — no staging buffer,
+/// no post-handler drain — which both saves a copy of every scheduled
+/// event and keeps the steady state allocation-free. FIFO sequencing is
+/// unchanged: events receive their insertion sequence in scheduling
+/// order, exactly the order a drained buffer would have produced.
 #[derive(Debug)]
-pub struct Scheduler<E> {
+pub struct Scheduler<'q, E> {
     now: SimTime,
-    pending: Vec<(SimTime, E)>,
+    queue: &'q mut EventQueue<E>,
 }
 
-impl<E> Scheduler<E> {
-    /// Wraps a reusable (cleared) buffer: the engine recycles one
-    /// allocation across every event instead of allocating per handler.
-    fn with_buffer(now: SimTime, pending: Vec<(SimTime, E)>) -> Self {
-        debug_assert!(pending.is_empty());
-        Scheduler { now, pending }
+impl<'q, E> Scheduler<'q, E> {
+    /// Wraps the engine's queue for one handler invocation.
+    fn new(now: SimTime, queue: &'q mut EventQueue<E>) -> Self {
+        Scheduler { now, queue }
     }
 
     /// The current simulated instant.
@@ -46,7 +50,7 @@ impl<E> Scheduler<E> {
     /// Schedules `event` after `delay` from now.
     #[inline]
     pub fn after(&mut self, delay: SimDuration, event: E) {
-        self.pending.push((self.now + delay, event));
+        self.queue.push(self.now + delay, event);
     }
 
     /// Schedules `event` at the absolute instant `at`.
@@ -66,14 +70,14 @@ impl<E> Scheduler<E> {
             "cannot schedule {event:?} into the past ({at} < {now})",
             now = self.now
         );
-        self.pending.push((at, event));
+        self.queue.push(at, event);
     }
 
     /// Schedules `event` for immediate processing (same instant, after all
     /// events already queued for this instant).
     #[inline]
     pub fn now_event(&mut self, event: E) {
-        self.pending.push((self.now, event));
+        self.queue.push(self.now, event);
     }
 }
 
@@ -95,8 +99,6 @@ pub struct Engine<W: World> {
     queue: EventQueue<W::Event>,
     now: SimTime,
     processed: u64,
-    /// Recycled scheduler buffer (see [`Scheduler::with_buffer`]).
-    scratch: Vec<(SimTime, W::Event)>,
 }
 
 impl<W: World> Engine<W> {
@@ -107,7 +109,6 @@ impl<W: World> Engine<W> {
             queue: EventQueue::new(),
             now: SimTime::ZERO,
             processed: 0,
-            scratch: Vec::new(),
         }
     }
 
@@ -152,6 +153,17 @@ impl<W: World> Engine<W> {
         self.world
     }
 
+    /// Rewinds the engine to time zero with an empty queue, keeping the
+    /// world and the queue's heap/slab allocations. The caller is
+    /// responsible for resetting the world itself (see
+    /// [`Engine::world_mut`]); after that the pair behaves exactly like a
+    /// freshly built engine, minus the allocations.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.now = SimTime::ZERO;
+        self.processed = 0;
+    }
+
     /// Runs until the queue drains or simulated time would exceed
     /// `deadline`. Events stamped exactly at `deadline` are processed.
     pub fn run_until(&mut self, deadline: SimTime) -> RunOutcome {
@@ -178,13 +190,8 @@ impl<W: World> Engine<W> {
                     let (t, ev) = self.queue.pop().expect("peeked non-empty");
                     debug_assert!(t >= self.now, "event queue went backwards");
                     self.now = t;
-                    let mut sched = Scheduler::with_buffer(t, std::mem::take(&mut self.scratch));
+                    let mut sched = Scheduler::new(t, &mut self.queue);
                     self.world.handle(t, ev, &mut sched);
-                    let mut pending = sched.pending;
-                    for (at, e) in pending.drain(..) {
-                        self.queue.push(at, e);
-                    }
-                    self.scratch = pending;
                     self.processed += 1;
                     remaining -= 1;
                 }

@@ -5,70 +5,92 @@
 //! messages scheduled for the same nanosecond must always be processed in
 //! the same order, or replays diverge.
 //!
-//! Layout: the priority heap holds only 24-byte `(time, seq, slot)` keys;
-//! event payloads live in a slab (`Vec<Option<E>>` + free list) and never
-//! move while the heap sifts. Every simulated message costs one push and
-//! one pop, so the bytes shuffled per sift are a first-order term of
-//! campaign wall time — with ~50-byte payloads this roughly halves queue
-//! cost versus heaping the events themselves. Because `seq` is unique the
-//! `(time, seq)` order is *total*, so the pop sequence is independent of
-//! internal heap layout; the property tests below pin exactly that
-//! contract.
+//! Layout: a calendar queue over 16-byte packed keys. Each key carries
+//! `time << 64 | seq << SLOT_BITS | slot` — the unique insertion sequence
+//! plus the payload's slab slot — so comparing keys *is* comparing
+//! `(time, seq)`, and the pop sequence is the total `(time, seq)` order
+//! regardless of internal layout (the property tests pin exactly that).
+//! Near-future keys hash by time into a ring of ~131 µs buckets (a
+//! shift, not a division); a bucket is sorted once when the cursor
+//! reaches it, so the steady state costs O(1) amortized per push/pop instead of a
+//! `log n` heap sift — measurably faster at the multi-thousand pending
+//! depths of a gossip campaign. Keys beyond the ring's horizon (mining
+//! solves, retarget lags) wait in a small overflow heap and migrate as
+//! the cursor advances. Event payloads live in a slab (`Vec<Option<E>>`
+//! + free list) and never move.
 
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use ethmeter_types::SimTime;
 
+/// Bits of the packed key word reserved for the slab slot.
+const SLOT_BITS: u32 = 24;
+/// Maximum number of simultaneously pending events (slab slots).
+const MAX_PENDING: u64 = 1 << SLOT_BITS;
+/// Maximum insertion sequence (fits the remaining high bits).
+const MAX_SEQ: u64 = 1 << (64 - SLOT_BITS);
+
+/// log2 of the bucket width in nanoseconds (2^17 ≈ 131 µs). Narrower
+/// than the smallest realistic link delay (~1.3 ms floor + overheads), so
+/// handlers essentially never push into the bucket being drained — the
+/// pattern that would force repeated tail re-sorts. At gossip-burst
+/// densities a bucket still holds only a handful of keys, sorted once
+/// when the cursor arrives.
+const WIDTH_SHIFT: u32 = 17;
+/// Ring size (buckets). Span = 4096 × 131 µs ≈ 537 ms, which covers the
+/// bulk of gossip/import delays; longer delays (mining solves, retarget
+/// lags, fetch timeouts) take the overflow path.
+const N_BUCKETS: usize = 4096;
+
 /// An event queue ordered by `(time, insertion sequence)`.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Key>,
-    /// Slab of pending payloads, addressed by `Key::slot`.
+    /// Ring of key buckets; slot `b % N_BUCKETS` holds absolute bucket
+    /// `b` for `b` in `[cursor, cursor + N_BUCKETS)`.
+    buckets: Vec<Vec<u128>>,
+    /// Absolute index (`time >> WIDTH_SHIFT`) of the bucket being
+    /// drained. The cursor is *lazy*: it stands on the bucket of the most
+    /// recently popped key and only advances inside [`EventQueue::pop`] /
+    /// [`EventQueue::peek_time`] when that bucket runs dry, so handler
+    /// pushes (which are never in the past) land at or ahead of it.
+    cursor: u64,
+    /// Consumed prefix of the current bucket.
+    drained: usize,
+    /// True if the current bucket needs a (re)sort before its next read:
+    /// set on arrival at a bucket and again when keys are pushed into it.
+    dirty: bool,
+    /// Keys currently in the ring (excludes the drained prefix).
+    ring_count: usize,
+    /// Keys beyond the ring horizon, by min-heap.
+    overflow: BinaryHeap<Reverse<u128>>,
+    /// Slab of pending payloads, addressed by the key's slot bits.
     events: Vec<Option<E>>,
     /// Vacated slab slots available for reuse.
     free: Vec<u32>,
     next_seq: u64,
 }
 
-/// Heap key: orders by `(time, seq)`, carries the payload's slab slot.
-#[derive(Debug, Clone, Copy)]
-struct Key {
-    time: SimTime,
-    seq: u64,
-    slot: u32,
+#[inline]
+fn abs_bucket(key: u128) -> u64 {
+    ((key >> 64) as u64) >> WIDTH_SHIFT
 }
 
-impl PartialEq for Key {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-
-impl Eq for Key {}
-
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
+#[inline]
+fn key_time(key: u128) -> SimTime {
+    SimTime::from_nanos((key >> 64) as u64)
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            buckets: vec![Vec::new(); N_BUCKETS],
+            cursor: 0,
+            drained: 0,
+            dirty: true,
+            ring_count: 0,
+            overflow: BinaryHeap::new(),
             events: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
@@ -77,17 +99,21 @@ impl<E> EventQueue<E> {
 
     /// Creates an empty queue with capacity for `cap` pending events.
     pub fn with_capacity(cap: usize) -> Self {
-        EventQueue {
-            heap: BinaryHeap::with_capacity(cap),
-            events: Vec::with_capacity(cap),
-            free: Vec::new(),
-            next_seq: 0,
-        }
+        let mut q = Self::new();
+        q.events.reserve(cap);
+        q
     }
 
     /// Schedules `event` at the absolute instant `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than 2²⁴ events are pending at once or the queue
+    /// processes more than 2⁴⁰ events over its lifetime (both far beyond
+    /// any realistic campaign; [`EventQueue::clear`] resets the latter).
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
+        assert!(seq < MAX_SEQ, "event sequence space exhausted");
         self.next_seq += 1;
         let slot = match self.free.pop() {
             Some(s) => {
@@ -95,37 +121,137 @@ impl<E> EventQueue<E> {
                 s
             }
             None => {
-                let s = u32::try_from(self.events.len()).expect("pending-event slots exhausted");
+                let s = self.events.len() as u64;
+                assert!(s < MAX_PENDING, "pending-event slots exhausted");
                 self.events.push(Some(event));
-                s
+                s as u32
             }
         };
-        self.heap.push(Key { time, seq, slot });
+        let key =
+            (u128::from(time.as_nanos()) << 64) | u128::from((seq << SLOT_BITS) | u64::from(slot));
+        // Handlers never schedule into the past, but an idle queue may be
+        // re-primed below the cursor (a fresh run after a drain): clamp
+        // into the current bucket, where the next sort orders it.
+        let ab = abs_bucket(key).max(self.cursor);
+        if ab >= self.cursor + N_BUCKETS as u64 {
+            self.overflow.push(Reverse(key));
+        } else {
+            if ab == self.cursor {
+                self.dirty = true;
+            }
+            self.buckets[(ab as usize) & (N_BUCKETS - 1)].push(key);
+            self.ring_count += 1;
+        }
+    }
+
+    /// Advances the cursor to the bucket holding the minimum pending key
+    /// and leaves that bucket sorted with `drained` at its head. Returns
+    /// false iff the queue is empty. Amortized O(1): the cursor only
+    /// moves forward, so each bucket is crossed once per sweep of
+    /// simulated time, and each key is sorted O(1) times.
+    fn settle(&mut self) -> bool {
+        loop {
+            let slot = (self.cursor as usize) & (N_BUCKETS - 1);
+            if self.drained < self.buckets[slot].len() {
+                if self.dirty {
+                    // Arrival sort, or late keys pushed behind the read
+                    // head: order the unconsumed tail (every tail key is
+                    // ≥ every already-popped key by monotonicity).
+                    self.buckets[slot][self.drained..].sort_unstable();
+                    self.dirty = false;
+                }
+                return true;
+            }
+            // Bucket exhausted: recycle it and advance to the next
+            // non-empty bucket (or jump to the overflow minimum), which
+            // will need its arrival sort.
+            self.buckets[slot].clear();
+            self.drained = 0;
+            self.dirty = true;
+            if self.ring_count > 0 {
+                self.cursor += 1;
+            } else if let Some(&Reverse(next)) = self.overflow.peek() {
+                self.cursor = abs_bucket(next);
+            } else {
+                return false;
+            }
+            self.migrate_overflow();
+        }
+    }
+
+    /// Pulls overflow keys that now fall inside the ring horizon.
+    #[inline]
+    fn migrate_overflow(&mut self) {
+        let horizon = self.cursor + N_BUCKETS as u64;
+        while let Some(&Reverse(key)) = self.overflow.peek() {
+            let ab = abs_bucket(key);
+            if ab >= horizon {
+                break;
+            }
+            self.overflow.pop();
+            if ab == self.cursor {
+                self.dirty = true;
+            }
+            self.buckets[(ab as usize) & (N_BUCKETS - 1)].push(key);
+            self.ring_count += 1;
+        }
     }
 
     /// Removes and returns the earliest event, or `None` if empty.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let key = self.heap.pop()?;
-        let event = self.events[key.slot as usize]
+        if !self.settle() {
+            return None;
+        }
+        let cur = &self.buckets[(self.cursor as usize) & (N_BUCKETS - 1)];
+        let key = cur[self.drained];
+        self.drained += 1;
+        self.ring_count -= 1;
+        let slot = (key as u64 & (MAX_PENDING - 1)) as u32;
+        let event = self.events[slot as usize]
             .take()
-            .expect("heap keys reference live slots");
-        self.free.push(key.slot);
-        Some((key.time, event))
+            .expect("ring keys reference live slots");
+        self.free.push(slot);
+        Some((key_time(key), event))
     }
 
-    /// The timestamp of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|k| k.time)
+    /// The timestamp of the earliest pending event. Takes `&mut self`:
+    /// locating the minimum may advance the lazy cursor (a pure-layout
+    /// change — the pending set is untouched).
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if !self.settle() {
+            return None;
+        }
+        let cur = &self.buckets[(self.cursor as usize) & (N_BUCKETS - 1)];
+        Some(key_time(cur[self.drained]))
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.ring_count + self.overflow.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.ring_count == 0 && self.overflow.is_empty()
+    }
+
+    /// Drops every pending event and resets the insertion sequence, while
+    /// keeping the bucket, heap, and slab allocations — a cleared queue
+    /// behaves exactly like a new one but starts its next run
+    /// allocation-free.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.cursor = 0;
+        self.drained = 0;
+        self.dirty = true;
+        self.ring_count = 0;
+        self.overflow.clear();
+        self.events.clear();
+        self.free.clear();
+        self.next_seq = 0;
     }
 }
 
@@ -138,6 +264,7 @@ impl<E> Default for EventQueue<E> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ethmeter_types::SimDuration;
 
     fn t(secs: u64) -> SimTime {
         SimTime::from_secs(secs)
@@ -227,6 +354,47 @@ mod tests {
         }
         assert_eq!(n, 1_000);
     }
+
+    #[test]
+    fn clear_resets_like_new() {
+        let mut q = EventQueue::new();
+        for i in 0..64u64 {
+            q.push(t(i % 7), i);
+        }
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        // FIFO sequencing restarts from scratch after a clear.
+        q.push(t(3), 100u64);
+        q.push(t(3), 101u64);
+        assert_eq!(q.pop(), Some((t(3), 100)));
+        assert_eq!(q.pop(), Some((t(3), 101)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn mixed_push_pop_with_durations() {
+        // Exercises the sift paths with a realistic churn pattern.
+        let mut q = EventQueue::with_capacity(128);
+        let mut clock = SimTime::ZERO;
+        for i in 0..128u64 {
+            q.push(clock + SimDuration::from_nanos((i * 37) % 101), i);
+        }
+        let mut popped = 0;
+        while let Some((when, _)) = q.pop() {
+            assert!(when >= clock, "time went backwards");
+            clock = when;
+            popped += 1;
+            if popped % 3 == 0 {
+                q.push(clock + SimDuration::from_nanos(popped % 13), 1_000 + popped);
+            }
+            if popped > 4_000 {
+                break;
+            }
+        }
+        assert!(q.is_empty() || popped > 4_000);
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +460,85 @@ mod proptests {
                         .expect("non-empty");
                     prop_assert_eq!(got_t.as_nanos(), min_t);
                     prop_assert_eq!(got_e, expect_seq);
+                    pending.retain(|&(_, s)| s != expect_seq);
+                }
+            }
+            prop_assert_eq!(q.len(), pending.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod calendar_proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The single-bucket proptests above cannot see bucket-ring bugs,
+        /// so this one spreads times across many ~131 µs buckets AND the
+        /// overflow horizon (multi-second deltas) and checks the same
+        /// stable-sort contract.
+        #[test]
+        fn wide_time_ranges_pop_in_stable_order(
+            dense in proptest::collection::vec(0u64..64, 0..64),
+            wide in proptest::collection::vec(0u64..8_000, 0..32),
+        ) {
+            // The dense cluster steps 50 µs — well under the 131 µs
+            // bucket width, so several *distinct* times collide per
+            // bucket and the arrival sort must reorder them (a fresh
+            // bucket only ever saw appends). The wide tail steps 400 µs
+            // over ~3.2 s, spreading across many buckets and past the
+            // ring horizon into the overflow heap.
+            let times: Vec<u64> = dense
+                .iter()
+                .map(|&c| c * 50_000)
+                .chain(wide.iter().map(|&c| c * 400_000))
+                .collect();
+            let mut q = EventQueue::new();
+            for (payload, &t) in times.iter().enumerate() {
+                q.push(SimTime::from_nanos(t), payload);
+            }
+            let mut model: Vec<(u64, usize)> =
+                times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+            model.sort_by_key(|&(t, _)| t);
+            let popped: Vec<(u64, usize)> =
+                std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_nanos(), e))).collect();
+            prop_assert_eq!(popped, model);
+            prop_assert!(q.is_empty());
+        }
+
+        /// Interleaved push/pop across wide time ranges, mimicking the
+        /// engine: pops advance a clock floor, pushes schedule at or after
+        /// it (the monotonic contract), with bursts landing in the same
+        /// bucket, nearby buckets, and the overflow.
+        #[test]
+        fn interleaved_wide_schedule_keeps_order(
+            ops in proptest::collection::vec((0u64..4_000_000_000, 0u64..3), 1..128),
+        ) {
+            let mut q = EventQueue::new();
+            let mut pending: Vec<(u64, u64)> = Vec::new();
+            let mut clock = 0u64;
+            for (seq, &(delay, pops)) in ops.iter().enumerate() {
+                let seq = seq as u64;
+                let at = clock + delay;
+                q.push(SimTime::from_nanos(at), seq);
+                pending.push((at, seq));
+                for _ in 0..pops {
+                    let Some((got_t, got_e)) = q.pop() else {
+                        prop_assert!(pending.is_empty());
+                        break;
+                    };
+                    let min_t = pending.iter().map(|&(t, _)| t).min().expect("non-empty");
+                    let expect_seq = pending
+                        .iter()
+                        .filter(|&&(t, _)| t == min_t)
+                        .map(|&(_, s)| s)
+                        .min()
+                        .expect("non-empty");
+                    prop_assert_eq!(got_t.as_nanos(), min_t);
+                    prop_assert_eq!(got_e, expect_seq);
+                    prop_assert!(got_t.as_nanos() >= clock, "time went backwards");
+                    clock = got_t.as_nanos();
                     pending.retain(|&(_, s)| s != expect_seq);
                 }
             }

@@ -194,20 +194,30 @@ impl Xoshiro256 {
     /// Returns all of `0..n` (in random order is *not* guaranteed) when
     /// `k >= n`.
     pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let mut chosen = Vec::new();
+        self.sample_indices_into(n, k, &mut chosen);
+        chosen
+    }
+
+    /// [`Xoshiro256::sample_indices`] into a caller-provided buffer
+    /// (cleared first), so steady-state fan-out sampling reuses one
+    /// allocation. The draw sequence is identical to `sample_indices`.
+    pub fn sample_indices_into(&mut self, n: usize, k: usize, out: &mut Vec<usize>) {
+        out.clear();
         if k >= n {
-            return (0..n).collect();
+            out.extend(0..n);
+            return;
         }
         // Floyd's algorithm yields k distinct values without rejection.
-        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        out.reserve(k);
         for j in (n - k)..n {
             let t = self.index(j + 1);
-            if chosen.contains(&t) {
-                chosen.push(j);
+            if out.contains(&t) {
+                out.push(j);
             } else {
-                chosen.push(t);
+                out.push(t);
             }
         }
-        chosen
     }
 
     /// Chooses one element of a non-empty slice.

@@ -34,10 +34,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use ethmeter_chain::tx::Transaction;
-use ethmeter_types::{AccountId, Gas, Nonce, TxId};
+use ethmeter_types::{AccountId, FxHashMap, Gas, Nonce, TxId};
 
 /// What happened when a transaction was offered to the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,11 +67,17 @@ struct TxMeta {
 pub struct Mempool {
     /// sender -> nonce -> tx meta (pending and queued together; the
     /// pending/queued boundary is derived from `next_nonce`).
-    per_account: HashMap<AccountId, BTreeMap<Nonce, TxMeta>>,
+    ///
+    /// All three maps are keyed through `FxHasher64`: account and
+    /// transaction ids are small integers, so the default SipHash is pure
+    /// overhead on the per-gossip-event add path. No output ever depends
+    /// on map iteration order (packing tie-breaks on `(price, account)`),
+    /// so the hasher choice is behavior-neutral.
+    per_account: FxHashMap<AccountId, BTreeMap<Nonce, TxMeta>>,
     /// sender -> next nonce the chain expects (all lower nonces committed).
-    next_nonce: HashMap<AccountId, Nonce>,
+    next_nonce: FxHashMap<AccountId, Nonce>,
     /// Reverse index for membership tests.
-    by_id: HashMap<TxId, (AccountId, Nonce)>,
+    by_id: FxHashMap<TxId, (AccountId, Nonce)>,
 }
 
 impl Mempool {
@@ -180,10 +186,18 @@ impl Mempool {
     /// Returns transaction ids in inclusion order. The pool itself is not
     /// mutated — call [`Mempool::on_block`] when the block commits.
     pub fn pack(&self, gas_limit: Gas) -> Vec<TxId> {
-        // cursor per account: next executable nonce during this packing.
-        let mut cursors: HashMap<AccountId, Nonce> = HashMap::new();
-        let mut gas_left = gas_limit;
         let mut out = Vec::new();
+        self.pack_into(gas_limit, &mut out);
+        out
+    }
+
+    /// [`Mempool::pack`] into a caller-provided buffer (cleared first), so
+    /// repeated packing reuses one allocation.
+    pub fn pack_into(&self, gas_limit: Gas, out: &mut Vec<TxId>) {
+        out.clear();
+        // cursor per account: next executable nonce during this packing.
+        let mut cursors: FxHashMap<AccountId, Nonce> = FxHashMap::default();
+        let mut gas_left = gas_limit;
         loop {
             // Find the best-priced executable candidate across accounts.
             let mut best: Option<(u64, AccountId, Nonce, TxMeta)> = None;
@@ -214,7 +228,14 @@ impl Mempool {
             gas_left -= meta.gas;
             cursors.insert(acct, nonce + 1);
         }
-        out
+    }
+
+    /// Forgets every transaction and every account nonce, retaining the
+    /// maps' allocations. A cleared pool behaves exactly like a new one.
+    pub fn clear(&mut self) {
+        self.per_account.clear();
+        self.next_nonce.clear();
+        self.by_id.clear();
     }
 
     /// Applies a committed block: advances account nonces past every

@@ -13,7 +13,7 @@
 //! interned at creation time). The internal hash map is used only for
 //! point lookups — its iteration order never influences results.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
 
 /// A minimal Fx-style hasher for small integer keys (ids and mixed
@@ -74,6 +74,9 @@ pub type BuildFxHasher = BuildHasherDefault<FxHasher64>;
 
 /// A `HashMap` keyed through [`FxHasher64`].
 pub type FxHashMap<K, V> = HashMap<K, V, BuildFxHasher>;
+
+/// A `HashSet` keyed through [`FxHasher64`].
+pub type FxHashSet<T> = HashSet<T, BuildFxHasher>;
 
 /// Assigns contiguous `u32` slots to keys in first-seen order.
 #[derive(Debug, Clone, Default)]
@@ -144,6 +147,13 @@ impl<K: Copy + Eq + Hash> Interner<K> {
     /// The interned keys, in slot order.
     pub fn keys(&self) -> &[K] {
         &self.keys
+    }
+
+    /// Forgets every key, retaining the allocated capacity so a reused
+    /// interner starts its next campaign allocation-free.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.keys.clear();
     }
 }
 

@@ -1,0 +1,248 @@
+//! A fixed-capacity small-vector that spills to the heap.
+//!
+//! Gossip messages overwhelmingly carry one or two payload ids — a single
+//! announced block hash, a singleton transaction batch — yet a `Vec`
+//! payload costs a heap allocation per message, and the per-peer fan-out
+//! of a broadcast multiplies that by the node degree. [`InlineVec`] stores
+//! up to `N` elements inline (so constructing and cloning the common case
+//! is a plain memcpy) and transparently spills to a `Vec` beyond that, so
+//! correctness never depends on the inline bound.
+//!
+//! The type is deliberately minimal: it derefs to a slice for all reading,
+//! and only supports `push`/`clear` mutation — exactly what building a
+//! wire message needs.
+
+use std::ops::Deref;
+
+/// A vector of `Copy` elements with inline storage for up to `N` of them.
+///
+/// Equality and iteration behave exactly like a slice of the elements: an
+/// inline value and a spilled value holding the same elements are equal.
+#[derive(Debug, Clone)]
+pub enum InlineVec<T: Copy + Default, const N: usize> {
+    /// At most `N` elements, stored inline. Only the first `len` entries
+    /// of `buf` are meaningful.
+    Inline {
+        /// Number of live elements in `buf`.
+        len: u8,
+        /// Inline storage (tail entries beyond `len` are padding).
+        buf: [T; N],
+    },
+    /// More than `N` elements, stored on the heap.
+    Spilled(Vec<T>),
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// Creates an empty vector (no allocation).
+    #[inline]
+    pub fn new() -> Self {
+        InlineVec::Inline {
+            len: 0,
+            buf: [T::default(); N],
+        }
+    }
+
+    /// Creates a vector holding a single element (no allocation).
+    #[inline]
+    pub fn one(value: T) -> Self {
+        let mut buf = [T::default(); N];
+        buf[0] = value;
+        InlineVec::Inline { len: 1, buf }
+    }
+
+    /// Copies a slice into a new vector (allocates only beyond `N`).
+    pub fn from_slice(values: &[T]) -> Self {
+        if values.len() <= N {
+            let mut buf = [T::default(); N];
+            buf[..values.len()].copy_from_slice(values);
+            InlineVec::Inline {
+                len: values.len() as u8,
+                buf,
+            }
+        } else {
+            InlineVec::Spilled(values.to_vec())
+        }
+    }
+
+    /// Appends an element, spilling to the heap when the inline capacity
+    /// is exceeded.
+    pub fn push(&mut self, value: T) {
+        match self {
+            InlineVec::Inline { len, buf } => {
+                let n = *len as usize;
+                if n < N {
+                    buf[n] = value;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(N + 1);
+                    spilled.extend_from_slice(&buf[..n]);
+                    spilled.push(value);
+                    *self = InlineVec::Spilled(spilled);
+                }
+            }
+            InlineVec::Spilled(v) => v.push(value),
+        }
+    }
+
+    /// Removes every element. An inline value stays inline; a spilled
+    /// value keeps its heap buffer for reuse.
+    pub fn clear(&mut self) {
+        match self {
+            InlineVec::Inline { len, .. } => *len = 0,
+            InlineVec::Spilled(v) => v.clear(),
+        }
+    }
+
+    /// The live elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            InlineVec::Inline { len, buf } => &buf[..*len as usize],
+            InlineVec::Spilled(v) => v,
+        }
+    }
+
+    /// Number of live elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            InlineVec::Inline { len, .. } => *len as usize,
+            InlineVec::Spilled(v) => v.len(),
+        }
+    }
+
+    /// True if no elements are held.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if the elements live inline (diagnostics/tests).
+    pub fn is_inline(&self) -> bool {
+        matches!(self, InlineVec::Inline { .. })
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Deref for InlineVec<T, N> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for InlineVec<T, N> {}
+
+impl<T: Copy + Default, const N: usize> From<Vec<T>> for InlineVec<T, N> {
+    fn from(values: Vec<T>) -> Self {
+        if values.len() <= N {
+            Self::from_slice(&values)
+        } else {
+            InlineVec::Spilled(values)
+        }
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for InlineVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut out = Self::new();
+        for v in iter {
+            out.push(v);
+        }
+        out
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type V = InlineVec<u64, 2>;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v = V::new();
+        assert!(v.is_empty() && v.is_inline());
+        v.push(1);
+        v.push(2);
+        assert!(v.is_inline());
+        assert_eq!(&v[..], &[1, 2]);
+        v.push(3);
+        assert!(!v.is_inline(), "third element spills");
+        assert_eq!(&v[..], &[1, 2, 3]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(&V::one(7)[..], &[7]);
+        assert!(V::one(7).is_inline());
+        assert_eq!(&V::from_slice(&[1, 2])[..], &[1, 2]);
+        assert!(!V::from_slice(&[1, 2, 3]).is_inline());
+        let from_vec: V = vec![9, 8, 7].into();
+        assert_eq!(&from_vec[..], &[9, 8, 7]);
+        let collected: V = (0..2).collect();
+        assert!(collected.is_inline());
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let inline = V::from_slice(&[1, 2]);
+        let spilled = {
+            let mut s = V::from_slice(&[1, 2, 3]);
+            // Rebuild [1, 2] in spilled form.
+            s.clear();
+            s.push(1);
+            s.push(2);
+            s
+        };
+        assert!(!spilled.is_inline());
+        assert_eq!(inline, spilled);
+        assert_ne!(inline, V::from_slice(&[1]));
+    }
+
+    #[test]
+    fn clear_keeps_spilled_buffer() {
+        let mut v = V::from_slice(&[1, 2, 3]);
+        v.clear();
+        assert!(v.is_empty());
+        assert!(!v.is_inline(), "spilled buffer retained for reuse");
+        let mut i = V::from_slice(&[1]);
+        i.clear();
+        assert!(i.is_empty() && i.is_inline());
+    }
+
+    #[test]
+    fn slice_like_reads() {
+        let v = V::from_slice(&[4, 5]);
+        assert_eq!(v.iter().copied().sum::<u64>(), 9);
+        assert_eq!(v.first(), Some(&4));
+        if let [a, b] = v[..] {
+            assert_eq!((a, b), (4, 5));
+        } else {
+            panic!("slice pattern must match");
+        }
+    }
+}

@@ -77,6 +77,37 @@ fn parallel_sweep_fingerprints_match_sequential() {
 }
 
 #[test]
+fn reused_worker_sweeps_equal_fresh_and_sequential() {
+    // Sweep workers reuse one world+engine across their whole job stream
+    // (the default); that reuse must be a pure wall-clock optimization.
+    // Pin all three execution styles to the same campaign fingerprints:
+    // reused workers, fresh-construction workers, and sequential runs.
+    let reused = Sweep::new(base()).seeds(SEEDS).threads(2).run();
+    let fresh = Sweep::new(base())
+        .seeds(SEEDS)
+        .threads(2)
+        .reuse_workers(false)
+        .run();
+    assert_eq!(reused.totals, fresh.totals);
+    assert_eq!(reused.events, fresh.events);
+    for ((r, f), &seed) in reused.runs.iter().zip(fresh.runs.iter()).zip(SEEDS.iter()) {
+        let fp_reused = r.outcome.campaign.fingerprint();
+        assert_eq!(
+            fp_reused,
+            f.outcome.campaign.fingerprint(),
+            "seed {seed}: reused-worker sweep diverged from fresh-construction sweep"
+        );
+        let mut scenario = base();
+        scenario.seed = seed;
+        assert_eq!(
+            fp_reused,
+            run_campaign(&scenario).campaign.fingerprint(),
+            "seed {seed}: reused-worker sweep diverged from a sequential run"
+        );
+    }
+}
+
+#[test]
 fn distinct_seeds_diverge() {
     let sweep = Sweep::new(base()).seeds(SEEDS).threads(4).run();
     assert_eq!(
