@@ -26,7 +26,7 @@ if [ -f BENCH_engine.json ]; then
     cp BENCH_engine.json "$saved_report"
 fi
 cargo bench -p ethmeter-bench --bench engine -- --quick
-test "$(jq -r .schema BENCH_engine.json)" = "ethmeter-bench-engine/v2"
+test "$(jq -r .schema BENCH_engine.json)" = "ethmeter-bench-engine/v3"
 jq -e '.presets | length == 3' BENCH_engine.json > /dev/null
 # v2 additions: per-preset counting-allocator metrics, PR-over-PR
 # baselines, and the multi-seed sweep-throughput survey.
@@ -37,6 +37,15 @@ jq -e '.baseline | has("pr2_small_events_per_sec")' BENCH_engine.json > /dev/nul
 jq -e '.sweep | has("reused_events_per_sec") and has("fresh_events_per_sec")
                 and has("reuse_speedup") and has("seeds") and has("threads_used")' \
     BENCH_engine.json > /dev/null
+# v3 addition: the grid-scale memory survey — streaming metric collectors
+# must keep a multi-run grid's peak heap near one campaign's footprint,
+# while the retain-everything collector grows with the run count.
+jq -e '.grid | has("runs") and has("single_run_peak_bytes")
+               and has("streaming_peak_bytes") and has("retain_runs_peak_bytes")
+               and has("streaming_over_single") and has("retain_over_single")' \
+    BENCH_engine.json > /dev/null
+jq -e '.grid.runs >= 64' BENCH_engine.json > /dev/null
+jq -e '.grid.streaming_over_single < .grid.retain_over_single' BENCH_engine.json > /dev/null
 if [ -n "$saved_report" ]; then
     mv "$saved_report" BENCH_engine.json
 fi

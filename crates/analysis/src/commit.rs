@@ -20,11 +20,13 @@ use ethmeter_stats::table::pct;
 use ethmeter_stats::Cdf;
 use ethmeter_types::{AccountId, BlockNumber, SimTime, TxId};
 
+use crate::Reduce;
+
 /// The confirmation depths Figure 4 plots.
 pub const CONFIRMATION_DEPTHS: [u64; 4] = [3, 12, 15, 36];
 
 /// Figure 4's series.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CommitReport {
     /// Delay from first tx observation to inclusion-block observation (s).
     pub inclusion: Cdf,
@@ -39,6 +41,30 @@ pub struct CommitReport {
 }
 
 impl CommitReport {
+    /// A report over zero campaigns (the [`Commit`] starting state).
+    pub fn empty() -> Self {
+        CommitReport {
+            inclusion: Cdf::from_values(std::iter::empty()),
+            confirmations: CONFIRMATION_DEPTHS
+                .iter()
+                .map(|&k| (k, Cdf::from_values(std::iter::empty())))
+                .collect(),
+            txs_measured: 0,
+            txs_skipped: 0,
+        }
+    }
+
+    /// Folds another campaign's (or partial sweep's) report into this
+    /// one. Exact: the CDFs become the union of both samples.
+    pub fn merge(&mut self, other: &CommitReport) {
+        self.inclusion.merge(&other.inclusion);
+        for ((k, cdf), (ok, ocdf)) in self.confirmations.iter_mut().zip(&other.confirmations) {
+            debug_assert_eq!(k, ok, "confirmation depths are fixed");
+            cdf.merge(ocdf);
+        }
+        self.txs_measured += other.txs_measured;
+        self.txs_skipped += other.txs_skipped;
+    }
     /// The headline number: median 12-confirmation commit delay (paper:
     /// 189 s). `None` if no transaction reached 12 confirmations.
     pub fn median_commit_12(&self) -> Option<f64> {
@@ -141,6 +167,44 @@ pub fn analyze(data: &CampaignData) -> CommitReport {
     }
 }
 
+/// Streaming Figure 4 across many campaigns: commit-delay samples pooled
+/// over every run.
+#[derive(Debug, Clone)]
+pub struct Commit {
+    report: CommitReport,
+}
+
+impl Commit {
+    /// An accumulator over zero campaigns.
+    pub fn new() -> Self {
+        Commit {
+            report: CommitReport::empty(),
+        }
+    }
+}
+
+impl Default for Commit {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reduce for Commit {
+    type Report = CommitReport;
+
+    fn observe(&mut self, data: &CampaignData) {
+        self.report.merge(&analyze(data));
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.report.merge(&other.report);
+    }
+
+    fn finish(self) -> CommitReport {
+        self.report
+    }
+}
+
 impl fmt::Display for CommitReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -160,7 +224,7 @@ impl fmt::Display for CommitReport {
 }
 
 /// Figure 5's split.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OrderingReport {
     /// Fraction of (observer, committed tx) samples that arrived out of
     /// nonce order (paper: 11.54%).
@@ -176,68 +240,101 @@ pub struct OrderingReport {
 /// same sender arrived later at *that* observer — and samples are pooled
 /// across the four main observers.
 pub fn ordering(data: &CampaignData) -> OrderingReport {
-    let block_obs = block_observations(data);
-    // Committed txs: id -> (sender, nonce, inclusion height).
-    let mut committed: HashMap<TxId, (AccountId, u64, BlockNumber)> = HashMap::new();
-    for block in data.truth.tree.canonical_blocks() {
-        for &txid in block.txs() {
-            if let Some(tx) = data.truth.txs.get(&txid) {
-                // First inclusion wins if a tx appears twice across a reorg.
-                committed
-                    .entry(txid)
-                    .or_insert((tx.sender, tx.nonce, block.number()));
-            }
-        }
+    let mut acc = CommitOrdering::new();
+    acc.observe(data);
+    acc.finish()
+}
+
+/// Streaming Figure 5 across many campaigns: classification counts and
+/// delay samples pooled over every run's observers.
+#[derive(Debug, Clone, Default)]
+pub struct CommitOrdering {
+    ooo_count: u64,
+    total: u64,
+    in_order: Vec<f64>,
+    out_of_order: Vec<f64>,
+}
+
+impl CommitOrdering {
+    /// An accumulator over zero campaigns.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let mut in_order = Vec::new();
-    let mut out_of_order = Vec::new();
-    let mut ooo_count = 0u64;
-    let mut total = 0u64;
-    for (_, log) in data.main_observers() {
-        // Per sender: the observed committed txs as (nonce, seq, id).
-        let mut by_sender: HashMap<AccountId, Vec<(u64, u64, TxId)>> = HashMap::new();
-        for r in log.txs() {
-            if let Some(&(sender, nonce, _)) = committed.get(&r.id) {
-                by_sender
-                    .entry(sender)
-                    .or_default()
-                    .push((nonce, r.arrival_seq, r.id));
+}
+
+impl Reduce for CommitOrdering {
+    type Report = OrderingReport;
+
+    fn observe(&mut self, data: &CampaignData) {
+        let block_obs = block_observations(data);
+        // Committed txs: id -> (sender, nonce, inclusion height).
+        let mut committed: HashMap<TxId, (AccountId, u64, BlockNumber)> = HashMap::new();
+        for block in data.truth.tree.canonical_blocks() {
+            for &txid in block.txs() {
+                if let Some(tx) = data.truth.txs.get(&txid) {
+                    // First inclusion wins if a tx appears twice across a reorg.
+                    committed
+                        .entry(txid)
+                        .or_insert((tx.sender, tx.nonce, block.number()));
+                }
             }
         }
-        for txs in by_sender.values_mut() {
-            txs.sort_unstable(); // by nonce
-            let mut max_seq_below = 0u64;
-            let mut any_below = false;
-            for &(_, seq, id) in txs.iter() {
-                let ooo = any_below && max_seq_below > seq;
-                total += 1;
-                if ooo {
-                    ooo_count += 1;
+        for (_, log) in data.main_observers() {
+            // Per sender: the observed committed txs as (nonce, seq, id).
+            let mut by_sender: HashMap<AccountId, Vec<(u64, u64, TxId)>> = HashMap::new();
+            for r in log.txs() {
+                if let Some(&(sender, nonce, _)) = committed.get(&r.id) {
+                    by_sender
+                        .entry(sender)
+                        .or_default()
+                        .push((nonce, r.arrival_seq, r.id));
                 }
-                // Commit sample: 12-conf delay from this observer's own
-                // first arrival.
-                let (_, _, height) = committed[&id];
-                if let (Some(rec), Some(&t12)) = (log.tx(id), block_obs.get(&(height + 12))) {
-                    if rec.first_true <= t12 {
-                        let d = (t12 - rec.first_true).as_secs_f64();
-                        if ooo {
-                            out_of_order.push(d);
-                        } else {
-                            in_order.push(d);
+            }
+            for txs in by_sender.values_mut() {
+                txs.sort_unstable(); // by nonce
+                let mut max_seq_below = 0u64;
+                let mut any_below = false;
+                for &(_, seq, id) in txs.iter() {
+                    let ooo = any_below && max_seq_below > seq;
+                    self.total += 1;
+                    if ooo {
+                        self.ooo_count += 1;
+                    }
+                    // Commit sample: 12-conf delay from this observer's own
+                    // first arrival.
+                    let (_, _, height) = committed[&id];
+                    if let (Some(rec), Some(&t12)) = (log.tx(id), block_obs.get(&(height + 12))) {
+                        if rec.first_true <= t12 {
+                            let d = (t12 - rec.first_true).as_secs_f64();
+                            if ooo {
+                                self.out_of_order.push(d);
+                            } else {
+                                self.in_order.push(d);
+                            }
                         }
                     }
+                    if seq > max_seq_below {
+                        max_seq_below = seq;
+                    }
+                    any_below = true;
                 }
-                if seq > max_seq_below {
-                    max_seq_below = seq;
-                }
-                any_below = true;
             }
         }
     }
-    OrderingReport {
-        ooo_fraction: ooo_count as f64 / total.max(1) as f64,
-        in_order: Cdf::from_values(in_order),
-        out_of_order: Cdf::from_values(out_of_order),
+
+    fn merge(&mut self, other: Self) {
+        self.ooo_count += other.ooo_count;
+        self.total += other.total;
+        self.in_order.extend(other.in_order);
+        self.out_of_order.extend(other.out_of_order);
+    }
+
+    fn finish(self) -> OrderingReport {
+        OrderingReport {
+            ooo_fraction: self.ooo_count as f64 / self.total.max(1) as f64,
+            in_order: Cdf::from_values(self.in_order),
+            out_of_order: Cdf::from_values(self.out_of_order),
+        }
     }
 }
 
@@ -400,5 +497,44 @@ mod tests {
         let r = ordering(&data);
         assert_eq!(r.ooo_fraction, 0.0);
         assert_eq!(r.out_of_order.count(), 0);
+    }
+
+    #[test]
+    fn streamed_reductions_pool_samples_across_runs() {
+        use crate::Reduce;
+        let a = campaign_with_txs();
+        let b = campaign_with_ooo();
+        // Figure 4: two runs double the inclusion samples of one run each.
+        let mut acc = Commit::new();
+        acc.observe(&a);
+        acc.observe(&b);
+        let merged = acc.finish();
+        let mut expected = analyze(&a);
+        expected.merge(&analyze(&b));
+        assert_eq!(merged, expected);
+        assert_eq!(
+            merged.txs_measured,
+            analyze(&a).txs_measured + analyze(&b).txs_measured
+        );
+        // Figure 5: counts and CDFs pool exactly; fraction recomputed from
+        // the pooled counts (1 OOO of 3 samples, not a mean of fractions).
+        let mut ord = CommitOrdering::new();
+        ord.observe(&a);
+        ord.observe(&b);
+        let r = ord.finish();
+        assert!(
+            (r.ooo_fraction - 1.0 / 3.0).abs() < 1e-9,
+            "{}",
+            r.ooo_fraction
+        );
+        assert_eq!(r.in_order.count(), 2);
+        assert_eq!(r.out_of_order.count(), 1);
+        // Merge of single-run accumulators equals sequential observation.
+        let mut left = CommitOrdering::new();
+        left.observe(&a);
+        let mut right = CommitOrdering::new();
+        right.observe(&b);
+        left.merge(right);
+        assert_eq!(left.finish(), r);
     }
 }

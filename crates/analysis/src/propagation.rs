@@ -13,8 +13,10 @@ use std::fmt;
 use ethmeter_measure::CampaignData;
 use ethmeter_stats::{Histogram, Summary};
 
+use crate::Reduce;
+
 /// Figure 1's data: the distribution of cross-observer arrival spreads.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PropagationReport {
     /// Per-(block, trailing-observer) delays, milliseconds.
     pub delays: Summary,
@@ -22,6 +24,64 @@ pub struct PropagationReport {
     pub histogram: Histogram,
     /// Blocks observed by at least two observers.
     pub blocks_measured: u64,
+}
+
+impl PropagationReport {
+    /// A report over zero campaigns (the [`Propagation`] starting state).
+    pub fn empty() -> Self {
+        PropagationReport {
+            delays: Summary::from_values(std::iter::empty()),
+            histogram: Histogram::new(0.0, 500.0, 25),
+            blocks_measured: 0,
+        }
+    }
+
+    /// Folds another campaign's (or partial sweep's) report into this
+    /// one. Exact: equals one report over the union of both delay
+    /// samples, independent of merge grouping.
+    pub fn merge(&mut self, other: &PropagationReport) {
+        self.delays.merge(&other.delays);
+        self.histogram.merge(&other.histogram);
+        self.blocks_measured += other.blocks_measured;
+    }
+}
+
+/// Streaming Figure 1 across many campaigns: one [`PropagationReport`]
+/// accumulated run by run.
+#[derive(Debug, Clone)]
+pub struct Propagation {
+    report: PropagationReport,
+}
+
+impl Propagation {
+    /// An accumulator over zero campaigns.
+    pub fn new() -> Self {
+        Propagation {
+            report: PropagationReport::empty(),
+        }
+    }
+}
+
+impl Default for Propagation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Reduce for Propagation {
+    type Report = PropagationReport;
+
+    fn observe(&mut self, data: &CampaignData) {
+        self.report.merge(&analyze(data));
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.report.merge(&other.report);
+    }
+
+    fn finish(self) -> PropagationReport {
+        self.report
+    }
 }
 
 /// Computes Figure 1 from the campaign's main observers.
@@ -122,6 +182,30 @@ mod tests {
             .sum();
         assert!((mass - 1.0).abs() < 1e-9, "all spreads under 500ms");
         assert!(report.to_string().contains("Figure 1"));
+    }
+
+    #[test]
+    fn streamed_reduction_equals_oneshot_analysis() {
+        let a = testutil::campaign_with_block_spread(&[0, 100, 40, 60]);
+        let b = testutil::campaign_with_block_spread(&[0, 20, 80, 10]);
+        // observe(a); observe(b) == merge of two single-run accumulators
+        // == analyze(a) + analyze(b), field for field.
+        let mut streamed = Propagation::new();
+        streamed.observe(&a);
+        streamed.observe(&b);
+        let mut left = Propagation::new();
+        left.observe(&a);
+        let mut right = Propagation::new();
+        right.observe(&b);
+        left.merge(right);
+        let mut expected = analyze(&a);
+        expected.merge(&analyze(&b));
+        assert_eq!(streamed.finish(), expected);
+        assert_eq!(left.finish(), expected);
+        // One observed campaign reproduces the classic report exactly.
+        let mut single = Propagation::new();
+        single.observe(&a);
+        assert_eq!(single.finish(), analyze(&a));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Simulator-throughput benchmarks and the `BENCH_engine.json` report
-//! (schema `ethmeter-bench-engine/v2`).
+//! (schema `ethmeter-bench-engine/v3`).
 //!
-//! Three jobs in one harness:
+//! Four jobs in one harness:
 //!
 //! 1. Classic criterion-style microbenches: end-to-end campaign
 //!    execution, chain-only sequence generation (Figure 7 / §III-D's
@@ -16,6 +16,11 @@
 //!    sweeps ([`ethmeter_core::sweep::Sweep`]'s default) against
 //!    fresh-construction sweeps, quantifying what world reuse buys on
 //!    the seed-grid workloads of EXPERIMENTS.md.
+//! 4. A grid-scale memory survey: peak heap of a 256-run (64 in quick
+//!    mode) single-threaded `Grid` under streaming metric collectors
+//!    vs the retain-everything `RetainRuns` collector, each as a
+//!    multiple of one campaign's own peak — the number that certifies
+//!    "grid size bounded by CPU, not RAM".
 //!
 //! The report embeds two frozen baselines measured on the reference
 //! container: the seed implementation (pre-dense-rewrite) and the PR 2
@@ -27,9 +32,13 @@
 //! minutes; same JSON schema, `"mode": "quick"`).
 
 use criterion::Criterion;
+use ethmeter_analysis::empty_blocks::EmptyBlocks;
+use ethmeter_analysis::forks::Forks;
+use ethmeter_analysis::propagation::Propagation;
 use ethmeter_core::chainonly::{run_chain_only, ChainOnlyConfig};
+use ethmeter_core::metric::{Analyze, RetainRuns, Scalars};
 use ethmeter_core::sweep::Sweep;
-use ethmeter_core::{run_campaign, CampaignRunner, Preset, Scenario};
+use ethmeter_core::{run_campaign, CampaignRunner, Grid, Preset, Scenario};
 use ethmeter_sim::event::EventQueue;
 use ethmeter_stats::runs::{expected_maximal_runs, prob_run_at_least};
 use ethmeter_types::{SimDuration, SimTime};
@@ -261,6 +270,67 @@ fn measure_sweep(seeds: usize, duration: SimDuration, samples: u32) -> SweepThro
     }
 }
 
+/// The grid-scale memory survey: peak heap growth of an N-run grid under
+/// streaming collectors vs the retain-everything collector, against one
+/// campaign's own peak.
+///
+/// Run single-threaded so the comparison is worker-count independent:
+/// with streaming metrics the grid should peak at ~one campaign's
+/// footprint (one reused world + compact per-run summaries), while
+/// `RetainRuns` grows linearly with the run count.
+struct GridMemory {
+    runs: usize,
+    sim_seconds_per_job: f64,
+    single_run_peak_bytes: i64,
+    streaming_peak_bytes: i64,
+    retain_runs_peak_bytes: i64,
+    streaming_over_single: f64,
+    retain_over_single: f64,
+}
+
+fn measure_grid_memory(runs: usize, duration: SimDuration) -> GridMemory {
+    let base = Scenario::builder()
+        .preset(Preset::Tiny)
+        .seed(7)
+        .duration(duration)
+        .build();
+    let (_, single) = measure_allocs(|| black_box(run_campaign(&base)));
+    let grid = || Grid::new(base.clone()).seed_range(1, runs).threads(1);
+    // A representative streaming stack: three full analysis reductions
+    // plus a cross-seed scalar table.
+    let streaming_metric = || {
+        (
+            Analyze::new(Propagation::new()),
+            Analyze::new(Forks::new()),
+            Analyze::new(EmptyBlocks::new(15)),
+            Scalars::new()
+                .column("head", |_, o| o.campaign.truth.tree.head_number() as f64)
+                .column("events", |_, o| o.events as f64),
+        )
+    };
+    let (_, streaming) = measure_allocs(|| black_box(grid().run(streaming_metric())));
+    let (_, retain) = measure_allocs(|| black_box(grid().run(RetainRuns::new())));
+    let single_peak = single.peak_growth_bytes.max(1);
+    let streaming_over_single = streaming.peak_growth_bytes as f64 / single_peak as f64;
+    let retain_over_single = retain.peak_growth_bytes as f64 / single_peak as f64;
+    println!(
+        "  grid/tiny-x{runs}: single-run peak {:.1} MiB; streaming grid {:.1} MiB \
+         ({streaming_over_single:.2}x); RetainRuns grid {:.1} MiB ({retain_over_single:.2}x)",
+        single.peak_growth_bytes as f64 / (1024.0 * 1024.0),
+        streaming.peak_growth_bytes as f64 / (1024.0 * 1024.0),
+        retain.peak_growth_bytes as f64 / (1024.0 * 1024.0),
+    );
+    GridMemory {
+        runs,
+        sim_seconds_per_job: duration.as_secs_f64(),
+        single_run_peak_bytes: single.peak_growth_bytes,
+        streaming_peak_bytes: streaming.peak_growth_bytes,
+        retain_runs_peak_bytes: retain.peak_growth_bytes,
+        streaming_over_single,
+        retain_over_single,
+    }
+}
+
 /// Event-queue microbench: ns per push+pop at a realistic pending-queue
 /// depth, with campaign-like inter-event spacing (link delays spread over
 /// hundreds of microseconds to tens of milliseconds) plus a share of
@@ -343,12 +413,13 @@ fn write_report(
     mode: &str,
     presets: &[PresetThroughput],
     sweep: &SweepThroughput,
+    grid: &GridMemory,
     queue_push_pop_ns: f64,
     criterion: &Criterion,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"ethmeter-bench-engine/v2\",\n");
+    out.push_str("  \"schema\": \"ethmeter-bench-engine/v3\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str("  \"baseline\": {\n");
     out.push_str(
@@ -421,6 +492,19 @@ fn write_report(
         json_f64(sweep.reuse_speedup),
     ));
     out.push_str(&format!(
+        "  \"grid\": {{\"preset\": \"tiny\", \"runs\": {}, \"sim_seconds_per_job\": {}, \
+         \"single_run_peak_bytes\": {}, \"streaming_peak_bytes\": {}, \
+         \"retain_runs_peak_bytes\": {}, \"streaming_over_single\": {}, \
+         \"retain_over_single\": {}}},\n",
+        grid.runs,
+        json_f64(grid.sim_seconds_per_job),
+        grid.single_run_peak_bytes,
+        grid.streaming_peak_bytes,
+        grid.retain_runs_peak_bytes,
+        json_f64(grid.streaming_over_single),
+        json_f64(grid.retain_over_single),
+    ));
+    out.push_str(&format!(
         "  \"queue_push_pop_ns\": {},\n",
         json_f64(queue_push_pop_ns)
     ));
@@ -477,10 +561,17 @@ fn main() {
         measure_sweep(16, SimDuration::from_mins(2), 3)
     };
 
+    println!("group: grid memory");
+    let grid = if quick {
+        measure_grid_memory(64, SimDuration::from_mins(1))
+    } else {
+        measure_grid_memory(256, SimDuration::from_mins(2))
+    };
+
     println!("group: queue");
     let queue_ns = measure_queue(if quick { 1 } else { 5 });
 
-    let report = write_report(mode, &presets, &sweep, queue_ns, &criterion);
+    let report = write_report(mode, &presets, &sweep, &grid, queue_ns, &criterion);
     // CARGO_MANIFEST_DIR = crates/bench; the report lives at the repo root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &report).expect("write BENCH_engine.json");

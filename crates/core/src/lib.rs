@@ -11,15 +11,23 @@
 //!   gateways, the transaction workload, and the instrumented observers;
 //! - [`runner`]: one-call campaign execution returning
 //!   [`ethmeter_measure::CampaignData`];
-//! - [`sweep`]: parallel multi-seed (and multi-variant) fan-out of one
-//!   scenario onto thread workers, with per-seed results bit-identical to
-//!   sequential [`runner::run_campaign`] calls;
+//! - [`grid`]: multi-axis campaign grids — named scenario axes × seeds on
+//!   parallel workers, reduced through streaming [`metric::Metric`]
+//!   collectors at ~constant memory;
+//! - [`metric`]: the composable collector API ([`metric::Analyze`] lifts
+//!   every `ethmeter-analysis` report, [`metric::Scalars`] builds
+//!   cross-seed [`report::GridReport`] tables, [`metric::RetainRuns`]
+//!   keeps full outcomes for back-compat);
+//! - [`sweep`]: the retained-runs convenience layer over [`grid`] (one
+//!   seed axis plus an optional variant axis, every outcome kept);
 //! - [`chainonly`]: the fast block-sequence simulator for month- and
 //!   chain-lifetime-scale sequence analyses (Figure 7, §III-D);
 //! - [`experiments`]: one function per table/figure, shared by the
 //!   examples, the benches, and the `repro` binary.
 //!
 //! # Quickstart
+//!
+//! One campaign:
 //!
 //! ```
 //! use ethmeter_core::prelude::*;
@@ -28,19 +36,51 @@
 //! let outcome = run_campaign(&scenario);
 //! assert!(outcome.campaign.truth.tree.head_number() > 0);
 //! ```
+//!
+//! A cross-seed grid, streamed through metric collectors (full campaign
+//! datasets are dropped as each run completes; memory stays ~flat no
+//! matter how many runs the grid has):
+//!
+//! ```
+//! use ethmeter_core::prelude::*;
+//! use ethmeter_core::analysis::propagation::Propagation;
+//!
+//! let base = Scenario::builder()
+//!     .preset(Preset::Tiny)
+//!     .duration(SimDuration::from_mins(2))
+//!     .build();
+//! let outcome = Grid::new(base)
+//!     .seed_range(1, 3)
+//!     .axis("tx_rate", [0.5, 1.0], |s, &rate| s.set_tx_rate(rate))
+//!     .run((
+//!         Analyze::new(Propagation::new()),
+//!         Scalars::new().column("head", |_, o| {
+//!             o.campaign.truth.tree.head_number() as f64
+//!         }),
+//!     ));
+//! let (fig1, table) = outcome.output;
+//! assert!(fig1.blocks_measured > 0);
+//! println!("{table}"); // or table.to_csv() / table.to_json()
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chainonly;
 pub mod experiments;
+pub mod grid;
+pub mod metric;
+pub mod report;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
 pub mod world;
 
+pub use grid::{AxisSetter, Grid, GridOutcome, GridPoint};
+pub use metric::{Analyze, Metric, PerPoint, RetainRuns, RunCtx, Scalars};
+pub use report::{GridReport, GridRow};
 pub use runner::{run_campaign, CampaignOutcome, CampaignRunner};
-pub use scenario::{Preset, Scenario, ScenarioBuilder};
+pub use scenario::{Preset, Scenario, ScenarioBuilder, ScenarioError};
 pub use sweep::{Sweep, SweepOutcome, SweepRun};
 pub use world::{RunStats, SimWorld};
 
@@ -61,10 +101,15 @@ pub use ethmeter_workload as workload;
 /// The most common imports, re-exported for `use ethmeter_core::prelude::*`.
 pub mod prelude {
     pub use crate::chainonly::{run_chain_only, ChainOnlyConfig};
+    pub use crate::grid::{AxisSetter, Grid, GridOutcome, GridPoint};
+    pub use crate::metric::{Analyze, Metric, PerPoint, RetainRuns, RunCtx, Scalars};
+    pub use crate::report::{GridReport, GridRow};
     pub use crate::runner::{run_campaign, CampaignOutcome, CampaignRunner};
-    pub use crate::scenario::{Preset, Scenario};
+    pub use crate::scenario::{Preset, Scenario, ScenarioError};
     pub use crate::sweep::{Sweep, SweepOutcome, SweepRun};
     pub use crate::{analysis, chain, geo, measure, mining, net, sim, stats, types, workload};
+    pub use ethmeter_analysis::Reduce;
     pub use ethmeter_measure::CampaignData;
+    pub use ethmeter_stats::Aggregate;
     pub use ethmeter_types::{Region, SimDuration, SimTime};
 }

@@ -9,7 +9,7 @@ use crate::scenario::Scenario;
 use crate::world::{RunStats, SimWorld};
 
 /// The result of running a campaign.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CampaignOutcome {
     /// The measurement dataset (observer logs + ground truth).
     pub campaign: CampaignData,

@@ -72,6 +72,20 @@ impl Scenario {
         ScenarioBuilder::new()
     }
 
+    /// Changes the transaction rate on an already-built scenario while
+    /// preserving the calibrated block utilization (the gas limit scales
+    /// proportionally, matching [`ScenarioBuilder::tx_rate`]'s calibration
+    /// up to integer rounding) — the natural tx-rate grid axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not positive and finite.
+    pub fn set_tx_rate(&mut self, rate: f64) {
+        let old = self.workload.tx_rate;
+        self.gas_limit = (self.gas_limit as f64 * rate / old).round() as Gas;
+        self.workload = self.workload.clone().with_rate(rate);
+    }
+
     /// Ethernodes-like 2019 region mix for ordinary peers (Eastern Asia
     /// aggregates CN/KR/JP/TW/HK/SG, a fifth of the network).
     pub fn default_region_weights() -> Vec<(Region, f64)> {
@@ -92,6 +106,49 @@ impl Scenario {
         (self.duration.as_secs_f64() / self.interblock.as_secs_f64()) as u64
     }
 }
+
+/// A reason [`ScenarioBuilder::build_checked`] rejected a configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The simulated duration is zero.
+    ZeroDuration,
+    /// The scenario has no ordinary nodes.
+    ZeroNodes,
+    /// The pool directory is empty.
+    EmptyPoolDirectory,
+    /// The transaction rate is not positive and finite.
+    InvalidTxRate(f64),
+    /// The mean inter-block time is zero.
+    ZeroInterblock,
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::ZeroDuration => {
+                write!(f, "scenario duration is zero — nothing would be simulated")
+            }
+            ScenarioError::ZeroNodes => write!(
+                f,
+                "scenario has zero ordinary nodes — there is no network to gossip over"
+            ),
+            ScenarioError::EmptyPoolDirectory => write!(
+                f,
+                "pool directory is empty — no pool could ever mine a block"
+            ),
+            ScenarioError::InvalidTxRate(rate) => write!(
+                f,
+                "transaction rate {rate} is invalid — it must be positive and finite"
+            ),
+            ScenarioError::ZeroInterblock => write!(
+                f,
+                "mean inter-block time is zero — blocks cannot be mined infinitely fast"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// Builder for [`Scenario`] ([C-BUILDER]).
 ///
@@ -128,67 +185,96 @@ impl ScenarioBuilder {
     }
 
     /// Selects a preset (sets size, duration, workload scale).
+    #[must_use]
     pub fn preset(mut self, preset: Preset) -> Self {
         self.preset = preset;
         self
     }
 
     /// Sets the master seed.
+    #[must_use]
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Overrides the simulated duration.
+    #[must_use]
     pub fn duration(mut self, duration: SimDuration) -> Self {
         self.duration = Some(duration);
         self
     }
 
     /// Overrides the ordinary-node count.
+    #[must_use]
     pub fn ordinary_nodes(mut self, n: usize) -> Self {
         self.ordinary_nodes = Some(n);
         self
     }
 
     /// Replaces the pool directory (ablations).
+    #[must_use]
     pub fn pools(mut self, pools: PoolDirectory) -> Self {
         self.pools = Some(pools);
         self
     }
 
     /// Overrides the global transaction rate (gas limit rescales with it).
+    #[must_use]
     pub fn tx_rate(mut self, rate: f64) -> Self {
         self.workload_rate = Some(rate);
         self
     }
 
     /// Replaces the vantage points.
+    #[must_use]
     pub fn vantages(mut self, vantages: Vec<VantagePoint>) -> Self {
         self.vantages = Some(vantages);
         self
     }
 
     /// Replaces the network configuration.
+    #[must_use]
     pub fn net(mut self, net: NetConfig) -> Self {
         self.net = Some(net);
         self
     }
 
     /// Overrides the mean inter-block time.
+    #[must_use]
     pub fn interblock(mut self, interblock: SimDuration) -> Self {
         self.interblock = Some(interblock);
         self
     }
 
     /// Replaces the observer clock model.
+    #[must_use]
     pub fn clock(mut self, clock: ClockModel) -> Self {
         self.clock = Some(clock);
         self
     }
 
     /// Finalizes the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`ScenarioError`] message on a nonsensical
+    /// configuration (zero duration, zero nodes, empty pool directory,
+    /// invalid tx rate, zero inter-block time). Use
+    /// [`ScenarioBuilder::build_checked`] to handle the error instead.
     pub fn build(self) -> Scenario {
+        self.build_checked()
+            .unwrap_or_else(|e| panic!("invalid scenario: {e}"))
+    }
+
+    /// Finalizes the scenario, rejecting nonsensical configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ScenarioError`] found: zero duration, zero
+    /// ordinary nodes, an empty pool directory, a non-positive or
+    /// non-finite transaction rate, or a zero inter-block time.
+    pub fn build_checked(self) -> Result<Scenario, ScenarioError> {
         let (nodes, duration, rate, mut net) = match self.preset {
             Preset::Tiny => (60, SimDuration::from_mins(20), 0.5, NetConfig::default()),
             Preset::Small => (150, SimDuration::from_hours(2), 1.0, NetConfig::default()),
@@ -204,6 +290,9 @@ impl ScenarioBuilder {
         // Observer peer targets cannot exceed the network, and in small
         // presets "unlimited" just means "most of it".
         let ordinary = self.ordinary_nodes.unwrap_or(nodes);
+        if ordinary == 0 {
+            return Err(ScenarioError::ZeroNodes);
+        }
         if let Some(n) = self.net {
             net = n;
         }
@@ -212,6 +301,9 @@ impl ScenarioBuilder {
             .min(ordinary.saturating_sub(1).max(8));
 
         let rate = self.workload_rate.unwrap_or(rate);
+        if !(rate > 0.0 && rate.is_finite()) {
+            return Err(ScenarioError::InvalidTxRate(rate));
+        }
         let workload = WorkloadConfig::default().with_rate(rate);
         let interblock = self.interblock.unwrap_or(SimDuration::from_secs_f64(13.3));
         // Hold utilization near the paper's ~80% block fullness. Scaled
@@ -222,22 +314,34 @@ impl ScenarioBuilder {
         let gas_limit =
             (workload.mean_gas() * rate * interblock.as_secs_f64() / 0.88).round() as Gas;
 
-        Scenario {
+        let duration = self.duration.unwrap_or(duration);
+        if duration == SimDuration::ZERO {
+            return Err(ScenarioError::ZeroDuration);
+        }
+        if interblock == SimDuration::ZERO {
+            return Err(ScenarioError::ZeroInterblock);
+        }
+        let pools = self.pools.unwrap_or_else(PoolDirectory::paper_dsn2020);
+        if pools.is_empty() {
+            return Err(ScenarioError::EmptyPoolDirectory);
+        }
+
+        Ok(Scenario {
             seed: self.seed,
-            duration: self.duration.unwrap_or(duration),
+            duration,
             ordinary_nodes: ordinary,
             region_weights: Scenario::default_region_weights(),
             net,
             latency: LatencyModel::default(),
             clock: self.clock.unwrap_or_else(ClockModel::ntp_default),
-            pools: self.pools.unwrap_or_else(PoolDirectory::paper_dsn2020),
+            pools,
             interblock,
             gas_limit,
             workload,
             vantages: self.vantages.unwrap_or_else(VantagePoint::paper_all),
             miner_lag_mean: SimDuration::from_millis(750),
             gateway_degree: 40,
-        }
+        })
     }
 }
 
@@ -312,5 +416,66 @@ mod tests {
     fn paper_scaled_uses_sqrt_relay() {
         let s = Scenario::builder().preset(Preset::PaperScaled).build();
         assert_eq!(s.net.tx_relay, ethmeter_net::TxRelayPolicy::Sqrt);
+    }
+
+    #[test]
+    fn build_checked_rejects_nonsense() {
+        let builder = || Scenario::builder().preset(Preset::Tiny);
+        assert_eq!(
+            builder().duration(SimDuration::ZERO).build_checked().err(),
+            Some(ScenarioError::ZeroDuration)
+        );
+        assert_eq!(
+            builder().ordinary_nodes(0).build_checked().err(),
+            Some(ScenarioError::ZeroNodes)
+        );
+        assert_eq!(
+            builder().tx_rate(0.0).build_checked().err(),
+            Some(ScenarioError::InvalidTxRate(0.0))
+        );
+        assert!(matches!(
+            builder().tx_rate(f64::NAN).build_checked(),
+            Err(ScenarioError::InvalidTxRate(_))
+        ));
+        assert_eq!(
+            builder()
+                .interblock(SimDuration::ZERO)
+                .build_checked()
+                .err(),
+            Some(ScenarioError::ZeroInterblock)
+        );
+        // A valid configuration builds identically through either path.
+        let checked = builder().seed(9).build_checked().expect("valid");
+        let unchecked = builder().seed(9).build();
+        assert_eq!(checked.seed, unchecked.seed);
+        assert_eq!(checked.gas_limit, unchecked.gas_limit);
+        // Error messages explain themselves.
+        assert!(ScenarioError::ZeroNodes.to_string().contains("zero"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scenario: scenario duration is zero")]
+    fn build_panics_with_a_clear_message() {
+        let _ = Scenario::builder()
+            .preset(Preset::Tiny)
+            .duration(SimDuration::ZERO)
+            .build();
+    }
+
+    #[test]
+    fn set_tx_rate_preserves_utilization() {
+        let mut s = Scenario::builder().preset(Preset::Tiny).build();
+        let u_before = s.workload.utilization(s.gas_limit, s.interblock);
+        s.set_tx_rate(2.0);
+        let u_after = s.workload.utilization(s.gas_limit, s.interblock);
+        assert!((s.workload.tx_rate - 2.0).abs() < 1e-12);
+        assert!((u_before - u_after).abs() < 0.01, "{u_before} vs {u_after}");
+        // Matches what the builder would have produced for the same rate,
+        // up to the builder's integer rounding of the gas limit.
+        let rebuilt = Scenario::builder()
+            .preset(Preset::Tiny)
+            .tx_rate(2.0)
+            .build();
+        assert!((s.gas_limit as i64 - rebuilt.gas_limit as i64).abs() <= 4);
     }
 }

@@ -1,28 +1,27 @@
-//! Parallel multi-seed campaign sweeps.
+//! Parallel multi-seed campaign sweeps (the retained-runs convenience
+//! layer over [`Grid`]).
 //!
 //! The paper's statistical claims (and the follow-up literature it cites)
 //! rest on *many independent campaigns*: the same scenario re-run from
-//! different seeds, and optionally under perturbed parameters, so that
-//! reported numbers come with run-to-run spread instead of a single
-//! sample. [`Sweep`] is that methodology as an API: it fans one
-//! [`Scenario`] out across a seed axis (and an optional variant axis) onto
-//! `std::thread` workers and collects every [`CampaignOutcome`] plus
-//! aggregate counters.
+//! different seeds, and optionally under perturbed parameters. [`Sweep`]
+//! is the simplest form of that methodology: it fans one [`Scenario`] out
+//! across a seed axis (and an optional variant axis) and hands back every
+//! [`CampaignOutcome`] in full.
+//!
+//! Internally a sweep is a [`Grid`] run with the
+//! [`RetainRuns`](crate::metric::RetainRuns) collector — which is also its
+//! memory model: **every run's complete dataset stays in memory**, so a
+//! sweep is bounded by RAM, not CPU. For large grids prefer [`Grid`]
+//! with streaming [`Metric`](crate::metric::Metric)s, which reduce each
+//! outcome to a compact summary as it completes; `Sweep` remains for
+//! tests and tooling that genuinely need every dataset.
 //!
 //! Each job produces the outcome of an independent [`run_campaign`] call
 //! on its own scenario clone, so per-seed results are **bit-identical** to
 //! running the same scenario sequentially — the worker count only changes
-//! wall-clock time, never output. [`run_campaign`] remains the
-//! single-campaign fast path; a sweep of one seed adds only thread-spawn
-//! overhead.
-//!
-//! Workers reuse state: each thread owns one [`CampaignRunner`] (a
-//! [`crate::world::SimWorld`] + engine pair reset between jobs), so
-//! registries, node tables, known-set probe tables, observer logs, and
-//! the event-queue slab are allocated once per worker instead of once per
-//! seed. [`Sweep::reuse_workers`] can disable this (fresh construction
-//! per job) — the output is identical either way; the toggle exists so
-//! the bench suite can measure exactly what reuse buys.
+//! wall-clock time, never output. Workers reuse one world+engine across
+//! their job stream ([`Sweep::reuse_workers`] opts out; the output is
+//! identical either way).
 //!
 //! # Example
 //!
@@ -39,17 +38,25 @@
 //! assert!(sweep.totals.blocks_produced > 0);
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::thread;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 use ethmeter_types::BlockHash;
 
-use crate::runner::{run_campaign, CampaignOutcome, CampaignRunner};
+use crate::grid::{AxisSetter, Grid};
+use crate::metric::RetainRuns;
+use crate::runner::CampaignOutcome;
 use crate::scenario::Scenario;
 use crate::world::RunStats;
 
+#[allow(unused_imports)] // doc links
+use crate::runner::run_campaign;
+
+/// The axis name `Sweep` lowers its variant axis to.
+const VARIANT_AXIS: &str = "variant";
+
 /// A scenario transform forming one point on the variant axis.
-type VariantFn = Box<dyn Fn(Scenario) -> Scenario + Send + Sync>;
+type VariantFn = Arc<dyn Fn(Scenario) -> Scenario + Send + Sync>;
 
 /// A multi-seed (and optionally multi-variant) campaign sweep.
 ///
@@ -81,24 +88,28 @@ impl Sweep {
     /// [`run_campaign`] in a loop. Results are bit-identical either way;
     /// disabling reuse only costs wall-clock time (the bench suite uses
     /// this to quantify the difference).
+    #[must_use]
     pub fn reuse_workers(mut self, reuse: bool) -> Self {
         self.reuse_workers = reuse;
         self
     }
 
     /// Sets the seed axis explicitly.
+    #[must_use]
     pub fn seeds<I: IntoIterator<Item = u64>>(mut self, seeds: I) -> Self {
         self.seeds = seeds.into_iter().collect();
         self
     }
 
     /// Sets the seed axis to `first, first+1, ..., first+count-1`.
+    #[must_use]
     pub fn seed_range(self, first: u64, count: usize) -> Self {
         self.seeds((0..count as u64).map(|i| first + i))
     }
 
     /// Caps the worker threads. `0` (the default) means one worker per
     /// available CPU; the effective count never exceeds the job count.
+    #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -108,11 +119,12 @@ impl Sweep {
     /// clone of the base scenario (before seeding), and every seed runs
     /// once per variant. With no variants the base scenario itself is the
     /// single (unlabelled) variant.
+    #[must_use]
     pub fn variant<F>(mut self, label: impl Into<String>, transform: F) -> Self
     where
         F: Fn(Scenario) -> Scenario + Send + Sync + 'static,
     {
-        self.variants.push((label.into(), Box::new(transform)));
+        self.variants.push((label.into(), Arc::new(transform)));
         self
     }
 
@@ -121,105 +133,52 @@ impl Sweep {
         self.seeds.len().max(1) * self.variants.len().max(1)
     }
 
-    /// Runs the whole grid and collects the outcomes.
-    ///
-    /// Jobs are distributed over the workers by an atomic counter, but
-    /// results are returned in grid order (variant-major, then seed), so
-    /// the output is independent of scheduling. Panics if a worker
-    /// panics.
-    pub fn run(&self) -> SweepOutcome {
-        let seeds: &[u64] = if self.seeds.is_empty() {
-            std::slice::from_ref(&self.base.seed)
-        } else {
-            &self.seeds
-        };
-        // Materialize the grid up front: (variant label, seeded scenario).
-        let mut jobs: Vec<(Option<String>, Scenario)> = Vec::with_capacity(self.job_count());
-        if self.variants.is_empty() {
-            for &seed in seeds {
-                let mut s = self.base.clone();
-                s.seed = seed;
-                jobs.push((None, s));
-            }
-        } else {
-            for (label, transform) in &self.variants {
-                let varied = transform(self.base.clone());
-                for &seed in seeds {
-                    let mut s = varied.clone();
-                    s.seed = seed;
-                    jobs.push((Some(label.clone()), s));
-                }
-            }
+    /// Lowers the sweep onto the grid machinery: variants become one
+    /// labeled axis, seeds the seed axis.
+    fn to_grid(&self) -> Grid {
+        let mut grid = Grid::new(self.base.clone())
+            .threads(self.threads)
+            .reuse_workers(self.reuse_workers);
+        if !self.seeds.is_empty() {
+            grid = grid.seeds(self.seeds.iter().copied());
         }
-
-        let threads = self.effective_threads(jobs.len());
-        let next = AtomicUsize::new(0);
-        let mut results: Vec<Option<SweepRun>> = (0..jobs.len()).map(|_| None).collect();
-        thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| {
-                        // One reusable world+engine per worker thread: the
-                        // whole job stream runs on a single allocation
-                        // footprint. Outcomes are bit-identical to fresh
-                        // construction (the CampaignRunner contract).
-                        let mut runner = self.reuse_workers.then(CampaignRunner::new);
-                        let mut mine = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some((variant, scenario)) = jobs.get(i) else {
-                                break;
-                            };
-                            let outcome = match runner.as_mut() {
-                                Some(r) => r.run(scenario),
-                                None => run_campaign(scenario),
-                            };
-                            mine.push((
-                                i,
-                                SweepRun {
-                                    seed: scenario.seed,
-                                    variant: variant.clone(),
-                                    outcome,
-                                },
-                            ));
-                        }
-                        mine
-                    })
+        if !self.variants.is_empty() {
+            let points = self
+                .variants
+                .iter()
+                .map(|(label, transform)| {
+                    let transform = Arc::clone(transform);
+                    let f: AxisSetter = Box::new(move |s: &mut Scenario| *s = transform(s.clone()));
+                    (label.clone(), f)
                 })
                 .collect();
-            for handle in handles {
-                for (i, run) in handle.join().expect("sweep worker panicked") {
-                    results[i] = Some(run);
-                }
-            }
-        });
-
-        let runs: Vec<SweepRun> = results
-            .into_iter()
-            .map(|r| r.expect("every job produced a result"))
-            .collect();
-        let mut totals = RunStats::default();
-        let mut events = 0;
-        for run in &runs {
-            totals.merge(&run.outcome.stats);
-            events += run.outcome.events;
+            grid = grid.axis_with(VARIANT_AXIS, points);
         }
-        SweepOutcome {
-            runs,
-            totals,
-            events,
-            threads_used: threads,
-        }
+        grid
     }
 
-    fn effective_threads(&self, jobs: usize) -> usize {
-        let auto = thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let cap = if self.threads == 0 {
-            auto
-        } else {
-            self.threads
-        };
-        cap.clamp(1, jobs.max(1))
+    /// Runs the whole grid and collects the outcomes.
+    ///
+    /// Jobs are distributed over worker threads, but results are returned
+    /// in grid order (variant-major, then seed), so the output is
+    /// independent of scheduling. Panics if a worker panics.
+    pub fn run(&self) -> SweepOutcome {
+        let out = self.to_grid().run(RetainRuns::new());
+        let runs = out
+            .output
+            .into_iter()
+            .map(|r| SweepRun {
+                seed: r.seed,
+                variant: r.point.get(VARIANT_AXIS).map(str::to_owned),
+                outcome: r.outcome,
+            })
+            .collect();
+        SweepOutcome {
+            runs,
+            totals: out.totals,
+            events: out.events,
+            threads_used: out.threads_used,
+        }
     }
 }
 
@@ -248,6 +207,14 @@ pub struct SweepRun {
     pub outcome: CampaignOutcome,
 }
 
+impl SweepRun {
+    /// This run's canonical chain head — the single per-run accessor
+    /// behind [`SweepOutcome::heads`] and [`SweepOutcome::distinct_heads`].
+    pub fn head(&self) -> BlockHash {
+        self.outcome.campaign.truth.tree.head()
+    }
+}
+
 /// Everything a [`Sweep`] produced.
 #[derive(Debug)]
 pub struct SweepOutcome {
@@ -264,18 +231,15 @@ pub struct SweepOutcome {
 impl SweepOutcome {
     /// Per-run `(seed, canonical head)` pairs, in grid order.
     pub fn heads(&self) -> Vec<(u64, BlockHash)> {
-        self.runs
-            .iter()
-            .map(|r| (r.seed, r.outcome.campaign.truth.tree.head()))
-            .collect()
+        self.runs.iter().map(|r| (r.seed, r.head())).collect()
     }
 
     /// The number of distinct canonical heads across all runs.
     pub fn distinct_heads(&self) -> usize {
         self.runs
             .iter()
-            .map(|r| r.outcome.campaign.truth.tree.head())
-            .collect::<std::collections::HashSet<_>>()
+            .map(SweepRun::head)
+            .collect::<HashSet<_>>()
             .len()
     }
 }
@@ -355,5 +319,17 @@ mod tests {
     fn thread_cap_never_exceeds_jobs() {
         let sweep = Sweep::new(base()).seeds([9]).threads(16).run();
         assert_eq!(sweep.threads_used, 1);
+    }
+
+    #[test]
+    fn heads_route_through_the_per_run_accessor() {
+        let sweep = Sweep::new(base()).seeds([5, 6]).threads(2).run();
+        let heads = sweep.heads();
+        assert_eq!(heads.len(), 2);
+        for (run, (seed, head)) in sweep.runs.iter().zip(&heads) {
+            assert_eq!(run.seed, *seed);
+            assert_eq!(run.head(), *head);
+        }
+        assert_eq!(sweep.distinct_heads(), 2);
     }
 }

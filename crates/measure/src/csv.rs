@@ -60,6 +60,61 @@ const BLOCK_HEADER: &str =
     "hash,first_local_ns,first_true_ns,first_kind,first_from,announces,full_blocks";
 const TX_HEADER: &str = "tx,first_local_ns,first_true_ns,from,arrival_seq";
 
+/// Quotes one CSV field when (and only when) it needs it, RFC-4180 style:
+/// a field containing a comma, double quote, or line break is wrapped in
+/// double quotes, with embedded quotes doubled. Everything else passes
+/// through unchanged, so the numeric dataset columns above stay plain.
+///
+/// The observer-log exports never need this (all fields are numeric or
+/// controlled identifiers); it exists for free-text fields in derived
+/// reports — grid axis labels, pool names — so those exports stay
+/// loadable by standard CSV parsers.
+pub fn escape_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Inverts [`escape_field`]: strips RFC-4180 quoting if present.
+///
+/// # Errors
+///
+/// Returns `None` when the field is malformed (unbalanced quoting, or a
+/// lone `"` inside a quoted field).
+pub fn unescape_field(field: &str) -> Option<String> {
+    let Some(inner) = field.strip_prefix('"') else {
+        // Unquoted fields may not contain quotes or separators.
+        if field.contains(['"', ',', '\n', '\r']) {
+            return None;
+        }
+        return Some(field.to_owned());
+    };
+    let inner = inner.strip_suffix('"')?;
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            // Must be a doubled quote.
+            if chars.next() != Some('"') {
+                return None;
+            }
+        }
+        out.push(c);
+    }
+    Some(out)
+}
+
 fn kind_tag(kind: BlockMsgKind) -> &'static str {
     match kind {
         BlockMsgKind::Announce => "ann",
@@ -299,5 +354,185 @@ mod tests {
             got: 2,
         };
         assert!(e.to_string().contains("line 3"));
+        assert!(ParseError::BadField {
+            line: 4,
+            field: "tx"
+        }
+        .to_string()
+        .contains("'tx'"));
+        assert!(ParseError::BadKind { line: 5 }
+            .to_string()
+            .contains("line 5"));
+    }
+
+    #[test]
+    fn every_block_field_reports_its_own_parse_error() {
+        let fields = [
+            "hash",
+            "first_local_ns",
+            "first_true_ns",
+            // index 3 is the kind tag -> BadKind, covered below
+            "first_from",
+            "announces",
+            "full_blocks",
+        ];
+        for (i, field) in (0..7).filter(|&i| i != 3).zip(fields) {
+            let mut row: Vec<&str> = vec!["1", "2", "3", "ann", "4", "5", "6"];
+            row[i] = "not-a-number";
+            let text = format!("{BLOCK_HEADER}\n{}\n", row.join(","));
+            assert_eq!(
+                blocks_from_csv(&text),
+                Err(ParseError::BadField { line: 2, field }),
+                "field {i}"
+            );
+        }
+        for (i, field) in (0..5).zip([
+            "tx",
+            "first_local_ns",
+            "first_true_ns",
+            "from",
+            "arrival_seq",
+        ]) {
+            let mut row: Vec<&str> = vec!["1", "2", "3", "4", "5"];
+            row[i] = "-9";
+            let text = format!("{TX_HEADER}\n{}\n", row.join(","));
+            assert_eq!(
+                txs_from_csv(&text),
+                Err(ParseError::BadField { line: 2, field }),
+                "field {i}"
+            );
+        }
+        // Shape errors win over field errors and report the found arity.
+        assert_eq!(
+            txs_from_csv(&format!("{TX_HEADER}\n1,2,3,4,5,6\n")),
+            Err(ParseError::BadShape {
+                line: 2,
+                expected: 5,
+                got: 6
+            })
+        );
+    }
+
+    #[test]
+    fn field_escaping_round_trips() {
+        for s in [
+            "",
+            "plain",
+            "with,comma",
+            "with\"quote",
+            "\"fully,quoted\"",
+            "line\nbreak",
+            "tx_rate=0.5,gateways=\"eu\"",
+        ] {
+            let escaped = escape_field(s);
+            assert_eq!(unescape_field(&escaped).as_deref(), Some(s), "{s:?}");
+            // Escaped fields never contain a bare separator outside quotes.
+            if escaped.contains(',') {
+                assert!(escaped.starts_with('"') && escaped.ends_with('"'));
+            }
+        }
+        assert_eq!(escape_field("plain"), "plain", "no gratuitous quoting");
+        // Malformed quoting is rejected, not mis-parsed.
+        assert_eq!(unescape_field("\"unterminated"), None);
+        assert_eq!(unescape_field("\"lone\"quote\""), None);
+        assert_eq!(unescape_field("bare,comma"), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Builds an observer log from generated block/tx event tuples,
+    /// stressing duplicate hashes (reception counters), kind mixes, and
+    /// extreme timestamps.
+    fn build_log(
+        block_events: &[(u64, u8, u32, u64, u64)],
+        tx_events: &[(u64, u32, u64, u64)],
+    ) -> ObserverLog {
+        let mut log = ObserverLog::new();
+        for &(hash, kind, from, local, true_t) in block_events {
+            // Bias a share of events onto few hashes so announce/full
+            // counters exceed 1, and include u64::MAX-ish edge times.
+            let kind = if kind % 2 == 0 {
+                BlockMsgKind::Announce
+            } else {
+                BlockMsgKind::FullBlock
+            };
+            log.record_block_msg(
+                BlockHash(hash % 7 + 1),
+                kind,
+                NodeId(from),
+                SimTime::from_nanos(local),
+                SimTime::from_nanos(true_t),
+            );
+        }
+        for &(id, from, local, true_t) in tx_events {
+            log.record_tx(
+                TxId(id),
+                NodeId(from),
+                SimTime::from_nanos(local),
+                SimTime::from_nanos(true_t),
+            );
+        }
+        log
+    }
+
+    proptest! {
+        /// blocks_to_csv -> blocks_from_csv is lossless for arbitrary
+        /// logs: the parsed rows equal the log's records in export order.
+        #[test]
+        fn block_csv_round_trips(
+            events in proptest::collection::vec(
+                (0u64..u64::MAX, 0u8..4, 0u32..1000, 0u64..u64::MAX, 0u64..u64::MAX),
+                0..40,
+            ),
+        ) {
+            let log = build_log(&events, &[]);
+            let csv = blocks_to_csv(&log);
+            let parsed = blocks_from_csv(&csv).expect("well-formed export");
+            let mut expected: Vec<BlockRecord> = log.blocks().copied().collect();
+            expected.sort_by_key(|r| (r.first_true, r.hash));
+            prop_assert_eq!(parsed, expected);
+            // Re-export is byte-identical (deterministic serialization).
+            let relog = build_log(&events, &[]);
+            prop_assert_eq!(csv, blocks_to_csv(&relog));
+        }
+
+        /// txs_to_csv -> txs_from_csv is lossless and order-preserving.
+        #[test]
+        fn tx_csv_round_trips(
+            events in proptest::collection::vec(
+                (0u64..u64::MAX, 0u32..1000, 0u64..u64::MAX, 0u64..u64::MAX),
+                0..40,
+            ),
+        ) {
+            let log = build_log(&[], &events);
+            let csv = txs_to_csv(&log);
+            let parsed = txs_from_csv(&csv).expect("well-formed export");
+            let mut expected: Vec<TxRecord> = log.txs().copied().collect();
+            expected.sort_by_key(|r| r.arrival_seq);
+            prop_assert_eq!(parsed, expected);
+        }
+
+        /// escape_field/unescape_field round-trip arbitrary label text,
+        /// including embedded quotes, commas, and control characters.
+        #[test]
+        fn field_escaping_round_trips_arbitrary_text(
+            chars in proptest::collection::vec(0u8..128, 0..24),
+        ) {
+            let s: String = chars
+                .iter()
+                .map(|&b| match b % 8 {
+                    0 => ',',
+                    1 => '"',
+                    2 => '\n',
+                    _ => char::from(b'a' + (b % 26)),
+                })
+                .collect();
+            let escaped = escape_field(&s);
+            prop_assert_eq!(unescape_field(&escaped), Some(s));
+        }
     }
 }

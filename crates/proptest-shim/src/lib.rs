@@ -6,7 +6,7 @@
 //! the API surface the workspace uses:
 //!
 //! - [`Strategy`] with [`Strategy::prop_map`] over numeric [ranges], tuples
-//!   (arity 2–4), and [`collection::vec`];
+//!   (arity 2–6), and [`collection::vec`];
 //! - the [`proptest!`] macro, running each property over a deterministic,
 //!   per-test-seeded stream of cases;
 //! - `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
@@ -132,6 +132,8 @@ tuple_strategy! {
     (A.0, B.1)
     (A.0, B.1, C.2)
     (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
 }
 
 /// Collection strategies (`proptest::collection`).

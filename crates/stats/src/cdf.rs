@@ -29,6 +29,17 @@ impl Cdf {
         Cdf { sorted }
     }
 
+    /// Folds another CDF's sample into this one.
+    ///
+    /// Merging is exact (the empirical CDFs are over the union multiset of
+    /// both samples) and the result depends only on the combined sample,
+    /// never on the merge-tree shape — per-run CDFs streamed out of a
+    /// sweep aggregate to the same object in any grouping.
+    pub fn merge(&mut self, other: &Cdf) {
+        let merged = merge_sorted(&self.sorted, &other.sorted);
+        self.sorted = merged;
+    }
+
     /// Number of samples.
     pub fn count(&self) -> usize {
         self.sorted.len()
@@ -88,6 +99,26 @@ impl Cdf {
     pub fn sorted_values(&self) -> &[f64] {
         &self.sorted
     }
+}
+
+/// Merges two ascending slices into one ascending vector (stable: ties
+/// take the left operand's elements first — immaterial for equal floats,
+/// but it keeps the operation fully deterministic).
+pub(crate) fn merge_sorted(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }
 
 impl fmt::Display for Cdf {
@@ -151,6 +182,28 @@ mod tests {
         let empty = Cdf::from_values(std::iter::empty());
         assert!(empty.series(5).is_empty());
         assert_eq!(empty.at(3.0), 0.0);
+    }
+
+    #[test]
+    fn merge_is_union_and_shape_independent() {
+        let a = [5.0, 1.0, 3.0];
+        let b = [2.0, 4.0];
+        let c = [0.5, 6.0];
+        // ((a + b) + c) == (a + (b + c)) == one-shot construction.
+        let mut left = Cdf::from_values(a);
+        left.merge(&Cdf::from_values(b));
+        left.merge(&Cdf::from_values(c));
+        let mut right_tail = Cdf::from_values(b);
+        right_tail.merge(&Cdf::from_values(c));
+        let mut right = Cdf::from_values(a);
+        right.merge(&right_tail);
+        let oneshot = Cdf::from_values(a.into_iter().chain(b).chain(c));
+        assert_eq!(left, oneshot);
+        assert_eq!(right, oneshot);
+        // Merging an empty CDF is the identity.
+        let mut x = Cdf::from_values(a);
+        x.merge(&Cdf::from_values(std::iter::empty()));
+        assert_eq!(x, Cdf::from_values(a));
     }
 
     #[test]

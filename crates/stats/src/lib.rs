@@ -6,11 +6,20 @@
 //! crate implements those reductions:
 //!
 //! - [`summary::Summary`]: count/mean/std/quantiles of a sample;
+//! - [`summary::Aggregate`]: cross-run condensation of one scalar
+//!   statistic (mean ± stddev plus percentile-of-percentiles spread);
 //! - [`histogram::Histogram`]: fixed-width binning with PDF normalization;
 //! - [`cdf::Cdf`]: empirical CDF with quantile and fraction-below queries;
 //! - [`runs`]: run-length extraction and the exact/approximate theory of
 //!   longest same-miner block sequences;
 //! - [`table`]: plain-text table rendering for paper-style reports.
+//!
+//! [`Summary`], [`Histogram`], and [`Cdf`] all support **exact,
+//! merge-tree independent `merge`**: folding per-run instances together
+//! yields the same object as one pass over all samples, regardless of how
+//! the merges are grouped. That property is what lets campaign sweeps
+//! stream compact per-run reductions out of parallel workers and still
+//! produce bit-identical aggregates at any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,5 +32,5 @@ pub mod table;
 
 pub use cdf::Cdf;
 pub use histogram::Histogram;
-pub use summary::Summary;
+pub use summary::{Aggregate, Summary};
 pub use table::Table;

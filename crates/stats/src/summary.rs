@@ -29,19 +29,27 @@ impl Summary {
             "summary input must be finite"
         );
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
-        let n = sorted.len() as f64;
-        let (mean, std_dev) = if sorted.is_empty() {
-            (0.0, 0.0)
-        } else {
-            let mean = sorted.iter().sum::<f64>() / n;
-            let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
-            (mean, var.sqrt())
-        };
+        let (mean, std_dev) = moments(&sorted);
         Summary {
             sorted,
             mean,
             std_dev,
         }
+    }
+
+    /// Folds another summary's sample into this one.
+    ///
+    /// Merging is exact: the result is identical to building one summary
+    /// from both samples. The moments are recomputed from the merged
+    /// *sorted* sample, so the outcome depends only on the combined
+    /// multiset of values — never on how per-run summaries were grouped
+    /// into merges. That bit-level merge-tree independence is what lets a
+    /// parallel sweep produce the same summary at any thread count.
+    pub fn merge(&mut self, other: &Summary) {
+        self.sorted = crate::cdf::merge_sorted(&self.sorted, &other.sorted);
+        let (mean, std_dev) = moments(&self.sorted);
+        self.mean = mean;
+        self.std_dev = std_dev;
     }
 
     /// Number of samples.
@@ -118,6 +126,91 @@ impl Summary {
     /// Borrow the sorted sample (ascending).
     pub fn sorted_values(&self) -> &[f64] {
         &self.sorted
+    }
+}
+
+/// Mean and population standard deviation of an ascending sample.
+fn moments(sorted: &[f64]) -> (f64, f64) {
+    if sorted.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = sorted.len() as f64;
+    let mean = sorted.iter().sum::<f64>() / n;
+    let var = sorted.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Cross-run aggregation of one scalar statistic.
+///
+/// A grid produces one scalar per run (a median propagation delay, a fork
+/// rate, a commit-time percentile); `Aggregate` condenses the per-run
+/// values of one grid point into the row a results table prints: mean ±
+/// stddev with the spread (min / p50 / p95 / max — the
+/// percentile-of-percentiles convention when the scalar is itself a
+/// percentile).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Mean of the per-run values.
+    pub mean: f64,
+    /// Population standard deviation of the per-run values.
+    pub std_dev: f64,
+    /// Smallest per-run value (0 when `runs == 0`).
+    pub min: f64,
+    /// Median per-run value (0 when `runs == 0`).
+    pub p50: f64,
+    /// 95th-percentile per-run value (0 when `runs == 0`).
+    pub p95: f64,
+    /// Largest per-run value (0 when `runs == 0`).
+    pub max: f64,
+}
+
+impl Aggregate {
+    /// Aggregates a set of per-run values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is NaN or infinite.
+    pub fn from_values<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        Self::from_summary(&Summary::from_values(values))
+    }
+
+    /// Aggregates an already-built summary.
+    pub fn from_summary(s: &Summary) -> Self {
+        if s.is_empty() {
+            return Aggregate {
+                runs: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                max: 0.0,
+            };
+        }
+        Aggregate {
+            runs: s.count(),
+            mean: s.mean(),
+            std_dev: s.std_dev(),
+            min: s.min(),
+            p50: s.median(),
+            p95: s.quantile(0.95),
+            max: s.max(),
+        }
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.runs == 0 {
+            return write!(f, "n=0");
+        }
+        write!(
+            f,
+            "{:.3} ± {:.3} (n={}, min {:.3}, p50 {:.3}, p95 {:.3}, max {:.3})",
+            self.mean, self.std_dev, self.runs, self.min, self.p50, self.p95, self.max
+        )
     }
 }
 
@@ -202,5 +295,45 @@ mod tests {
     fn display_mentions_count() {
         let s = Summary::from_values([1.0, 2.0]);
         assert!(s.to_string().starts_with("n=2"));
+    }
+
+    #[test]
+    fn merge_matches_oneshot_bitwise() {
+        let a = [2.0, 9.0, 4.0];
+        let b = [5.0, 4.0, 7.0, 2.0];
+        let mut merged = Summary::from_values(a);
+        merged.merge(&Summary::from_values(b));
+        let oneshot = Summary::from_values(a.into_iter().chain(b));
+        assert_eq!(merged, oneshot);
+        assert_eq!(merged.mean().to_bits(), oneshot.mean().to_bits());
+        assert_eq!(merged.std_dev().to_bits(), oneshot.std_dev().to_bits());
+        // Merge-tree independence: ((a+b)+b) == (a+(b+b)).
+        let mut left = Summary::from_values(a);
+        left.merge(&Summary::from_values(b));
+        left.merge(&Summary::from_values(b));
+        let mut bb = Summary::from_values(b);
+        bb.merge(&Summary::from_values(b));
+        let mut right = Summary::from_values(a);
+        right.merge(&bb);
+        assert_eq!(left, right);
+        // Empty merges are identities in both directions.
+        let mut e = Summary::from_values(std::iter::empty());
+        e.merge(&oneshot);
+        assert_eq!(e, oneshot);
+    }
+
+    #[test]
+    fn aggregate_condenses_per_run_values() {
+        let a = Aggregate::from_values((1..=20).map(f64::from));
+        assert_eq!(a.runs, 20);
+        assert!((a.mean - 10.5).abs() < 1e-12);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.p50, 10.0);
+        assert_eq!(a.p95, 19.0);
+        assert_eq!(a.max, 20.0);
+        assert!(a.to_string().contains("n=20"));
+        let empty = Aggregate::from_values(std::iter::empty());
+        assert_eq!(empty.runs, 0);
+        assert_eq!(empty.to_string(), "n=0");
     }
 }

@@ -6,7 +6,7 @@
 //! Ethereum* (Silva, Vavřička, Barreto, Matos; IEEE/IFIP DSN 2020).
 //!
 //! This facade crate re-exports the full public API of the workspace. Most
-//! applications interact with three layers:
+//! applications interact with four layers:
 //!
 //! 1. **Scenario construction** — [`core::scenario::Scenario`] describes a
 //!    simulated Ethereum network: topology, geography, mining pools (with
@@ -14,11 +14,16 @@
 //!    and the measurement vantage points.
 //! 2. **Campaign execution** — [`core::runner`] runs the discrete-event
 //!    simulation and returns the observers' raw logs plus ground truth.
-//! 3. **Analysis** — [`analysis`] turns logs into the paper's tables and
+//! 3. **Grid execution** — [`core::grid::Grid`] fans a scenario out over
+//!    named parameter axes × seeds on parallel workers, reducing every
+//!    outcome through streaming [`core::metric::Metric`] collectors.
+//! 4. **Analysis** — [`analysis`] turns logs into the paper's tables and
 //!    figures (propagation delay PDFs, first-observation shares, redundancy,
-//!    commit-time CDFs, empty-block censuses, fork tables, sequence CDFs).
+//!    commit-time CDFs, empty-block censuses, fork tables, sequence CDFs);
+//!    every report family is also a streaming [`analysis::Reduce`]
+//!    accumulator, so the same tables compute across a whole grid.
 //!
-//! ## Quickstart
+//! ## Quickstart: one campaign
 //!
 //! ```
 //! use ethmeter::prelude::*;
@@ -33,8 +38,59 @@
 //! assert!(report.delays.count() > 0);
 //! ```
 //!
-//! See `examples/` for end-to-end walkthroughs of each experiment family
-//! and `EXPERIMENTS.md` for paper-vs-measured comparisons.
+//! ## Quickstart: a cross-seed grid
+//!
+//! The paper's claims are statistics *across* runs. A [`core::grid::Grid`]
+//! runs the full cartesian product of its axes and streams every outcome
+//! through [`core::metric::Metric`] collectors — here Figure 1 pooled over
+//! all runs, plus a per-grid-point results table aggregated across seeds
+//! (a Table-1-style cross-seed row per configuration):
+//!
+//! ```
+//! use ethmeter::prelude::*;
+//! use ethmeter::analysis::propagation::Propagation;
+//!
+//! let base = Scenario::builder()
+//!     .preset(Preset::Tiny)
+//!     .duration(SimDuration::from_mins(2))
+//!     .build();
+//! let outcome = Grid::new(base)
+//!     .seed_range(1, 3)
+//!     .axis("tx_rate", [0.5, 1.0], |s, &rate| s.set_tx_rate(rate))
+//!     .run((
+//!         Analyze::new(Propagation::new()),
+//!         Scalars::new().column("head", |_, o| {
+//!             o.campaign.truth.tree.head_number() as f64
+//!         }),
+//!     ));
+//! let (fig1, table) = outcome.output;
+//! assert!(fig1.blocks_measured > 0);
+//! assert_eq!(table.rows.len(), 2); // one aggregated row per tx_rate
+//! println!("{table}");             // or table.to_csv() / table.to_json()
+//! ```
+//!
+//! ## Memory model
+//!
+//! What a grid retains is decided by its metric, not the grid:
+//!
+//! - **Streamed** (the default posture): [`core::metric::Analyze`],
+//!   [`core::metric::Scalars`], and [`core::metric::PerPoint`] reduce each
+//!   [`core::runner::CampaignOutcome`] to compact summaries the moment the
+//!   run completes; the observer logs and ground-truth tree are dropped.
+//!   Peak memory is ~one campaign's footprint per worker thread, however
+//!   many runs the grid has (the bench suite's `grid` section certifies
+//!   this on every run).
+//! - **Retained**: [`core::metric::RetainRuns`] (and the [`core::sweep::Sweep`]
+//!   convenience layer built on it) keeps every outcome in full — memory
+//!   grows linearly with the grid. Use it when tests or tooling need the
+//!   complete datasets.
+//!
+//! Either way, results are **bit-identical across thread counts** and to a
+//! sequential `run_campaign` loop: per-job metric instances observe one
+//! outcome each and fold in grid order.
+//!
+//! See `examples/` (notably `examples/grid_report.rs`) for end-to-end
+//! walkthroughs and `EXPERIMENTS.md` for paper-vs-measured comparisons.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

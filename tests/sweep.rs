@@ -117,3 +117,113 @@ fn distinct_seeds_diverge() {
         sweep.heads()
     );
 }
+
+// ---------------------------------------------------------------------------
+// Grid + Metric contracts: streaming collectors must be a pure memory
+// optimization — outputs bit-identical across thread counts and to the
+// legacy sequential path.
+
+use ethmeter::analysis::propagation::{self, Propagation};
+use ethmeter::analysis::Reduce;
+
+const GRID_SEEDS: [u64; 4] = [301, 302, 303, 304];
+const INTERBLOCKS: [f64; 2] = [10.0, 20.0];
+
+/// The grid under test: 2 interblock points × 4 seeds, observed through
+/// one retained collector plus two streaming ones.
+fn run_grid(
+    threads: usize,
+) -> GridOutcome<(
+    Vec<ethmeter::metric::RetainedRun>,
+    propagation::PropagationReport,
+    GridReport,
+)> {
+    Grid::new(base())
+        .seeds(GRID_SEEDS)
+        .axis("interblock_s", INTERBLOCKS, |s, &secs| {
+            s.interblock = SimDuration::from_secs_f64(secs);
+        })
+        .threads(threads)
+        .run((
+            RetainRuns::new(),
+            Analyze::new(Propagation::new()),
+            Scalars::new()
+                .column("head", |_, o| o.campaign.truth.tree.head_number() as f64)
+                .column("messages", |_, o| o.stats.messages as f64),
+        ))
+}
+
+/// Materializes one grid job's scenario by hand — the legacy sequential
+/// path the grid must match.
+fn legacy_scenario(interblock_s: f64, seed: u64) -> Scenario {
+    let mut s = base();
+    s.interblock = SimDuration::from_secs_f64(interblock_s);
+    s.seed = seed;
+    s
+}
+
+#[test]
+fn grid_results_bit_identical_across_thread_counts() {
+    let one = run_grid(1);
+    let many = run_grid(4);
+    assert_eq!(one.threads_used, 1);
+    assert!(many.threads_used >= 2, "grid must actually run parallel");
+    assert_eq!(one.jobs, 8);
+    assert_eq!(one.totals, many.totals);
+    assert_eq!(one.events, many.events);
+    let (runs_1, fig1_1, report_1) = &one.output;
+    let (runs_n, fig1_n, report_n) = &many.output;
+    // Streaming outputs: full structural equality, floats included (the
+    // PartialEq on Summary/Histogram/Aggregate compares exact values).
+    assert_eq!(fig1_1, fig1_n);
+    assert_eq!(report_1, report_n);
+    // Retained outputs: same grid order, same campaign fingerprints.
+    assert_eq!(runs_1.len(), runs_n.len());
+    for (a, b) in runs_1.iter().zip(runs_n.iter()) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.point, b.point);
+        assert_eq!(
+            a.outcome.campaign.fingerprint(),
+            b.outcome.campaign.fingerprint(),
+            "seed {} point {}",
+            a.seed,
+            a.point
+        );
+    }
+}
+
+#[test]
+fn grid_matches_the_legacy_sequential_path() {
+    let grid = run_grid(4);
+    let (runs, fig1, report) = grid.output;
+    // Legacy path: a plain run_campaign loop in grid order, feeding the
+    // same reductions sequentially.
+    let mut seq_fig1 = Propagation::new();
+    let mut idx = 0;
+    for &interblock_s in &INTERBLOCKS {
+        for &seed in &GRID_SEEDS {
+            let scenario = legacy_scenario(interblock_s, seed);
+            let outcome = run_campaign(&scenario);
+            seq_fig1.observe(&outcome.campaign);
+            assert_eq!(
+                runs[idx].outcome.campaign.fingerprint(),
+                outcome.campaign.fingerprint(),
+                "grid job {idx} diverged from sequential run_campaign"
+            );
+            idx += 1;
+        }
+    }
+    assert_eq!(runs.len(), idx);
+    assert_eq!(fig1, seq_fig1.finish());
+    // The aggregated table reflects the same runs: every cell aggregates
+    // one value per seed.
+    assert_eq!(report.rows.len(), INTERBLOCKS.len());
+    assert!(report
+        .rows
+        .iter()
+        .all(|r| r.cells.iter().all(|c| c.runs == GRID_SEEDS.len())));
+    // Faster blocks -> more canonical blocks, visible in the point rows.
+    let head = |i: usize| report.rows[i].cells[0].mean;
+    assert!(head(0) > head(1), "{} vs {}", head(0), head(1));
+}
