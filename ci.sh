@@ -1,51 +1,201 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus lint gates. Run from the repo root.
-set -euxo pipefail
+# Tier-1 verification, split into named, timed stages.
+#
+#   ./ci.sh                 run every stage
+#   ./ci.sh <stage> [...]   run a subset (in the given order)
+#   ./ci.sh --list          print the stage names
+#
+# Stages:
+#   build        cargo build --release
+#   test         debug workspace test suite (tier-1 superset)
+#   golden       determinism fingerprints in --release (debug is covered
+#                by `test`; a debug/release divergence must fail CI)
+#   lint         check --benches --examples, clippy -D warnings, fmt
+#   bench-smoke  engine bench in --quick mode: schema-validated JSON and
+#                the regression floor (speedup_vs_pr2 must stay within
+#                0.9x of the committed BENCH_engine.json)
+#   repro-smoke  `repro table3` and the selfish-threshold grid on tiny
+#                presets: non-empty, schema-valid output
+#
+# Each stage is timed; a summary table is printed at the end (and on
+# failure, which names the failed stage instead of dumping trace noise).
+set -euo pipefail
+cd "$(dirname "$0")"
 
-cargo build --release
-# Tier-1 is `cargo test -q` (the facade package); --workspace is a
-# superset, so running it alone avoids compiling the facade suites twice.
-cargo test --workspace -q
-# Golden determinism fingerprints must hold in BOTH profiles: a
-# float/ordering divergence between debug and --release would silently
-# split "tested behavior" from "benchmarked behavior". The debug run is
-# covered by the workspace suite above; re-run the goldens in release.
-cargo test --release --test golden -q
-cargo check --workspace --benches --examples
-cargo clippy --workspace --all-targets -- -D warnings
-cargo fmt --all --check
+STAGES=(build test golden lint bench-smoke repro-smoke)
 
-# Bench smoke: the engine suite must complete in --quick mode and emit
-# well-formed JSON (jq parses it and the schema tag must match). The quick
-# run overwrites BENCH_engine.json, so save the tree's report (whether
-# committed or freshly regenerated) and restore it afterwards — CI must
-# never leave smoke-mode numbers behind.
-saved_report=""
-if [ -f BENCH_engine.json ]; then
-    saved_report="$(mktemp)"
-    cp BENCH_engine.json "$saved_report"
-fi
-cargo bench -p ethmeter-bench --bench engine -- --quick
-test "$(jq -r .schema BENCH_engine.json)" = "ethmeter-bench-engine/v3"
-jq -e '.presets | length == 3' BENCH_engine.json > /dev/null
-# v2 additions: per-preset counting-allocator metrics, PR-over-PR
-# baselines, and the multi-seed sweep-throughput survey.
-jq -e '.presets | all(has("allocs_per_event") and has("steady_allocs_per_event")
-                      and has("alloc_peak_bytes") and has("speedup_vs_pr2"))' \
-    BENCH_engine.json > /dev/null
-jq -e '.baseline | has("pr2_small_events_per_sec")' BENCH_engine.json > /dev/null
-jq -e '.sweep | has("reused_events_per_sec") and has("fresh_events_per_sec")
-                and has("reuse_speedup") and has("seeds") and has("threads_used")' \
-    BENCH_engine.json > /dev/null
-# v3 addition: the grid-scale memory survey — streaming metric collectors
-# must keep a multi-run grid's peak heap near one campaign's footprint,
-# while the retain-everything collector grows with the run count.
-jq -e '.grid | has("runs") and has("single_run_peak_bytes")
-               and has("streaming_peak_bytes") and has("retain_runs_peak_bytes")
-               and has("streaming_over_single") and has("retain_over_single")' \
-    BENCH_engine.json > /dev/null
-jq -e '.grid.runs >= 64' BENCH_engine.json > /dev/null
-jq -e '.grid.streaming_over_single < .grid.retain_over_single' BENCH_engine.json > /dev/null
-if [ -n "$saved_report" ]; then
-    mv "$saved_report" BENCH_engine.json
-fi
+stage_build() {
+    cargo build --release
+}
+
+stage_test() {
+    # Tier-1 is `cargo test -q` (the facade package); --workspace is a
+    # superset, so running it alone avoids compiling the facade suites
+    # twice.
+    cargo test --workspace -q
+}
+
+stage_golden() {
+    # Golden determinism fingerprints must hold in BOTH profiles: a
+    # float/ordering divergence between debug and --release would
+    # silently split "tested behavior" from "benchmarked behavior". The
+    # debug run is covered by the workspace suite; re-run in release.
+    cargo test --release --test golden -q
+}
+
+stage_lint() {
+    cargo check --workspace --benches --examples
+    cargo clippy --workspace --all-targets -- -D warnings
+    cargo fmt --all --check
+}
+
+stage_bench_smoke() {
+    # The engine suite must complete in --quick mode and emit well-formed
+    # JSON. The quick run overwrites BENCH_engine.json, so save the
+    # tree's report (whether committed or freshly regenerated) and
+    # restore it afterwards — CI must never leave smoke-mode numbers
+    # behind.
+    local saved_report=""
+    if [ -f BENCH_engine.json ]; then
+        saved_report="$(mktemp)"
+        cp BENCH_engine.json "$saved_report"
+        # Restore on EVERY exit path — a failed schema check below must
+        # not leave smoke-mode numbers (or a stray tempfile) behind.
+        # (Stages run in their own bash process, so EXIT fires per stage.)
+        trap "mv '$saved_report' BENCH_engine.json" EXIT
+    fi
+    cargo bench -p ethmeter-bench --bench engine -- --quick
+    test "$(jq -r .schema BENCH_engine.json)" = "ethmeter-bench-engine/v3"
+    jq -e '.presets | length == 3' BENCH_engine.json > /dev/null
+    # v2 additions: per-preset counting-allocator metrics, PR-over-PR
+    # baselines, and the multi-seed sweep-throughput survey.
+    jq -e '.presets | all(has("allocs_per_event") and has("steady_allocs_per_event")
+                          and has("alloc_peak_bytes") and has("speedup_vs_pr2"))' \
+        BENCH_engine.json > /dev/null
+    jq -e '.baseline | has("pr2_small_events_per_sec")' BENCH_engine.json > /dev/null
+    jq -e '.sweep | has("reused_events_per_sec") and has("fresh_events_per_sec")
+                    and has("reuse_speedup") and has("seeds") and has("threads_used")' \
+        BENCH_engine.json > /dev/null
+    # v3 addition: the grid-scale memory survey — streaming metric
+    # collectors must keep a multi-run grid's peak heap near one
+    # campaign's footprint, while the retain-everything collector grows
+    # with the run count.
+    jq -e '.grid | has("runs") and has("single_run_peak_bytes")
+                   and has("streaming_peak_bytes") and has("retain_runs_peak_bytes")
+                   and has("streaming_over_single") and has("retain_over_single")' \
+        BENCH_engine.json > /dev/null
+    jq -e '.grid.runs >= 64' BENCH_engine.json > /dev/null
+    jq -e '.grid.streaming_over_single < .grid.retain_over_single' BENCH_engine.json > /dev/null
+    # Regression floor: the freshly measured speedup_vs_pr2 of every
+    # preset must stay within 0.9x of the committed report's value (the
+    # committed numbers are re-captured alongside intentional perf
+    # changes; see README "Benchmarks").
+    if [ -n "$saved_report" ]; then
+        jq -e --slurpfile base "$saved_report" '
+            [ .presets[] as $p
+              | [ $base[0].presets[] | select(.name == $p.name) ][0] as $b
+              | if $b == null then true
+                else $p.speedup_vs_pr2 >= 0.9 * $b.speedup_vs_pr2 end
+            ] | all' BENCH_engine.json > /dev/null \
+        || { echo "bench floor violated: speedup_vs_pr2 dropped below 0.9x the committed baseline" >&2
+             jq '[.presets[] | {name, speedup_vs_pr2}]' BENCH_engine.json >&2
+             jq '[.presets[] | {name, committed: .speedup_vs_pr2}]' "$saved_report" >&2
+             return 1; }
+    fi
+}
+
+stage_repro_smoke() {
+    # The reproduction CLI must produce real output on a tiny preset:
+    # a non-empty Table III and a schema-valid selfish-threshold surface
+    # whose gain grid matches the declared axes.
+    cargo build --release -p ethmeter-bench --bin repro
+    local table3
+    table3="$(./target/release/repro table3 --preset tiny --seed 7 2> /dev/null)"
+    [ -n "$table3" ] || { echo "repro table3 produced no output" >&2; return 1; }
+    grep -q "Table III" <<< "$table3" || { echo "repro table3 output malformed" >&2; return 1; }
+    local selfish_json
+    selfish_json="$(mktemp)"
+    ./target/release/repro selfish --preset tiny --seed 7 --json > "$selfish_json" 2> /dev/null
+    jq -e '
+        (.alphas | length) as $a | (.gammas | length) as $g |
+        .schema == "ethmeter-selfish-threshold/v1"
+        and $a >= 2 and $g >= 2
+        and (.gain | length == $g)
+        and ([.gain[] | length == $a] | all)
+        and ([.gain[][] | (. > 0 and . < 10)] | all)
+        and (.thresholds | length == $g)' \
+        "$selfish_json" > /dev/null \
+    || { echo "selfish-threshold JSON failed schema validation:" >&2
+         cat "$selfish_json" >&2
+         rm -f "$selfish_json"
+         return 1; }
+    rm -f "$selfish_json"
+}
+
+# --- driver -----------------------------------------------------------------
+
+stage_known() {
+    local s
+    for s in "${STAGES[@]}"; do
+        [ "$s" = "$1" ] && return 0
+    done
+    return 1
+}
+
+run_stages() {
+    local results=() failed=""
+    local stage rc t0 t1
+    for stage in "$@"; do
+        echo "==> stage: $stage"
+        t0=$SECONDS
+        rc=0
+        # Run the stage in a child bash with its own errexit: calling the
+        # function directly as `stage_x || rc=$?` would put its whole body
+        # in an AND-OR context where bash *ignores* `set -e` (even inside
+        # a subshell), silently swallowing every failure but the last
+        # command's. A separate process is the only airtight form.
+        export -f "stage_${stage//-/_}"
+        bash -ec "set -uo pipefail; stage_${stage//-/_}" || rc=$?
+        t1=$SECONDS
+        if [ "$rc" -eq 0 ]; then
+            results+=("$(printf '%-12s  %-4s  %4ss' "$stage" ok "$((t1 - t0))")")
+        else
+            results+=("$(printf '%-12s  %-4s  %4ss' "$stage" FAIL "$((t1 - t0))")")
+            failed="$stage"
+            break
+        fi
+    done
+    echo
+    echo "stage         status  time"
+    echo "---------------------------"
+    local line
+    for line in "${results[@]}"; do
+        echo "$line"
+    done
+    if [ -n "$failed" ]; then
+        echo
+        echo "ci.sh: stage '$failed' failed" >&2
+        return 1
+    fi
+}
+
+main() {
+    if [ "${1:-}" = "--list" ]; then
+        printf '%s\n' "${STAGES[@]}"
+        return 0
+    fi
+    local requested=("$@")
+    if [ "${#requested[@]}" -eq 0 ]; then
+        requested=("${STAGES[@]}")
+    fi
+    local s
+    for s in "${requested[@]}"; do
+        if ! stage_known "$s"; then
+            echo "ci.sh: unknown stage '$s' (try: ${STAGES[*]})" >&2
+            return 2
+        fi
+    done
+    run_stages "${requested[@]}"
+}
+
+main "$@"

@@ -13,6 +13,7 @@
 //! | [`empty_blocks`] | Figure 6 (empty blocks per pool) |
 //! | [`forks`] | Table III and §III-C5 (fork census, one-miner forks) |
 //! | [`sequences`] | Figure 7 and §III-D (consecutive-block sequences, censorship windows) |
+//! | [`rewards`] | Per-pool revenue share vs hash-power share (the selfish-mining yardstick) |
 //!
 //! All analyzers consume a [`ethmeter_measure::CampaignData`]; the
 //! sequence analyses additionally accept bare miner sequences so the fast
@@ -24,7 +25,7 @@
 //! ([`propagation::Propagation`], [`redundancy::Redundancy`],
 //! [`first_observation::FirstObservation`], [`commit::Commit`],
 //! [`commit::CommitOrdering`], [`empty_blocks::EmptyBlocks`],
-//! [`forks::Forks`]) that folds one campaign at a time into a compact
+//! [`forks::Forks`], [`rewards::Rewards`]) that folds one campaign at a time into a compact
 //! summary and can merge with other accumulators. The single-campaign
 //! `analyze` functions are the one-shot path through the same
 //! accumulators, so a streamed multi-campaign report over one run equals
@@ -41,6 +42,7 @@ pub mod first_observation;
 pub mod forks;
 pub mod propagation;
 pub mod redundancy;
+pub mod rewards;
 pub mod sequences;
 
 #[cfg(test)]

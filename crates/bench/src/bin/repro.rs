@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--preset tiny|small|medium|paper] [--seed N]
+//! repro [EXPERIMENT] [--preset tiny|small|medium|paper] [--seed N] [--json]
 //!
 //! EXPERIMENT:
 //!   all        every experiment (default)
@@ -15,8 +15,14 @@
 //!   fig6       empty blocks per pool
 //!   table3     fork census + one-miner forks
 //!   fig7       consecutive-block sequences (campaign + 201k-block month)
+//!   rewards    per-pool revenue share vs hash-power share
 //!   security   §III-D whole-chain sequence scan (7.7M blocks)
 //!   ablation   §V uncle-policy ablation
+//!   selfish    selfish-mining profitability thresholds (α × γ grid;
+//!              --json emits the machine-readable surface)
+//!
+//! The preset scales the campaign for campaign-backed experiments and the
+//! α × γ grid density for `selfish`.
 //! ```
 
 use std::process::ExitCode;
@@ -30,15 +36,18 @@ struct Args {
     experiment: String,
     preset: Preset,
     seed: u64,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut experiment = "all".to_owned();
     let mut preset = Preset::Small;
     let mut seed = 42u64;
+    let mut json = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
+            "--json" => json = true,
             "--preset" => {
                 let v = argv.next().ok_or("--preset needs a value")?;
                 preset = match v.as_str() {
@@ -62,7 +71,29 @@ fn parse_args() -> Result<Args, String> {
         experiment,
         preset,
         seed,
+        json,
     })
+}
+
+/// The α × γ grid density per preset: smoke-sized for `tiny`, the full
+/// Niu–Feng curve for larger presets.
+fn selfish_report(preset: Preset, seed: u64) -> experiments::SelfishThresholdReport {
+    let (alphas, gammas, seeds, blocks): (&[f64], &[f64], usize, u64) = match preset {
+        Preset::Tiny => (&[0.15, 0.25, 0.35], &[0.0, 1.0], 1, 4_000),
+        Preset::Small => (
+            &[0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45],
+            &[0.0, 0.5, 1.0],
+            3,
+            40_000,
+        ),
+        Preset::Medium | Preset::PaperScaled => (
+            &[0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45],
+            &[0.0, 0.25, 0.5, 0.75, 1.0],
+            5,
+            100_000,
+        ),
+    };
+    experiments::selfish_threshold(alphas, gammas, seed, seeds, blocks)
 }
 
 fn run_suite(scenario: &Scenario) -> (CampaignData, Suite) {
@@ -89,7 +120,9 @@ fn main() -> ExitCode {
             if !msg.is_empty() {
                 eprintln!("error: {msg}");
             }
-            eprintln!("usage: repro [EXPERIMENT] [--preset tiny|small|medium|paper] [--seed N]");
+            eprintln!(
+                "usage: repro [EXPERIMENT] [--preset tiny|small|medium|paper] [--seed N] [--json]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -107,6 +140,7 @@ fn main() -> ExitCode {
             | "fig6"
             | "table3"
             | "fig7"
+            | "rewards"
     );
     let campaign_and_suite = needs_campaign.then(|| run_suite(&scenario));
 
@@ -123,6 +157,7 @@ fn main() -> ExitCode {
         "fig5" => println!("{}\n", suite.fig5),
         "fig6" => println!("{}\n", suite.fig6),
         "table3" => println!("{}\n", suite.table3),
+        "rewards" => println!("{}\n", ethmeter_core::analysis::rewards::analyze(campaign)),
         "fig7" => {
             println!("campaign-scale sequences:\n{}\n", suite.fig7);
             println!(
@@ -138,15 +173,24 @@ fn main() -> ExitCode {
             let (campaign, suite) = campaign_and_suite.as_ref().expect("campaign ran");
             for name in [
                 "table1", "fig1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "table3",
-                "fig7",
+                "fig7", "rewards",
             ] {
                 print_for(name, campaign, suite);
             }
             println!("{}\n", experiments::security_whole_chain(args.seed));
             println!(
-                "{}",
+                "{}\n",
                 experiments::ablation_uncle_policy(&ethmeter_bench::bench_scenario(args.seed))
             );
+            println!("{}", selfish_report(args.preset, args.seed));
+        }
+        "selfish" => {
+            let report = selfish_report(args.preset, args.seed);
+            if args.json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{report}");
+            }
         }
         "security" => println!("{}", experiments::security_whole_chain(args.seed)),
         "ablation" => println!(

@@ -43,6 +43,17 @@ pub const NEPHEW_REWARD: MilliEther = BLOCK_REWARD / 32;
 /// prices).
 pub const AVG_FEES_PER_FULL_BLOCK: MilliEther = 150;
 
+/// Average fee revenue of one transaction (~75 transactions per full
+/// block during the window → 2 mETH each). Deliberately integral so
+/// revenue ledgers stay exact.
+pub const AVG_FEE_PER_TX: MilliEther = 2;
+
+/// Fee revenue of a block carrying `tx_count` transactions under the
+/// flat per-transaction fee model.
+pub fn tx_fees(tx_count: usize) -> MilliEther {
+    AVG_FEE_PER_TX * tx_count as MilliEther
+}
+
 /// Per-pool reward ledger.
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
@@ -117,6 +128,12 @@ mod tests {
     #[test]
     fn nephew_reward_is_one_thirty_second() {
         assert_eq!(NEPHEW_REWARD, 62); // 2000/32 = 62.5 truncated
+    }
+
+    #[test]
+    fn flat_fee_model_matches_full_block_average() {
+        assert_eq!(tx_fees(0), 0);
+        assert_eq!(tx_fees(75), AVG_FEES_PER_FULL_BLOCK);
     }
 
     #[test]

@@ -18,12 +18,17 @@ use ethmeter_chain::uncles::UnclePolicy;
 use ethmeter_measure::CampaignData;
 use ethmeter_stats::table::{grouped, pct, Table};
 
+use ethmeter_analysis::rewards;
+use ethmeter_mining::{PoolDirectory, SelfishConfig};
+use ethmeter_types::PoolId;
+
 use crate::chainonly::{run_chain_only, ChainOnlyConfig};
 use crate::grid::Grid;
 use crate::metric::Scalars;
 use crate::report::GridReport;
 use crate::runner::run_campaign;
 use crate::scenario::Scenario;
+use crate::selfish::{run_selfish_race, SelfishRaceConfig};
 
 /// Every campaign-derived report in one bundle.
 #[derive(Debug)]
@@ -241,6 +246,259 @@ pub fn ablation_uncle_policy(base: &Scenario) -> AblationReport {
     AblationReport { arms }
 }
 
+/// The Niu–Feng profitability surface: mean attacker relative-revenue
+/// gain per (γ, α) cell of a chain-only selfish-mining grid.
+#[derive(Debug, Clone)]
+pub struct SelfishThresholdReport {
+    /// The α axis (attacker hash share), ascending.
+    pub alphas: Vec<f64>,
+    /// The γ axis (tie-win fraction), ascending.
+    pub gammas: Vec<f64>,
+    /// Seeds averaged per cell.
+    pub seeds: usize,
+    /// PoW wins simulated per run.
+    pub blocks: u64,
+    /// `gain[g][a]`: mean relative revenue of the attacker at
+    /// `gammas[g]`, `alphas[a]` — `> 1` means withholding pays.
+    pub gain: Vec<Vec<f64>>,
+}
+
+impl SelfishThresholdReport {
+    /// The profitability threshold for one γ row: the smallest α at
+    /// which the gain reaches 1.0, linearly interpolated between grid
+    /// points (the first grid α if the whole row is already profitable;
+    /// `None` if the row never crosses).
+    pub fn threshold(&self, gamma_index: usize) -> Option<f64> {
+        let row = &self.gain[gamma_index];
+        if row[0] >= 1.0 {
+            return Some(self.alphas[0]);
+        }
+        for i in 1..row.len() {
+            if row[i] >= 1.0 {
+                let (a0, a1) = (self.alphas[i - 1], self.alphas[i]);
+                let (g0, g1) = (row[i - 1], row[i]);
+                return Some(a0 + (a1 - a0) * (1.0 - g0) / (g1 - g0));
+            }
+        }
+        None
+    }
+
+    /// Machine-readable form (schema `ethmeter-selfish-threshold/v1`),
+    /// consumed by the CI repro-smoke gate.
+    pub fn to_json(&self) -> String {
+        let list = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{x}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let gain = self
+            .gain
+            .iter()
+            .map(|row| format!("[{}]", list(row)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let thresholds = (0..self.gammas.len())
+            .map(|g| match self.threshold(g) {
+                Some(t) => format!("{t}"),
+                None => "null".to_owned(),
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"schema\":\"ethmeter-selfish-threshold/v1\",\"alphas\":[{}],\
+             \"gammas\":[{}],\"seeds\":{},\"blocks\":{},\"gain\":[{}],\
+             \"thresholds\":[{}]}}",
+            list(&self.alphas),
+            list(&self.gammas),
+            self.seeds,
+            self.blocks,
+            gain,
+            thresholds
+        )
+    }
+}
+
+impl fmt::Display for SelfishThresholdReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Selfish-mining profitability — relative revenue gain \
+             ({} blocks × {} seeds per cell; gain > 1 means withholding pays)",
+            self.blocks, self.seeds
+        )?;
+        let mut header = vec!["gamma \\ alpha".to_owned()];
+        header.extend(self.alphas.iter().map(|a| format!("{a:.2}")));
+        header.push("threshold".to_owned());
+        let mut t = Table::new(header);
+        for (g, row) in self.gain.iter().enumerate() {
+            let mut cells = vec![format!("{:.2}", self.gammas[g])];
+            cells.extend(row.iter().map(|x| format!("{x:.3}")));
+            cells.push(match self.threshold(g) {
+                Some(thr) => format!("{thr:.3}"),
+                None => "—".to_owned(),
+            });
+            t.row(cells);
+        }
+        write!(f, "{t}")
+    }
+}
+
+/// Runs the chain-only α × γ × seed grid behind
+/// [`SelfishThresholdReport`]. Cells are independent deterministic
+/// races (see [`crate::selfish`]) fanned over worker threads the same
+/// way [`Grid`] fans campaigns — each cell's value is a pure function
+/// of its own seeds, so the result is identical at any thread count.
+/// The γ-dependence of the threshold is what the full-network
+/// simulation realizes through gateway placement.
+///
+/// # Panics
+///
+/// Panics if either axis is empty or `seeds` is 0 (and propagates the
+/// race's own α/γ range checks).
+pub fn selfish_threshold(
+    alphas: &[f64],
+    gammas: &[f64],
+    first_seed: u64,
+    seeds: usize,
+    blocks: u64,
+) -> SelfishThresholdReport {
+    assert!(
+        !alphas.is_empty() && !gammas.is_empty() && seeds > 0,
+        "selfish_threshold needs non-empty axes and at least one seed"
+    );
+    let cells = gammas.len() * alphas.len();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(cells);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut gain = vec![vec![0.0; alphas.len()]; gammas.len()];
+    std::thread::scope(|scope| {
+        let next = &next;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut mine = Vec::new();
+                    loop {
+                        let cell = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if cell >= cells {
+                            break;
+                        }
+                        let (g, a) = (cell / alphas.len(), cell % alphas.len());
+                        let mut sum = 0.0;
+                        for s in 0..seeds as u64 {
+                            let cfg = SelfishRaceConfig::new(
+                                alphas[a],
+                                gammas[g],
+                                blocks,
+                                first_seed + s,
+                            );
+                            sum += run_selfish_race(&cfg).relative_revenue();
+                        }
+                        mine.push((g, a, sum / seeds as f64));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (g, a, value) in handle.join().expect("threshold worker panicked") {
+                gain[g][a] = value;
+            }
+        }
+    });
+    SelfishThresholdReport {
+        alphas: alphas.to_vec(),
+        gammas: gammas.to_vec(),
+        seeds,
+        blocks,
+        gain,
+    }
+}
+
+/// The revenue probe set for adversarial grids: the attacker pool's
+/// revenue share, relative revenue gain, and withholding activity as
+/// cross-seed scalar columns (composable with any [`Grid`] axis).
+pub fn revenue_scalars(pool: PoolId) -> Scalars {
+    // Both revenue columns come from one analysis pass: the probe
+    // memoizes the (rev_share, rel_revenue) pair per job index, same as
+    // headline_scalars' propagation cache (and with the same determinism
+    // argument: eviction only ever recomputes, never changes a value).
+    let cache = std::sync::Arc::new(std::sync::Mutex::new(None::<(usize, (f64, f64))>));
+    let probe = move |ctx: &crate::metric::RunCtx<'_>, campaign: &_| -> (f64, f64) {
+        let mut cache = cache.lock().expect("probe cache never poisoned");
+        if let Some((index, value)) = *cache {
+            if index == ctx.index {
+                return value;
+            }
+        }
+        let r = rewards::analyze(campaign);
+        let value = (
+            r.row(pool)
+                .map_or(0.0, |row| row.revenue_share(r.total_reward)),
+            r.relative_revenue(pool),
+        );
+        *cache = Some((ctx.index, value));
+        value
+    };
+    let probe = std::sync::Arc::new(probe);
+    let share_probe = std::sync::Arc::clone(&probe);
+    Scalars::new()
+        .column("rev_share", move |ctx, o| share_probe(ctx, &o.campaign).0)
+        .column("rel_revenue", move |ctx, o| probe(ctx, &o.campaign).1)
+        .column("withheld", |_, o| o.stats.blocks_withheld as f64)
+        .column("released", |_, o| o.stats.blocks_released as f64)
+}
+
+/// The attacker's current knobs in a directory whose pool 0 is the
+/// attacker: `(gateway count, selfish config)`. Falls back to one
+/// gateway / the classic machine when the base directory isn't
+/// attacker-shaped, so `selfish_sim_grid` works from any base scenario.
+fn attacker_knobs(pools: &PoolDirectory) -> (usize, SelfishConfig) {
+    let attacker = pools.pool(PoolId(0));
+    let cfg = match attacker.behavior {
+        ethmeter_mining::PoolBehavior::Selfish(cfg) => cfg,
+        ethmeter_mining::PoolBehavior::Honest => SelfishConfig::classic(),
+    };
+    (attacker.gateway_count.max(1), cfg)
+}
+
+/// A full-network adversarial grid: attacker hash share × attacker
+/// gateway count (the emergent-γ lever — better-connected attackers win
+/// more tie races) × seeds, reduced to the [`revenue_scalars`] columns.
+/// This is the simulation-side companion of [`selfish_threshold`]: same
+/// machine, γ realized by placement instead of dialed in.
+///
+/// Each axis rebuilds the directory through
+/// [`PoolDirectory::attacker_vs_honest`] while keeping the other axis's
+/// value and the base scenario's [`SelfishConfig`] (e.g. a stubborn
+/// variant), so every cell equals a directly constructed directory —
+/// in particular, the gateway axis re-spreads gateways across regions
+/// rather than stacking them into the previous placement.
+pub fn selfish_sim_grid(
+    base: &Scenario,
+    alphas: &[f64],
+    gateways: &[usize],
+    first_seed: u64,
+    seeds: usize,
+    threads: usize,
+) -> GridReport {
+    Grid::new(base.clone())
+        .seed_range(first_seed, seeds)
+        .axis("alpha", alphas.to_vec(), |s, &alpha| {
+            let (gw, cfg) = attacker_knobs(&s.pools);
+            s.pools = PoolDirectory::attacker_vs_honest(alpha, gw, cfg);
+        })
+        .axis("gateways", gateways.to_vec(), |s, &g| {
+            let alpha = s.pools.pool(PoolId(0)).share;
+            let (_, cfg) = attacker_knobs(&s.pools);
+            s.pools = PoolDirectory::attacker_vs_honest(alpha, g, cfg);
+        })
+        .threads(threads)
+        .run(revenue_scalars(PoolId(0)))
+        .output
+}
+
 impl fmt::Display for AblationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "§V ablation — uncle policy vs one-miner fork profits")?;
@@ -341,5 +599,75 @@ mod tests {
     fn fig7_month_is_paper_scale() {
         let report = fig7_month(1);
         assert_eq!(report.total_blocks, 201_086);
+    }
+
+    #[test]
+    fn threshold_interpolation_and_json() {
+        let report = SelfishThresholdReport {
+            alphas: vec![0.1, 0.2, 0.3],
+            gammas: vec![0.0, 1.0],
+            seeds: 1,
+            blocks: 10,
+            gain: vec![vec![0.8, 0.9, 1.1], vec![1.2, 1.3, 1.4]],
+        };
+        // Row 0 crosses between 0.2 and 0.3: 0.2 + 0.1 * (0.1/0.2) = 0.25.
+        let t0 = report.threshold(0).expect("crosses");
+        assert!((t0 - 0.25).abs() < 1e-9, "t0 {t0}");
+        // Row 1 is profitable from the first cell.
+        assert_eq!(report.threshold(1), Some(0.1));
+        // A row that never crosses yields None.
+        let flat = SelfishThresholdReport {
+            gain: vec![vec![0.5, 0.6, 0.7], vec![1.0, 1.0, 1.0]],
+            ..report.clone()
+        };
+        assert_eq!(flat.threshold(0), None);
+        // JSON carries the schema tag and both axes.
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"ethmeter-selfish-threshold/v1\""));
+        assert!(json.contains("\"thresholds\":["), "json: {json}");
+        assert!(json.ends_with(",0.1]}"), "json: {json}");
+        // Display renders the table with a threshold column.
+        let shown = report.to_string();
+        assert!(shown.contains("threshold"));
+        assert!(shown.contains("0.250"));
+    }
+
+    #[test]
+    fn selfish_sim_grid_reports_revenue_columns() {
+        let base = Scenario::builder()
+            .preset(Preset::Tiny)
+            .duration(SimDuration::from_mins(8))
+            .pools(PoolDirectory::attacker_vs_honest(
+                0.3,
+                2,
+                SelfishConfig::classic(),
+            ))
+            .build();
+        let report = selfish_sim_grid(&base, &[0.35], &[4], 3, 1, 1);
+        assert_eq!(report.rows.len(), 1, "one (alpha, gateways) point");
+        assert_eq!(
+            report.columns,
+            vec!["rev_share", "rel_revenue", "withheld", "released"]
+        );
+        let row = &report.rows[0];
+        assert_eq!(row.point.get("alpha"), Some("0.35"));
+        assert_eq!(row.point.get("gateways"), Some("4"));
+        let col = |name: &str| {
+            let i = report.columns.iter().position(|c| c == name).expect("col");
+            row.cells[i].mean
+        };
+        assert!(col("rev_share") > 0.0);
+        assert!(col("withheld") > 0.0, "the attacker must have withheld");
+        assert!(col("released") > 0.0, "withheld blocks must be released");
+    }
+
+    #[test]
+    fn selfish_threshold_tiny_grid_runs() {
+        let r = selfish_threshold(&[0.15, 0.35], &[0.0, 1.0], 1, 1, 1_500);
+        assert_eq!(r.gain.len(), 2);
+        assert_eq!(r.gain[0].len(), 2);
+        assert!(r.gain.iter().flatten().all(|g| g.is_finite() && *g > 0.0));
+        // γ = 1 strictly dominates γ = 0 cell-wise at these shares.
+        assert!(r.gain[1][0] > r.gain[0][0]);
     }
 }

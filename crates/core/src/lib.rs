@@ -22,6 +22,9 @@
 //!   seed axis plus an optional variant axis, every outcome kept);
 //! - [`chainonly`]: the fast block-sequence simulator for month- and
 //!   chain-lifetime-scale sequence analyses (Figure 7, §III-D);
+//! - [`selfish`]: the chain-only selfish-mining race behind the
+//!   profitability-threshold experiments (explicit α and γ, same
+//!   withholding machine the full world drives);
 //! - [`experiments`]: one function per table/figure, shared by the
 //!   examples, the benches, and the `repro` binary.
 //!
@@ -73,6 +76,7 @@ pub mod metric;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod selfish;
 pub mod sweep;
 pub mod world;
 
@@ -81,6 +85,7 @@ pub use metric::{Analyze, Metric, PerPoint, RetainRuns, RunCtx, Scalars};
 pub use report::{GridReport, GridRow};
 pub use runner::{run_campaign, CampaignOutcome, CampaignRunner};
 pub use scenario::{Preset, Scenario, ScenarioBuilder, ScenarioError};
+pub use selfish::{run_selfish_race, SelfishRaceConfig, SelfishRaceResult};
 pub use sweep::{Sweep, SweepOutcome, SweepRun};
 pub use world::{RunStats, SimWorld};
 
@@ -106,6 +111,7 @@ pub mod prelude {
     pub use crate::report::{GridReport, GridRow};
     pub use crate::runner::{run_campaign, CampaignOutcome, CampaignRunner};
     pub use crate::scenario::{Preset, Scenario, ScenarioError};
+    pub use crate::selfish::{run_selfish_race, SelfishRaceConfig, SelfishRaceResult};
     pub use crate::sweep::{Sweep, SweepOutcome, SweepRun};
     pub use crate::{analysis, chain, geo, measure, mining, net, sim, stats, types, workload};
     pub use ethmeter_analysis::Reduce;

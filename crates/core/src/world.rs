@@ -41,7 +41,9 @@ use ethmeter_chain::tx::Transaction;
 use ethmeter_chain::{BlockRegistry, TxRegistry};
 use ethmeter_geo::{BandwidthClass, ClockSkew};
 use ethmeter_measure::{BlockMsgKind, ObserverLog, VantagePoint};
-use ethmeter_mining::{next_block_delay, BlockPlan, PoolDirectory};
+use ethmeter_mining::{
+    next_block_delay, BlockPlan, PoolBehavior, PoolDirectory, SelfishOutcome, SelfishState,
+};
 use ethmeter_net::topology::DegreePlan;
 use ethmeter_net::{ImportAction, Message, Node, Send, Topology};
 use ethmeter_sim::dist::{Exp, LogNormal};
@@ -100,6 +102,14 @@ pub enum Event {
         /// The block's registry slot.
         idx: BlockIdx,
     },
+    /// A selfish pool publishes a (previously withheld) block — decided
+    /// at fork-choice time by its behavior machine, never at mint time.
+    PoolRelease {
+        /// The releasing pool.
+        pool: PoolId,
+        /// The withheld block's registry slot.
+        idx: BlockIdx,
+    },
     /// The workload generator plans its next submission.
     NextSubmission,
     /// A planned transaction enters the network at its origin node.
@@ -124,6 +134,11 @@ pub struct RunStats {
     pub txs_submitted: u64,
     /// Block imports completed across all nodes.
     pub imports: u64,
+    /// Blocks withheld on a private branch at mint time (selfish pools).
+    pub blocks_withheld: u64,
+    /// Blocks published through fork-choice-time release events (matches,
+    /// overrides, tie releases, abandoned-branch uncle bait, race wins).
+    pub blocks_released: u64,
 }
 
 impl RunStats {
@@ -135,6 +150,8 @@ impl RunStats {
         self.duplicates_produced += other.duplicates_produced;
         self.txs_submitted += other.txs_submitted;
         self.imports += other.imports;
+        self.blocks_withheld += other.blocks_withheld;
+        self.blocks_released += other.blocks_released;
     }
 }
 
@@ -157,8 +174,12 @@ struct PoolState {
     gateways: Vec<NodeId>,
     /// `(parent, height)` the pool's miners currently work on.
     target: (BlockHash, BlockNumber),
-    /// Live duplication episode, if any.
+    /// Live duplication episode, if any (honest pools only).
     dup: Option<DupState>,
+    /// The selfish-mining machine, for pools running
+    /// [`PoolBehavior::Selfish`]. `None` keeps honest pools on the
+    /// pre-behavior code path bit for bit.
+    selfish: Option<SelfishState<BlockIdx>>,
 }
 
 /// The campaign world (see module docs).
@@ -446,12 +467,22 @@ impl SimWorld {
         }
 
         self.pool_states.clear();
+        let (genesis, pools) = (self.genesis, &self.pools);
         self.pool_states
-            .extend(gateways.into_iter().map(|gws| PoolState {
-                gateways: gws,
-                target: (self.genesis, 1),
-                dup: None,
-            }));
+            .extend(
+                gateways
+                    .into_iter()
+                    .zip(pools.iter())
+                    .map(|(gws, cfg)| PoolState {
+                        gateways: gws,
+                        target: (genesis, 1),
+                        dup: None,
+                        selfish: match cfg.behavior {
+                            PoolBehavior::Honest => None,
+                            PoolBehavior::Selfish(scfg) => Some(SelfishState::new(scfg, genesis)),
+                        },
+                    }),
+            );
 
         self.blocks.clear();
         self.txs.clear();
@@ -770,12 +801,86 @@ impl SimWorld {
         };
     }
 
+    /// Mines one block onto a selfish pool's private branch — or, mid
+    /// tie-race, publishes it on the spot. The behavior machine owns the
+    /// mining target; publication happens only through
+    /// [`Event::PoolRelease`].
+    fn solve_selfish(&mut self, pool: PoolId, now: SimTime, sched: &mut Scheduler<Event>) {
+        let mut state = self.pool_states[pool.index()]
+            .selfish
+            .take()
+            .expect("solve_selfish is only dispatched to selfish pools");
+        let (parent, number) = state.target();
+        let gw = self.primary_gateway(pool);
+        // Only the first private block sits on a parent the gateway's
+        // public view knows; it references orphaned honest blocks as
+        // uncles (the Niu–Feng revenue channel). Deeper private parents
+        // are invisible to the view, so deeper blocks reference none.
+        let uncles = if self.nodes[gw.index()].chain().contains(parent) {
+            let policy = self.pools.pool(pool).strategy.uncle_policy;
+            self.nodes[gw.index()].chain().select_uncles(parent, policy)
+        } else {
+            Vec::new()
+        };
+        let txs = self.pack_for(pool, parent);
+        let salt = self.block_salt;
+        self.block_salt += 1;
+        let block = BlockBuilder::new(parent, number, pool)
+            .mined_at(now)
+            .txs(txs)
+            .uncles(uncles)
+            .salt(salt)
+            .build();
+        let hash = block.hash();
+        let idx = self.register_block(block);
+        let (outcome, releases) = state.on_solve(hash, idx);
+        if outcome == SelfishOutcome::Withheld {
+            self.stats.blocks_withheld += 1;
+        }
+        for r in releases {
+            sched.now_event(Event::PoolRelease { pool, idx: r });
+        }
+        self.pool_states[pool.index()].selfish = Some(state);
+    }
+
+    /// Fork-choice-time hook: the selfish pool's primary gateway adopted
+    /// a new head, and the behavior machine decides what to release.
+    fn selfish_head_update(&mut self, pool: PoolId, sched: &mut Scheduler<Event>) {
+        let gw = self.primary_gateway(pool);
+        let head = self.nodes[gw.index()].chain().head();
+        let head_number = self.nodes[gw.index()].chain().head_number();
+        let mut state = self.pool_states[pool.index()]
+            .selfish
+            .take()
+            .expect("head updates are only routed to selfish pools");
+        // Did the network adopt our branch? Withheld tips can never be
+        // ancestors of a public head, so this is false until we release.
+        let extends_tip = state.tip().is_some_and(|(tip, tip_number)| {
+            head_number >= tip_number
+                && self.nodes[gw.index()].chain().ancestor_at(head, tip_number) == Some(tip)
+        });
+        let (_, releases) = state.on_public_head(head, head_number, extends_tip);
+        for r in releases {
+            sched.now_event(Event::PoolRelease { pool, idx: r });
+        }
+        self.pool_states[pool.index()].selfish = Some(state);
+    }
+
+    fn on_pool_release(&mut self, pool: PoolId, idx: BlockIdx, sched: &mut Scheduler<Event>) {
+        self.stats.blocks_released += 1;
+        self.broadcast_from_gateways(pool, idx, sched);
+    }
+
     fn solve(&mut self, pool: PoolId, now: SimTime, sched: &mut Scheduler<Event>) {
         // Renewal process: the pool mines continuously.
         let share = self.pools.pool(pool).share;
         let d = next_block_delay(share, self.interblock, &mut self.rng_mining);
         sched.after(d, Event::PoolSolve { pool });
 
+        if self.pool_states[pool.index()].selfish.is_some() {
+            self.solve_selfish(pool, now, sched);
+            return;
+        }
         if let Some(ds) = self.pool_states[pool.index()].dup.take() {
             let gw = self.primary_gateway(pool);
             let head_number = self.nodes[gw.index()].chain().head_number();
@@ -956,8 +1061,15 @@ impl SimWorld {
         if new_head {
             if let Some(pool) = self.gateway_pool[node.index()] {
                 if self.primary_gateway(pool) == node {
-                    let lag = self.miner_lag.sample_duration(&mut self.rng_mining);
-                    sched.after(lag, Event::PoolRetarget { pool });
+                    if self.pool_states[pool.index()].selfish.is_some() {
+                        // Adversarial pools react at fork-choice time:
+                        // the release decision happens now, not after the
+                        // honest retarget lag.
+                        self.selfish_head_update(pool, sched);
+                    } else {
+                        let lag = self.miner_lag.sample_duration(&mut self.rng_mining);
+                        sched.after(lag, Event::PoolRetarget { pool });
+                    }
                 }
             }
         }
@@ -967,8 +1079,11 @@ impl SimWorld {
 
     fn on_retarget(&mut self, pool: PoolId) {
         // Only meaningful outside a duplication episode; duplication keeps
-        // its own target and resumes from the head afterwards.
-        if self.pool_states[pool.index()].dup.is_some() {
+        // its own target and resumes from the head afterwards. Selfish
+        // pools never schedule retargets (their machine owns the target).
+        if self.pool_states[pool.index()].dup.is_some()
+            || self.pool_states[pool.index()].selfish.is_some()
+        {
             return;
         }
         let gw = self.primary_gateway(pool);
@@ -1046,6 +1161,7 @@ impl World for SimWorld {
             }
             Event::PoolSolve { pool } => self.solve(pool, now, sched),
             Event::PoolRetarget { pool } => self.on_retarget(pool),
+            Event::PoolRelease { pool, idx } => self.on_pool_release(pool, idx, sched),
             Event::InjectBlock { node, idx } => self.inject_block_at(node, idx, sched),
             Event::NextSubmission => self.on_next_submission(now, sched),
             Event::InjectTx { idx } => self.on_inject_tx(idx, sched),

@@ -10,6 +10,10 @@
 //! - [`strategy`]: the selfish-behavior knobs — empty-block mining
 //!   (Figure 6), one-miner duplicate blocks (§III-C5), pool-malfunction
 //!   multi-tuples, and the uncle-reference policy;
+//! - [`behavior`]: *stateful* adversarial behaviors — the uncle-aware
+//!   selfish-mining state machine (Niu & Feng 2019) with its lead-`k`
+//!   stubborn variants, as a pure decision core drivers feed with solve
+//!   and head-change events;
 //! - [`miner`]: the PoW race as exponential next-block draws plus the
 //!   [`miner::BlockPlan`] decision procedure applied when a pool wins a
 //!   block.
@@ -20,10 +24,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod behavior;
 pub mod miner;
 pub mod pool;
 pub mod strategy;
 
+pub use behavior::{PoolBehavior, SelfishConfig, SelfishOutcome, SelfishState};
 pub use miner::{next_block_delay, BlockPlan};
 pub use pool::{PoolConfig, PoolDirectory};
 pub use strategy::Strategy;

@@ -11,6 +11,7 @@
 use ethmeter_sim::Xoshiro256;
 use ethmeter_types::{PoolId, Region};
 
+use crate::behavior::{PoolBehavior, SelfishConfig};
 use crate::strategy::Strategy;
 
 /// Static configuration of one mining pool.
@@ -28,8 +29,13 @@ pub struct PoolConfig {
     pub gateway_regions: Vec<(Region, f64)>,
     /// Number of gateway nodes the pool operates.
     pub gateway_count: usize,
-    /// Behavioral strategy.
+    /// Per-block probabilistic knobs (empty blocks, one-miner forks).
     pub strategy: Strategy,
+    /// Stateful publication behavior. [`PoolBehavior::Honest`] (the
+    /// default everywhere) publishes at mint time; a selfish pool
+    /// withholds and releases at fork-choice time, superseding the
+    /// probabilistic duplicate/empty knobs.
+    pub behavior: PoolBehavior,
 }
 
 impl PoolConfig {
@@ -147,6 +153,7 @@ impl PoolDirectory {
                 gateway_regions: regions,
                 gateway_count: gateways,
                 strategy,
+                behavior: PoolBehavior::Honest,
             });
         };
 
@@ -355,8 +362,57 @@ impl PoolDirectory {
                 gateway_regions: vec![(Region::ALL[i % Region::COUNT], 1.0)],
                 gateway_count,
                 strategy: Strategy::honest(),
+                behavior: PoolBehavior::Honest,
             })
             .collect();
+        PoolDirectory::new(pools)
+    }
+
+    /// An adversarial two-sided directory: pool 0 is a selfish attacker
+    /// with hash share `alpha` and `attacker_gateways` gateways spread
+    /// round-robin over every region (more gateways → the attacker's
+    /// releases win more tie races, i.e. a higher effective γ), facing
+    /// three equal honest pools that split the remaining power.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1)` or `attacker_gateways` is 0.
+    pub fn attacker_vs_honest(
+        alpha: f64,
+        attacker_gateways: usize,
+        behavior: SelfishConfig,
+    ) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "attacker share must be in (0, 1), got {alpha}"
+        );
+        assert!(attacker_gateways > 0, "attacker needs at least one gateway");
+        let mut pools = vec![PoolConfig {
+            id: PoolId(0),
+            name: "Attacker".to_owned(),
+            share: alpha,
+            gateway_regions: (0..attacker_gateways.min(Region::COUNT))
+                .map(|i| (Region::ALL[i], 1.0))
+                .collect(),
+            gateway_count: attacker_gateways,
+            strategy: Strategy::honest(),
+            behavior: PoolBehavior::Selfish(behavior),
+        }];
+        let honest = 3usize;
+        for i in 0..honest {
+            pools.push(PoolConfig {
+                id: PoolId(1 + i as u16),
+                name: format!("Honest-{i}"),
+                share: (1.0 - alpha) / honest as f64,
+                gateway_regions: vec![
+                    (Region::ALL[(2 * i) % Region::COUNT], 0.6),
+                    (Region::ALL[(2 * i + 3) % Region::COUNT], 0.4),
+                ],
+                gateway_count: 2,
+                strategy: Strategy::honest(),
+                behavior: PoolBehavior::Honest,
+            });
+        }
         PoolDirectory::new(pools)
     }
 
@@ -396,6 +452,11 @@ impl PoolDirectory {
     /// Looks a pool up by name.
     pub fn by_name(&self, name: &str) -> Option<&PoolConfig> {
         self.pools.iter().find(|p| p.name == name)
+    }
+
+    /// True if any pool runs an adversarial (non-honest) behavior.
+    pub fn has_adversary(&self) -> bool {
+        self.pools.iter().any(|p| p.behavior.is_adversarial())
     }
 
     /// Samples the winner of a block according to hash-power shares.
@@ -526,6 +587,28 @@ mod tests {
             assert!((p.share - 0.25).abs() < 1e-12);
             assert!(!p.strategy.is_selfish());
         }
+    }
+
+    #[test]
+    fn attacker_directory_shape() {
+        let d = PoolDirectory::attacker_vs_honest(0.3, 4, SelfishConfig::classic());
+        assert_eq!(d.len(), 4);
+        assert!(d.has_adversary());
+        let attacker = d.pool(PoolId(0));
+        assert_eq!(attacker.name, "Attacker");
+        assert!((attacker.share - 0.3).abs() < 1e-12);
+        assert_eq!(
+            attacker.behavior,
+            PoolBehavior::Selfish(SelfishConfig::classic())
+        );
+        assert_eq!(attacker.gateway_count, 4);
+        for i in 1..4 {
+            let p = d.pool(PoolId(i));
+            assert_eq!(p.behavior, PoolBehavior::Honest);
+            assert!((p.share - 0.7 / 3.0).abs() < 1e-12);
+        }
+        // The paper directory stays behavior-honest.
+        assert!(!PoolDirectory::paper_dsn2020().has_adversary());
     }
 
     #[test]

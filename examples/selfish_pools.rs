@@ -1,13 +1,15 @@
-//! Selfish mining-pool behavior (paper §III-C3/C5 and §V): empty blocks,
-//! one-miner forks, and the proposed protocol mitigation.
+//! Adversarial mining pools: the paper's observed selfish behaviors
+//! (§III-C3/C5, §V) and the stateful withholding attacks the same pool
+//! concentration enables (selfish mining, Niu & Feng 2019).
 //!
 //! ```sh
 //! cargo run --release --example selfish_pools
 //! ```
 
-use ethmeter::analysis::{empty_blocks, forks};
+use ethmeter::analysis::{empty_blocks, forks, rewards};
 use ethmeter::chain::rewards::{uncle_reward, BLOCK_REWARD};
 use ethmeter::experiments;
+use ethmeter::mining::{PoolDirectory, SelfishConfig};
 use ethmeter::prelude::*;
 
 fn main() {
@@ -33,6 +35,9 @@ fn main() {
         100 * uncle_reward(10, 9) / BLOCK_REWARD
     );
 
+    // Who actually earned what, against their hash power.
+    println!("{}\n", rewards::analyze(data));
+
     // §V mitigation ablation: forbid same-miner same-height uncles and the
     // duplicate-reward channel closes.
     let ablation_scenario = Scenario::builder()
@@ -40,5 +45,37 @@ fn main() {
         .seed(99)
         .duration(SimDuration::from_mins(30))
         .build();
-    println!("{}", experiments::ablation_uncle_policy(&ablation_scenario));
+    println!(
+        "{}\n",
+        experiments::ablation_uncle_policy(&ablation_scenario)
+    );
+
+    // Stateful withholding, full network: an attacker pool running the
+    // selfish-mining machine against honest pools. γ emerges from the
+    // attacker's gateway placement — watch the relative revenue move
+    // with hash share (alpha) and connectivity (gateways).
+    let base = Scenario::builder()
+        .preset(Preset::Tiny)
+        .seed(7)
+        .duration(SimDuration::from_mins(30))
+        .pools(PoolDirectory::attacker_vs_honest(
+            0.3,
+            2,
+            SelfishConfig::classic(),
+        ))
+        .build();
+    let grid = experiments::selfish_sim_grid(&base, &[0.25, 0.40], &[1, 6], 1, 2, 0);
+    println!("full-sim attacker grid (alpha × gateways, seeds averaged):");
+    println!("{grid}\n");
+
+    // The profitability-threshold curve itself, at chain-only scale:
+    // tens of thousands of blocks per (alpha, gamma) cell.
+    let report = experiments::selfish_threshold(
+        &[0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45],
+        &[0.0, 0.5, 1.0],
+        1,
+        3,
+        40_000,
+    );
+    println!("{report}");
 }

@@ -10,8 +10,10 @@
 //!
 //! 1. **Scenario construction** — [`core::scenario::Scenario`] describes a
 //!    simulated Ethereum network: topology, geography, mining pools (with
-//!    hash-power shares and selfish-strategy knobs), transaction workload,
-//!    and the measurement vantage points.
+//!    hash-power shares, probabilistic selfish-strategy knobs, and stateful
+//!    [`mining::PoolBehavior`]s — honest publishing or the selfish-mining
+//!    withholding machine), transaction workload, and the measurement
+//!    vantage points.
 //! 2. **Campaign execution** — [`core::runner`] runs the discrete-event
 //!    simulation and returns the observers' raw logs plus ground truth.
 //! 3. **Grid execution** — [`core::grid::Grid`] fans a scenario out over
@@ -89,8 +91,38 @@
 //! sequential `run_campaign` loop: per-job metric instances observe one
 //! outcome each and fold in grid order.
 //!
-//! See `examples/` (notably `examples/grid_report.rs`) for end-to-end
-//! walkthroughs and `EXPERIMENTS.md` for paper-vs-measured comparisons.
+//! ## Adversarial mining
+//!
+//! Pools default to [`mining::PoolBehavior::Honest`] (all-honest
+//! campaigns are bit-identical to the pre-behavior engine — the golden
+//! fingerprints pin that). Switching a pool to
+//! [`mining::PoolBehavior::Selfish`] arms the uncle-aware selfish-mining
+//! state machine: blocks are withheld on a private branch and released
+//! at fork-choice time (match/override/tie), with abandoned blocks
+//! published as uncle bait. [`core::experiments::selfish_threshold`]
+//! reproduces the α × γ profitability-threshold surface at chain-only
+//! scale, and [`core::experiments::selfish_sim_grid`] runs the attack
+//! inside the full network simulation, where the tie-win fraction γ
+//! emerges from gateway placement:
+//!
+//! ```
+//! use ethmeter::mining::{PoolDirectory, SelfishConfig};
+//! use ethmeter::prelude::*;
+//!
+//! let scenario = Scenario::builder()
+//!     .preset(Preset::Tiny)
+//!     .duration(SimDuration::from_mins(10))
+//!     .pools(PoolDirectory::attacker_vs_honest(0.4, 4, SelfishConfig::classic()))
+//!     .build();
+//! let outcome = run_campaign(&scenario);
+//! assert!(outcome.stats.blocks_withheld > 0);
+//! let revenue = ethmeter::analysis::rewards::analyze(&outcome.campaign);
+//! println!("{revenue}"); // per-pool revenue share vs hash share
+//! ```
+//!
+//! See `examples/` (notably `examples/grid_report.rs` and
+//! `examples/selfish_pools.rs`) for end-to-end walkthroughs and
+//! `EXPERIMENTS.md` for paper-vs-measured comparisons.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,35 @@
+//! Shared across integration suites: the pinned golden campaign table.
+//!
+//! One source of truth — `tests/golden.rs` checks every row in both
+//! build profiles, and `tests/selfish.rs` asserts the behavior layer
+//! leaves the all-honest rows untouched. Re-capture after an
+//! *intentional* behavior change with:
+//!
+//! ```text
+//! ETHMETER_BLESS=1 cargo test --test golden -- --nocapture
+//! ```
+//!
+//! and paste the printed rows over the constants below.
+
+use ethmeter::prelude::*;
+
+/// One pinned campaign: (label, preset, seed, simulated minutes, digest).
+pub const GOLDENS: [(&str, Preset, u64, u64, u64); 3] = [
+    ("tiny-101", Preset::Tiny, 101, 5, 0x01e679b93fc2a20e),
+    ("tiny-202", Preset::Tiny, 202, 5, 0x36ccc325dd9cd314),
+    ("small-707", Preset::Small, 707, 5, 0x9b4507e4b7568f33),
+];
+
+/// The digest pinned for one golden label.
+///
+/// # Panics
+///
+/// Panics if the label is not in [`GOLDENS`].
+#[allow(dead_code)] // each test crate uses a different subset
+pub fn digest(label: &str) -> u64 {
+    GOLDENS
+        .iter()
+        .find(|(l, ..)| *l == label)
+        .unwrap_or_else(|| panic!("no golden named {label}"))
+        .4
+}

@@ -15,17 +15,13 @@
 //! ETHMETER_BLESS=1 cargo test --test golden -- --nocapture
 //! ```
 //!
-//! and update the constants below, explaining the behavioral change in the
-//! commit message.
+//! and update the constants in `tests/common/mod.rs` (the one shared
+//! golden table), explaining the behavioral change in the commit message.
 
 use ethmeter::prelude::*;
 
-/// One pinned campaign: (label, preset, seed, simulated minutes, digest).
-const GOLDENS: [(&str, Preset, u64, u64, u64); 3] = [
-    ("tiny-101", Preset::Tiny, 101, 5, 0x01e679b93fc2a20e),
-    ("tiny-202", Preset::Tiny, 202, 5, 0x36ccc325dd9cd314),
-    ("small-707", Preset::Small, 707, 5, 0x9b4507e4b7568f33),
-];
+mod common;
+use common::GOLDENS;
 
 fn scenario(preset: Preset, seed: u64, mins: u64) -> Scenario {
     Scenario::builder()
