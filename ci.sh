@@ -11,6 +11,8 @@
 #   golden       determinism fingerprints in --release (debug is covered
 #                by `test`; a debug/release divergence must fail CI)
 #   lint         check --benches --examples, clippy -D warnings, fmt
+#   detlint      workspace determinism lint (see DETERMINISM.md): must be
+#                clean, and its JSON report must validate
 #   bench-smoke  engine bench in --quick mode: schema-validated JSON and
 #                the regression floor (speedup_vs_pr2 must stay within
 #                0.9x of the committed BENCH_engine.json)
@@ -22,7 +24,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(build test golden lint bench-smoke repro-smoke)
+STAGES=(build test golden lint detlint bench-smoke repro-smoke)
 
 stage_build() {
     cargo build --release
@@ -47,6 +49,26 @@ stage_lint() {
     cargo check --workspace --benches --examples
     cargo clippy --workspace --all-targets -- -D warnings
     cargo fmt --all --check
+}
+
+stage_detlint() {
+    # The determinism policy (DETERMINISM.md) is a hard gate: the text
+    # run prints any diagnostics for the log, then the JSON report is
+    # schema-validated and must carry zero diagnostics and a written
+    # reason on every allowed site.
+    cargo run -q -p ethmeter-detlint -- check
+    local report
+    report="$(mktemp)"
+    cargo run -q -p ethmeter-detlint -- check --format json > "$report"
+    test "$(jq -r .schema "$report")" = "ethmeter-detlint/v1"
+    jq -e '.files_scanned > 50' "$report" > /dev/null
+    jq -e '.diagnostics | length == 0' "$report" > /dev/null
+    jq -e '[.allowed[] | (.reason | length > 0)] | all' "$report" > /dev/null \
+    || { echo "detlint: allowed site without a written reason" >&2
+         jq '.allowed' "$report" >&2
+         rm -f "$report"
+         return 1; }
+    rm -f "$report"
 }
 
 stage_bench_smoke() {

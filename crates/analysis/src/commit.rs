@@ -12,13 +12,12 @@
 //! error is immaterial; we use true timestamps for cross-observer minima
 //! and each observer's own log for the per-observer ordering split.
 
-use std::collections::HashMap;
 use std::fmt;
 
 use ethmeter_measure::CampaignData;
 use ethmeter_stats::table::pct;
 use ethmeter_stats::Cdf;
-use ethmeter_types::{AccountId, BlockNumber, SimTime, TxId};
+use ethmeter_types::{AccountId, BlockNumber, FxHashMap, FxHashSet, SimTime, TxId};
 
 use crate::Reduce;
 
@@ -77,8 +76,8 @@ impl CommitReport {
 }
 
 /// Per-block observation index: height -> earliest true observation.
-fn block_observations(data: &CampaignData) -> HashMap<BlockNumber, SimTime> {
-    let mut obs: HashMap<BlockNumber, SimTime> = HashMap::new();
+fn block_observations(data: &CampaignData) -> FxHashMap<BlockNumber, SimTime> {
+    let mut obs: FxHashMap<BlockNumber, SimTime> = FxHashMap::default();
     for block in data.truth.tree.canonical_blocks() {
         if block.number() == 0 {
             continue;
@@ -96,8 +95,8 @@ fn block_observations(data: &CampaignData) -> HashMap<BlockNumber, SimTime> {
 }
 
 /// Earliest true observation of each transaction across main observers.
-fn tx_observations(data: &CampaignData) -> HashMap<TxId, SimTime> {
-    let mut obs: HashMap<TxId, SimTime> = HashMap::new();
+fn tx_observations(data: &CampaignData) -> FxHashMap<TxId, SimTime> {
+    let mut obs: FxHashMap<TxId, SimTime> = FxHashMap::default();
     for (_, log) in data.main_observers() {
         for r in log.txs() {
             obs.entry(r.id)
@@ -123,7 +122,7 @@ pub fn analyze(data: &CampaignData) -> CommitReport {
         .collect();
     let mut measured = 0u64;
     let mut skipped = 0u64;
-    let mut seen: std::collections::HashSet<TxId> = std::collections::HashSet::new();
+    let mut seen: FxHashSet<TxId> = FxHashSet::default();
     for block in data.truth.tree.canonical_blocks() {
         if block.number() == 0 {
             continue;
@@ -268,7 +267,7 @@ impl Reduce for CommitOrdering {
     fn observe(&mut self, data: &CampaignData) {
         let block_obs = block_observations(data);
         // Committed txs: id -> (sender, nonce, inclusion height).
-        let mut committed: HashMap<TxId, (AccountId, u64, BlockNumber)> = HashMap::new();
+        let mut committed: FxHashMap<TxId, (AccountId, u64, BlockNumber)> = FxHashMap::default();
         for block in data.truth.tree.canonical_blocks() {
             for &txid in block.txs() {
                 if let Some(tx) = data.truth.txs.get(&txid) {
@@ -281,7 +280,7 @@ impl Reduce for CommitOrdering {
         }
         for (_, log) in data.main_observers() {
             // Per sender: the observed committed txs as (nonce, seq, id).
-            let mut by_sender: HashMap<AccountId, Vec<(u64, u64, TxId)>> = HashMap::new();
+            let mut by_sender: FxHashMap<AccountId, Vec<(u64, u64, TxId)>> = FxHashMap::default();
             for r in log.txs() {
                 if let Some(&(sender, nonce, _)) = committed.get(&r.id) {
                     by_sender

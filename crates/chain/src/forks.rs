@@ -10,7 +10,7 @@
 //! - a **one-miner fork** is a set of blocks at the same height produced by
 //!   the same miner (§III-C5's pairs/triples/tuples).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ethmeter_types::{BlockHash, BlockNumber, PoolId};
 
@@ -81,7 +81,7 @@ pub struct ForkLengthTable {
 
 /// Builds Table III from extracted forks.
 pub fn fork_length_table(forks: &[ForkRecord]) -> ForkLengthTable {
-    let mut by_len: HashMap<usize, (u64, u64)> = HashMap::new();
+    let mut by_len: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
     for f in forks {
         let e = by_len.entry(f.length).or_default();
         e.0 += 1;
@@ -168,7 +168,7 @@ impl OneMinerGroup {
 
 /// Finds all one-miner fork groups in the tree.
 pub fn one_miner_groups(tree: &BlockTree) -> Vec<OneMinerGroup> {
-    let mut by_key: HashMap<(PoolId, BlockNumber), Vec<BlockHash>> = HashMap::new();
+    let mut by_key: BTreeMap<(PoolId, BlockNumber), Vec<BlockHash>> = BTreeMap::new();
     for b in tree.all_blocks() {
         if b.number() == 0 {
             continue;

@@ -8,7 +8,7 @@
 //! average, considerably higher" (§III-C3). One-miner forks harvest uncle
 //! rewards: up to 7/8 of a block reward for a duplicate block (§III-C5).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use ethmeter_types::{BlockNumber, PoolId};
 
@@ -57,7 +57,7 @@ pub fn tx_fees(tx_count: usize) -> MilliEther {
 /// Per-pool reward ledger.
 #[derive(Debug, Clone, Default)]
 pub struct Ledger {
-    entries: HashMap<PoolId, PoolEarnings>,
+    entries: BTreeMap<PoolId, PoolEarnings>,
 }
 
 /// Cumulative earnings of one pool.

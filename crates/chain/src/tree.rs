@@ -10,10 +10,9 @@
 //! keep the incumbent (first-seen), which is Geth's behavior under constant
 //! difficulty.
 
-use std::collections::HashMap;
 use std::fmt;
 
-use ethmeter_types::{BlockHash, BlockNumber, PoolId};
+use ethmeter_types::{BlockHash, BlockNumber, FxHashMap, PoolId};
 
 use crate::block::{Block, BlockBuilder};
 
@@ -75,17 +74,17 @@ impl std::error::Error for InsertError {}
 /// A tree of blocks with canonical-chain tracking.
 #[derive(Debug, Clone)]
 pub struct BlockTree {
-    blocks: HashMap<BlockHash, Block>,
-    children: HashMap<BlockHash, Vec<BlockHash>>,
-    total_difficulty: HashMap<BlockHash, u128>,
+    blocks: FxHashMap<BlockHash, Block>,
+    children: FxHashMap<BlockHash, Vec<BlockHash>>,
+    total_difficulty: FxHashMap<BlockHash, u128>,
     /// canonical[n] = hash of the canonical block at height n.
     canonical: Vec<BlockHash>,
     head: BlockHash,
     genesis: BlockHash,
     /// uncle hash -> the canonical-chain block that referenced it first.
-    included_uncles: HashMap<BlockHash, BlockHash>,
+    included_uncles: FxHashMap<BlockHash, BlockHash>,
     /// parent hash -> blocks waiting for that parent.
-    orphans: HashMap<BlockHash, Vec<Block>>,
+    orphans: FxHashMap<BlockHash, Vec<Block>>,
     reorg_count: u64,
 }
 
@@ -94,19 +93,19 @@ impl BlockTree {
     pub fn new() -> Self {
         let genesis = BlockBuilder::new(BlockHash::ZERO, 0, GENESIS_MINER).build();
         let gh = genesis.hash();
-        let mut blocks = HashMap::new();
+        let mut blocks = FxHashMap::default();
         blocks.insert(gh, genesis);
-        let mut total_difficulty = HashMap::new();
+        let mut total_difficulty = FxHashMap::default();
         total_difficulty.insert(gh, 0u128);
         BlockTree {
             blocks,
-            children: HashMap::new(),
+            children: FxHashMap::default(),
             total_difficulty,
             canonical: vec![gh],
             head: gh,
             genesis: gh,
-            included_uncles: HashMap::new(),
-            orphans: HashMap::new(),
+            included_uncles: FxHashMap::default(),
+            orphans: FxHashMap::default(),
             reorg_count: 0,
         }
     }
@@ -190,15 +189,18 @@ impl BlockTree {
             .map(move |h| self.blocks.get(h).expect("canonical entries attached"))
     }
 
-    /// All attached blocks in arbitrary order.
+    /// All attached blocks in arbitrary (but deterministic) order.
+    /// Consumers that produce output must sort or fold commutatively.
     pub fn all_blocks(&self) -> impl Iterator<Item = &Block> + '_ {
+        // detlint::allow(unordered-iter, reason = "documented-unordered accessor; FxHashMap order is deterministic per process and every consumer sorts or folds commutatively")
         self.blocks.values()
     }
 
     /// Attached blocks not on the canonical chain (fork blocks), excluding
-    /// genesis, in arbitrary order.
+    /// genesis, in arbitrary (but deterministic) order.
     pub fn non_canonical_blocks(&self) -> impl Iterator<Item = &Block> + '_ {
         self.blocks
+            // detlint::allow(unordered-iter, reason = "documented-unordered accessor; FxHashMap order is deterministic per process and every consumer sorts or folds commutatively")
             .values()
             .filter(move |b| !self.is_canonical(b.hash()))
     }

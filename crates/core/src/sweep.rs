@@ -38,10 +38,9 @@
 //! assert!(sweep.totals.blocks_produced > 0);
 //! ```
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
-use ethmeter_types::BlockHash;
+use ethmeter_types::{BlockHash, FxHashSet};
 
 use crate::grid::{AxisSetter, Grid};
 use crate::metric::RetainRuns;
@@ -239,7 +238,7 @@ impl SweepOutcome {
         self.runs
             .iter()
             .map(SweepRun::head)
-            .collect::<HashSet<_>>()
+            .collect::<FxHashSet<_>>()
             .len()
     }
 }

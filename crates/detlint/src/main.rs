@@ -1,0 +1,117 @@
+//! `detlint` CLI: scan the workspace for determinism-policy violations.
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ethmeter_detlint::{render_json, render_rules, render_text, scan_workspace};
+
+const USAGE: &str = "\
+detlint — ethmeter workspace determinism lint
+
+USAGE:
+    detlint check [--root DIR] [--format text|json]
+    detlint rules
+
+COMMANDS:
+    check    scan workspace .rs files against the determinism policy
+    rules    print the rule catalog
+
+OPTIONS:
+    --root DIR       workspace root to scan (default: nearest ancestor
+                     containing Cargo.toml, else current directory)
+    --format FORMAT  'text' (default) or 'json' (schema ethmeter-detlint/v1)
+
+EXIT CODES:
+    0 clean, 1 violations found, 2 usage/IO error
+";
+
+/// Nearest ancestor of the current directory containing a `Cargo.toml`
+/// with a `[workspace]` table, so `detlint check` works from any crate
+/// subdirectory.
+fn default_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    // detlint::allow(entropy, reason = "CLI argument parsing in the lint tool itself; detlint never runs on the simulation path")
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd: Option<&str> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut format = "text".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" | "rules" if cmd.is_none() => cmd = Some(&args[i]),
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = Some(PathBuf::from(dir)),
+                    None => return usage_error("--root requires a directory argument"),
+                }
+            }
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some(f @ ("text" | "json")) => format = f.to_string(),
+                    Some(f) => return usage_error(&format!("unknown format `{f}`")),
+                    None => return usage_error("--format requires 'text' or 'json'"),
+                }
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+        i += 1;
+    }
+
+    match cmd {
+        Some("rules") => {
+            print!("{}", render_rules());
+            ExitCode::SUCCESS
+        }
+        Some("check") | None => {
+            let root = root.unwrap_or_else(default_root);
+            let report = match scan_workspace(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("detlint: failed to scan {}: {e}", root.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match format.as_str() {
+                "json" => print!("{}", render_json(&report)),
+                _ => print!("{}", render_text(&report)),
+            }
+            if report.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("detlint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

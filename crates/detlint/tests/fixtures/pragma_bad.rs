@@ -1,0 +1,14 @@
+// Fixture: malformed pragmas — missing reason, unknown rule.
+use std::collections::HashMap;
+
+fn missing_reason() {
+    // detlint::allow(default-hasher)
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _ = m;
+}
+
+fn unknown_rule() {
+    // detlint::allow(no-such-rule, reason = "this rule does not exist")
+    let x = 1;
+    let _ = x;
+}

@@ -1,0 +1,14 @@
+// Fixture: a violation suppressed by a justified pragma, in both
+// placements (line above, and trailing on the same line).
+use std::collections::HashMap;
+
+fn above() {
+    // detlint::allow(default-hasher, reason = "fixture: demonstrates the line-above placement (with parens) and commas")
+    let m: HashMap<u32, u32> = HashMap::new();
+    let _ = m;
+}
+
+fn trailing() {
+    let m: HashMap<u32, u32> = HashMap::new(); // detlint::allow(default-hasher, reason = "fixture: trailing placement")
+    let _ = m;
+}

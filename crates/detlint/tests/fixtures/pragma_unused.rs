@@ -1,0 +1,6 @@
+// Fixture: a well-formed pragma that suppresses nothing.
+fn tidy() {
+    // detlint::allow(entropy, reason = "stale justification left behind after a refactor")
+    let x = 1;
+    let _ = x;
+}

@@ -1,0 +1,14 @@
+// Fixture: default-hasher maps on a sim-path crate (two violations).
+use std::collections::{HashMap, HashSet};
+
+struct Index {
+    by_height: HashMap<u64, u32>,
+}
+
+fn build() -> Index {
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(1);
+    Index {
+        by_height: HashMap::new(),
+    }
+}

@@ -1,0 +1,20 @@
+// Fixture: deterministic containers pass R1.
+use std::collections::BTreeMap;
+
+use ethmeter_types::{BuildFxHasher, FxHashMap, FxHashSet};
+
+struct Index {
+    by_height: BTreeMap<u64, u32>,
+    by_hash: FxHashMap<u64, u32>,
+    seen: FxHashSet<u32>,
+    custom: std::collections::HashMap<u64, u32, BuildFxHasher>,
+}
+
+fn build() -> Index {
+    Index {
+        by_height: BTreeMap::new(),
+        by_hash: FxHashMap::default(),
+        seen: FxHashSet::default(),
+        custom: std::collections::HashMap::with_hasher(BuildFxHasher),
+    }
+}

@@ -1,0 +1,13 @@
+// Fixture: unordered iteration whose result is neither sorted nor folded
+// commutatively (order leaks into the output vector).
+use ethmeter_types::FxHashMap;
+
+struct Ledger {
+    entries: FxHashMap<u32, u64>,
+}
+
+impl Ledger {
+    fn dump(&self) -> Vec<u64> {
+        self.entries.values().copied().collect()
+    }
+}

@@ -1,0 +1,22 @@
+// Fixture: hash-map iteration that is sorted or folded commutatively.
+use ethmeter_types::FxHashMap;
+
+struct Ledger {
+    entries: FxHashMap<u32, u64>,
+}
+
+impl Ledger {
+    fn dump(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.entries.values().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn total(&self) -> u64 {
+        self.entries.values().sum()
+    }
+
+    fn any_zero(&self) -> bool {
+        self.entries.values().any(|&v| v == 0)
+    }
+}

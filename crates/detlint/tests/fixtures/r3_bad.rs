@@ -1,0 +1,9 @@
+// Fixture: wall-clock and OS entropy on the simulation path (three
+// violating lines).
+fn naughty() -> u64 {
+    let started = std::time::Instant::now();
+    let seed = rand::thread_rng().gen::<u64>();
+    let knob = std::env::var("TUNE").ok();
+    let _ = (started, knob);
+    seed
+}

@@ -1,0 +1,8 @@
+// Fixture: time and randomness routed through the deterministic stack.
+use ethmeter_types::{SimTime, Xoshiro256};
+
+fn proper(now: SimTime, rng: &mut Xoshiro256) -> u64 {
+    // Mentioning Instant::now or thread_rng in a comment is fine.
+    let jitter = rng.next_u64() % 1_000;
+    now.as_nanos() + jitter
+}

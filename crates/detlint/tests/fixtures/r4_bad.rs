@@ -1,0 +1,5 @@
+//! Fixture: a crate root missing `#![warn(missing_docs)]`.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

@@ -1,0 +1,6 @@
+//! Fixture: a crate root carrying the full workspace lint header.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn noop() {}

@@ -151,13 +151,15 @@ impl ObserverLog {
         self.txs.len()
     }
 
-    /// Iterates over block records (arbitrary order).
+    /// Iterates over block records (arbitrary, but deterministic, order).
     pub fn blocks(&self) -> impl Iterator<Item = &BlockRecord> + '_ {
+        // detlint::allow(unordered-iter, reason = "documented-unordered accessor over an FxHashMap (deterministic per process); goldens pin the observable results and consumers sort or fold commutatively")
         self.blocks.values()
     }
 
-    /// Iterates over transaction records (arbitrary order).
+    /// Iterates over transaction records (arbitrary, but deterministic, order).
     pub fn txs(&self) -> impl Iterator<Item = &TxRecord> + '_ {
+        // detlint::allow(unordered-iter, reason = "documented-unordered accessor over an FxHashMap (deterministic per process); goldens pin the observable results and consumers sort or fold commutatively")
         self.txs.values()
     }
 

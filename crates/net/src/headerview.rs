@@ -8,10 +8,8 @@
 //! window are pruned, so per-node memory stays constant no matter how long
 //! the simulation runs.
 
-use std::collections::{HashMap, HashSet};
-
 use ethmeter_chain::uncles::{UnclePolicy, MAX_UNCLES, MAX_UNCLE_DEPTH};
-use ethmeter_types::{BlockHash, BlockNumber, PoolId};
+use ethmeter_types::{BlockHash, BlockNumber, FxHashMap, FxHashSet, PoolId};
 
 /// Outcome of offering a header to the view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,17 +40,17 @@ struct Entry {
 /// A pruned, header-only block tree.
 #[derive(Debug, Clone)]
 pub struct HeaderView {
-    entries: HashMap<BlockHash, Entry>,
+    entries: FxHashMap<BlockHash, Entry>,
     /// canonical hash per height, within the window.
-    canonical: HashMap<BlockNumber, BlockHash>,
+    canonical: FxHashMap<BlockNumber, BlockHash>,
     head: BlockHash,
     head_number: BlockNumber,
     head_td: u64,
     genesis: BlockHash,
     /// Uncles referenced by any block seen (windowed).
-    referenced: HashSet<BlockHash>,
+    referenced: FxHashSet<BlockHash>,
     /// parent -> waiting headers.
-    orphans: HashMap<BlockHash, Vec<(BlockHash, Entry, Vec<BlockHash>)>>,
+    orphans: FxHashMap<BlockHash, Vec<(BlockHash, Entry, Vec<BlockHash>)>>,
     window: u64,
 }
 
@@ -69,7 +67,7 @@ impl HeaderView {
             window > MAX_UNCLE_DEPTH + 1,
             "window must exceed the uncle depth"
         );
-        let mut entries = HashMap::new();
+        let mut entries = FxHashMap::default();
         entries.insert(
             genesis,
             Entry {
@@ -79,7 +77,7 @@ impl HeaderView {
                 td: 0,
             },
         );
-        let mut canonical = HashMap::new();
+        let mut canonical = FxHashMap::default();
         canonical.insert(0, genesis);
         HeaderView {
             entries,
@@ -88,8 +86,8 @@ impl HeaderView {
             head_number: 0,
             head_td: 0,
             genesis,
-            referenced: HashSet::new(),
-            orphans: HashMap::new(),
+            referenced: FxHashSet::default(),
+            orphans: FxHashMap::default(),
             window,
         }
     }
@@ -322,7 +320,8 @@ impl HeaderView {
         // `referenced` is allowed to keep stale hashes; they can never be
         // candidates again because candidates come from `entries`.
         if self.referenced.len() > 4 * self.window as usize {
-            let live: HashSet<BlockHash> = self.entries.keys().copied().collect();
+            // detlint::allow(unordered-iter, reason = "keys feed a membership set used only for contains(); iteration order cannot affect the result")
+            let live: FxHashSet<BlockHash> = self.entries.keys().copied().collect();
             self.referenced.retain(|h| live.contains(h));
         }
     }

@@ -7,7 +7,7 @@
 //!
 //! Three implementations share the contract:
 //!
-//! - [`KnownSet`] — the generic original (`HashSet` + FIFO queue), kept as
+//! - [`KnownSet`] — the generic original (`FxHashSet` + FIFO queue), kept as
 //!   the reference model for equivalence testing and for cold paths;
 //! - [`DenseKnownSet`] — the hot-path replacement over interned `u32`
 //!   keys: a linear-probing table with multiplicative hashing and
@@ -20,13 +20,15 @@
 //!   largest cost of the simulation hot path), whereas key-major rows put
 //!   all of a key's per-peer bits on the same cache line.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 use std::hash::Hash;
+
+use ethmeter_types::FxHashSet;
 
 /// A FIFO-bounded set: inserting beyond capacity evicts the oldest entry.
 #[derive(Debug, Clone)]
 pub struct KnownSet<T> {
-    set: HashSet<T>,
+    set: FxHashSet<T>,
     order: VecDeque<T>,
     cap: usize,
 }
@@ -42,7 +44,7 @@ impl<T: Copy + Eq + Hash> KnownSet<T> {
         // Storage grows on demand: a simulation holds one known-set per
         // (node, peer) pair, so eager preallocation would dominate memory.
         KnownSet {
-            set: HashSet::new(),
+            set: FxHashSet::default(),
             order: VecDeque::new(),
             cap,
         }
@@ -433,6 +435,13 @@ impl PeerKnownSet {
         slot.bits[at] &= !mask;
         slot.live -= 1;
         if slot.live == 0 {
+            // Backstop for the page/bitmap invariant: `live` counts set
+            // bits, so a page released at live == 0 must be all-zero —
+            // a drifted counter here would silently forget live keys.
+            debug_assert!(
+                slot.bits.iter().all(|&w| w == 0),
+                "page freed with live bits: live counter diverged from bitmap"
+            );
             // The sliding eviction window has moved past this page:
             // release it so memory tracks the window, not the campaign.
             self.pages[page_idx] = None;

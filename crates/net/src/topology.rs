@@ -7,10 +7,8 @@
 //! larger target (the paper ran its observers with unlimited peers, and a
 //! complementary one at the default 25).
 
-use std::collections::HashSet;
-
 use ethmeter_sim::Xoshiro256;
-use ethmeter_types::NodeId;
+use ethmeter_types::{FxHashSet, NodeId};
 
 /// An undirected overlay graph.
 #[derive(Debug, Clone)]
@@ -61,12 +59,12 @@ impl Topology {
         assert!(n >= 2, "topology needs at least two nodes");
         assert_eq!(plan.targets.len(), plan.caps.len(), "plan length mismatch");
         let mut adjacency: Vec<Vec<NodeId>> = vec![Vec::new(); n];
-        let mut edges: HashSet<(u32, u32)> = HashSet::new();
+        let mut edges: FxHashSet<(u32, u32)> = FxHashSet::default();
 
         let add_edge = |a: usize,
                         b: usize,
                         adjacency: &mut Vec<Vec<NodeId>>,
-                        edges: &mut HashSet<(u32, u32)>| {
+                        edges: &mut FxHashSet<(u32, u32)>| {
             let key = (a.min(b) as u32, a.max(b) as u32);
             if a == b || edges.contains(&key) {
                 return false;
@@ -232,7 +230,7 @@ mod tests {
         for i in 0..50u32 {
             let neigh = topo.neighbors(NodeId(i));
             assert!(!neigh.contains(&NodeId(i)), "self loop at {i}");
-            let set: HashSet<_> = neigh.iter().collect();
+            let set: std::collections::HashSet<_> = neigh.iter().collect();
             assert_eq!(set.len(), neigh.len(), "duplicate edge at {i}");
         }
     }

@@ -166,6 +166,7 @@ pub mod collection {
 /// The per-property case count: `PROPTEST_CASES` wins, then the given
 /// feature-dependent default (see the [`proptest!`] expansion).
 pub fn cases(default: u32) -> u32 {
+    // detlint::allow(entropy, reason = "test-harness knob read once at suite start to scale case counts; property seeds stay fixed, so default runs are unaffected")
     match std::env::var("PROPTEST_CASES") {
         Ok(v) => v.parse().unwrap_or(default),
         Err(_) => default,

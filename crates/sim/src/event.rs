@@ -69,6 +69,12 @@ pub struct EventQueue<E> {
     /// Vacated slab slots available for reuse.
     free: Vec<u32>,
     next_seq: u64,
+    /// Debug backstop: a `(time, seq)` watermark every pop must meet or
+    /// exceed. Raised to each popped key, lowered by any push below it —
+    /// so delivering a key out of order relative to a co-pending earlier
+    /// key trips the assert, whatever the calendar layout did.
+    #[cfg(debug_assertions)]
+    last_order: u128,
 }
 
 #[inline]
@@ -94,6 +100,8 @@ impl<E> EventQueue<E> {
             events: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
+            #[cfg(debug_assertions)]
+            last_order: 0,
         }
     }
 
@@ -129,6 +137,13 @@ impl<E> EventQueue<E> {
         };
         let key =
             (u128::from(time.as_nanos()) << 64) | u128::from((seq << SLOT_BITS) | u64::from(slot));
+        #[cfg(debug_assertions)]
+        {
+            // A push below the watermark legitimately lowers the floor of
+            // the next pop (the queue orders whatever is pending; only
+            // the *scheduler* guarantees pushes are never in the past).
+            self.last_order = self.last_order.min(key >> SLOT_BITS);
+        }
         // Handlers never schedule into the past, but an idle queue may be
         // re-primed below the cursor (a fresh run after a drain): clamp
         // into the current bucket, where the next sort orders it.
@@ -204,6 +219,16 @@ impl<E> EventQueue<E> {
         }
         let cur = &self.buckets[(self.cursor as usize) & (N_BUCKETS - 1)];
         let key = cur[self.drained];
+        #[cfg(debug_assertions)]
+        {
+            // `key >> SLOT_BITS` strips the slab slot, leaving exactly
+            // the `(time, seq)` order word.
+            debug_assert!(
+                key >> SLOT_BITS >= self.last_order,
+                "event queue popped out of (time, seq) order"
+            );
+            self.last_order = key >> SLOT_BITS;
+        }
         self.drained += 1;
         self.ring_count -= 1;
         let slot = (key as u64 & (MAX_PENDING - 1)) as u32;
@@ -252,6 +277,10 @@ impl<E> EventQueue<E> {
         self.events.clear();
         self.free.clear();
         self.next_seq = 0;
+        #[cfg(debug_assertions)]
+        {
+            self.last_order = 0;
+        }
     }
 }
 

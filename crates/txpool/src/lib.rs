@@ -201,6 +201,7 @@ impl Mempool {
         loop {
             // Find the best-priced executable candidate across accounts.
             let mut best: Option<(u64, AccountId, Nonce, TxMeta)> = None;
+            // detlint::allow(unordered-iter, reason = "argmax fold with a total-order (price, account) tie-break below; the selected candidate is iteration-order independent")
             for (&acct, txs) in &self.per_account {
                 let cursor = *cursors.get(&acct).unwrap_or(&self.expected_nonce(acct));
                 let Some(meta) = txs.get(&cursor) else {

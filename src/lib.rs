@@ -25,6 +25,12 @@
 //!    every report family is also a streaming [`analysis::Reduce`]
 //!    accumulator, so the same tables compute across a whole grid.
 //!
+//! Every result is a pure function of `(scenario, seed)` — reruns,
+//! debug vs. release, and parallel grids are bit-identical. That
+//! invariant is machine-enforced by the `detlint` static-analysis gate
+//! (`cargo run -p ethmeter-detlint -- check`); see `DETERMINISM.md` at
+//! the repository root for the rule catalog and pragma syntax.
+//!
 //! ## Quickstart: one campaign
 //!
 //! ```
