@@ -10,6 +10,9 @@
 #   test         debug workspace test suite (tier-1 superset)
 #   golden       determinism fingerprints in --release (debug is covered
 #                by `test`; a debug/release divergence must fail CI)
+#   par-smoke    the sharded parallel engine in --release: shards=4 (and
+#                2, 8) campaign fingerprints must equal the committed
+#                sequential goldens bit-for-bit
 #   lint         check --benches --examples, clippy -D warnings, fmt
 #   detlint      workspace determinism lint (see DETERMINISM.md): must be
 #                clean, and its JSON report must validate
@@ -24,7 +27,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(build test golden lint detlint bench-smoke repro-smoke)
+STAGES=(build test golden par-smoke lint detlint bench-smoke repro-smoke)
 
 stage_build() {
     cargo build --release
@@ -43,6 +46,15 @@ stage_golden() {
     # silently split "tested behavior" from "benchmarked behavior". The
     # debug run is covered by the workspace suite; re-run in release.
     cargo test --release --test golden -q
+}
+
+stage_par_smoke() {
+    # The sharded engine's determinism contract: at 2/4/8 shards the
+    # campaign fingerprint must be bit-identical to the committed
+    # sequential goldens. Release profile, like the goldens themselves —
+    # a debug-only equivalence would not cover benchmarked behavior.
+    cargo test --release --test golden -q \
+        sharded_campaigns_match_the_sequential_goldens
 }
 
 stage_lint() {
@@ -87,8 +99,15 @@ stage_bench_smoke() {
         trap "mv '$saved_report' BENCH_engine.json" EXIT
     fi
     cargo bench -p ethmeter-bench --bench engine -- --quick
-    test "$(jq -r .schema BENCH_engine.json)" = "ethmeter-bench-engine/v3"
+    test "$(jq -r .schema BENCH_engine.json)" = "ethmeter-bench-engine/v4"
     jq -e '.presets | length == 3' BENCH_engine.json > /dev/null
+    # v4 additions: the sharded parallel-engine leg — every preset must
+    # carry a measured par_speedup (sequential wall / 4-shard wall; > 1
+    # only when host_cores backs it), and the report must say how many
+    # cores and shards produced it.
+    jq -e '.host_cores >= 1 and .par_shards >= 2' BENCH_engine.json > /dev/null
+    jq -e '.presets | all(has("par_wall_seconds") and (.par_speedup > 0))' \
+        BENCH_engine.json > /dev/null
     # v2 additions: per-preset counting-allocator metrics, PR-over-PR
     # baselines, and the multi-seed sweep-throughput survey.
     jq -e '.presets | all(has("allocs_per_event") and has("steady_allocs_per_event")

@@ -1,5 +1,5 @@
 //! Simulator-throughput benchmarks and the `BENCH_engine.json` report
-//! (schema `ethmeter-bench-engine/v3`).
+//! (schema `ethmeter-bench-engine/v4`).
 //!
 //! Four jobs in one harness:
 //!
@@ -11,7 +11,11 @@
 //!    presets, each with allocation metrics from a counting global
 //!    allocator: allocations per event for a fresh run, for a
 //!    reused-world run (the steady state the zero-allocation gossip path
-//!    targets), and the peak heap growth of a campaign.
+//!    targets), and the peak heap growth of a campaign. Each preset also
+//!    times the same campaign on the sharded parallel engine
+//!    (`shards = 4`) and reports `par_speedup` — sequential wall over
+//!    sharded wall, which only exceeds 1 when the host has the cores to
+//!    back it (the report records `host_cores` for exactly that reason).
 //! 3. A multi-seed sweep-throughput survey comparing reused-worker
 //!    sweeps ([`ethmeter_core::sweep::Sweep`]'s default) against
 //!    fresh-construction sweeps, quantifying what world reuse buys on
@@ -151,7 +155,17 @@ struct PresetThroughput {
     steady_allocs_per_event: f64,
     /// Peak heap growth of one fresh campaign, bytes.
     alloc_peak_bytes: i64,
+    /// Best wall-clock seconds of the same campaign on the sharded
+    /// parallel engine (`shards = PAR_SHARDS`).
+    par_wall_seconds: f64,
+    /// Sequential wall / sharded wall. Scales with physical cores: on
+    /// the single-core reference container this is the pure overhead
+    /// ratio (< 1); with >= PAR_SHARDS cores it is the real speedup.
+    par_speedup: f64,
 }
+
+/// Shard count of the parallel-engine leg of the preset survey.
+const PAR_SHARDS: usize = 4;
 
 fn measure_preset(
     name: &'static str,
@@ -175,6 +189,31 @@ fn measure_preset(
             best = wall;
         }
     }
+    // Parallel-engine pass: the identical campaign at PAR_SHARDS shards.
+    // The fingerprint must match the sequential run (the determinism
+    // contract); wall clock is whatever the hardware gives.
+    let par_scenario = Scenario::builder()
+        .preset(preset)
+        .seed(7)
+        .duration(duration)
+        .shards(PAR_SHARDS)
+        .build();
+    let mut par_best = f64::INFINITY;
+    let mut par_fp = 0u64;
+    for _ in 0..samples {
+        let start = Instant::now();
+        let outcome = black_box(run_campaign(&par_scenario));
+        let wall = start.elapsed().as_secs_f64();
+        par_fp = outcome.campaign.fingerprint();
+        if wall < par_best {
+            par_best = wall;
+        }
+    }
+    let seq_fp = run_campaign(&scenario).campaign.fingerprint();
+    assert_eq!(
+        par_fp, seq_fp,
+        "{name}: sharded fingerprint must match sequential"
+    );
     // Allocation pass (separate from timing so counters don't share the
     // measured region with `Instant` bookkeeping).
     let (_, fresh) = measure_allocs(|| black_box(run_campaign(&scenario)));
@@ -184,10 +223,12 @@ fn measure_preset(
     let eps = events as f64 / best;
     let allocs_per_event = fresh.allocs as f64 / events as f64;
     let steady_allocs_per_event = steady.allocs as f64 / events as f64;
+    let par_speedup = best / par_best;
     println!(
         "  throughput/{name}: {events} events in {best:.3}s best-of-{samples} \
          ({eps:.0} events/sec, {allocs_per_event:.3} allocs/event fresh, \
-         {steady_allocs_per_event:.3} reused, peak {:.1} MiB)",
+         {steady_allocs_per_event:.3} reused, peak {:.1} MiB; \
+         {PAR_SHARDS}-shard {par_best:.3}s => {par_speedup:.2}x)",
         fresh.peak_growth_bytes as f64 / (1024.0 * 1024.0)
     );
     PresetThroughput {
@@ -199,6 +240,8 @@ fn measure_preset(
         allocs_per_event,
         steady_allocs_per_event,
         alloc_peak_bytes: fresh.peak_growth_bytes,
+        par_wall_seconds: par_best,
+        par_speedup,
     }
 }
 
@@ -419,8 +462,11 @@ fn write_report(
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"ethmeter-bench-engine/v3\",\n");
+    out.push_str("  \"schema\": \"ethmeter-bench-engine/v4\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
+    out.push_str(&format!("  \"par_shards\": {PAR_SHARDS},\n"));
     out.push_str("  \"baseline\": {\n");
     out.push_str(
         "    \"note\": \"frozen reference-container baselines: seed implementation (pre dense-state rewrite) and PR 2 (dense interned indices), full mode\",\n",
@@ -461,7 +507,8 @@ fn write_report(
              \"best_wall_seconds\": {}, \"events_per_sec\": {}, \
              \"speedup_vs_baseline\": {}, \"speedup_vs_pr2\": {}, \
              \"allocs_per_event\": {}, \"steady_allocs_per_event\": {}, \
-             \"alloc_peak_bytes\": {}}}{comma}\n",
+             \"alloc_peak_bytes\": {}, \"par_wall_seconds\": {}, \
+             \"par_speedup\": {}}}{comma}\n",
             p.name,
             json_f64(p.sim_seconds),
             p.events,
@@ -472,6 +519,8 @@ fn write_report(
             json_f64(p.allocs_per_event),
             json_f64(p.steady_allocs_per_event),
             p.alloc_peak_bytes,
+            json_f64(p.par_wall_seconds),
+            json_f64(p.par_speedup),
         ));
     }
     out.push_str("  ],\n");

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--preset tiny|small|medium|paper] [--seed N] [--json]
+//! repro [EXPERIMENT] [--preset tiny|small|medium|paper|planet] [--seed N] [--json]
 //!
 //! EXPERIMENT:
 //!   all        every experiment (default)
@@ -55,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
                     "small" => Preset::Small,
                     "medium" => Preset::Medium,
                     "paper" => Preset::PaperScaled,
+                    "planet" => Preset::Planet,
                     other => return Err(format!("unknown preset '{other}'")),
                 };
             }
@@ -86,7 +87,7 @@ fn selfish_report(preset: Preset, seed: u64) -> experiments::SelfishThresholdRep
             3,
             40_000,
         ),
-        Preset::Medium | Preset::PaperScaled => (
+        Preset::Medium | Preset::PaperScaled | Preset::Planet => (
             &[0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45],
             &[0.0, 0.25, 0.5, 0.75, 1.0],
             5,
@@ -121,7 +122,7 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: repro [EXPERIMENT] [--preset tiny|small|medium|paper] [--seed N] [--json]"
+                "usage: repro [EXPERIMENT] [--preset tiny|small|medium|paper|planet] [--seed N] [--json]"
             );
             return ExitCode::FAILURE;
         }

@@ -41,10 +41,11 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 
 use crate::metric::{Metric, RunCtx};
+use crate::par::panic_text;
 use crate::runner::{run_campaign, CampaignRunner};
 use crate::scenario::Scenario;
 use crate::world::RunStats;
@@ -299,7 +300,14 @@ impl Grid {
     /// Jobs are distributed over the workers by an atomic counter; the
     /// per-job metric instances (and stats totals) are folded in grid
     /// order afterwards, so the output is independent of scheduling.
-    /// Panics if a worker panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panicked, *after* every worker has drained the
+    /// job queue and exited cleanly — no hung siblings, no poisoned
+    /// joins. The re-raised message carries each failed job's grid
+    /// coordinates and seed, in grid order:
+    /// `[tx_rate=2.0 seed=7] <original panic message>`.
     pub fn run<M: Metric + Clone>(&self, metric: M) -> GridOutcome<M::Output> {
         let seeds = self.effective_seeds();
         let points = self.points();
@@ -307,10 +315,13 @@ impl Grid {
         let threads = self.effective_threads(jobs);
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<(M, RunStats, u64)>> = (0..jobs).map(|_| None).collect();
+        // `(job index, grid point, seed, panic message)` per failed job.
+        let panics: Mutex<Vec<(usize, String, u64, String)>> = Mutex::new(Vec::new());
         thread::scope(|scope| {
             let seeds = &seeds;
             let points = &points;
             let next = &next;
+            let panics = &panics;
             // Each worker owns a copy of the prototype to clone per job,
             // so `M` only needs `Send`, not `Sync`.
             let handles: Vec<_> = (0..threads)
@@ -329,46 +340,86 @@ impl Grid {
                             }
                             let point_index = index / seeds.len();
                             let seed_index = index % seeds.len();
-                            let scenario = self.materialize(point_index, seeds[seed_index]);
-                            let outcome = match runner.as_mut() {
-                                Some(r) => r.run(&scenario),
-                                None => run_campaign(&scenario),
-                            };
-                            let mut m = proto.clone();
-                            let (stats, events) = (outcome.stats, outcome.events);
-                            // Owned handoff: each job observes exactly
-                            // once, so retaining collectors can move the
-                            // dataset instead of cloning it.
-                            m.observe_owned(
-                                &RunCtx {
-                                    index,
-                                    point_index,
-                                    seed_index,
-                                    seed: scenario.seed,
-                                    point: &points[point_index],
-                                    scenario: &scenario,
-                                },
-                                outcome,
-                            );
-                            mine.push((index, m, stats, events));
+                            let seed = seeds[seed_index];
+                            // A panicking job (world bug, metric bug, bad
+                            // scenario point) must not take the worker —
+                            // and with it every job it would have claimed —
+                            // down with it: record it with its grid
+                            // context and move on to the next job.
+                            let job =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let scenario = self.materialize(point_index, seed);
+                                    let outcome = match runner.as_mut() {
+                                        Some(r) => r.run(&scenario),
+                                        None => run_campaign(&scenario),
+                                    };
+                                    let mut m = proto.clone();
+                                    let (stats, events) = (outcome.stats, outcome.events);
+                                    // Owned handoff: each job observes exactly
+                                    // once, so retaining collectors can move the
+                                    // dataset instead of cloning it.
+                                    m.observe_owned(
+                                        &RunCtx {
+                                            index,
+                                            point_index,
+                                            seed_index,
+                                            seed: scenario.seed,
+                                            point: &points[point_index],
+                                            scenario: &scenario,
+                                        },
+                                        outcome,
+                                    );
+                                    (m, stats, events)
+                                }));
+                            match job {
+                                Ok((m, stats, events)) => mine.push((index, m, stats, events)),
+                                Err(payload) => {
+                                    panics.lock().unwrap_or_else(|e| e.into_inner()).push((
+                                        index,
+                                        points[point_index].to_string(),
+                                        seed,
+                                        panic_text(payload),
+                                    ));
+                                    // The engine/world may have unwound
+                                    // mid-event; rebuild rather than reuse
+                                    // a possibly inconsistent instance.
+                                    runner = self.reuse_workers.then(CampaignRunner::new);
+                                }
+                            }
                         }
                         mine
                     })
                 })
                 .collect();
             for handle in handles {
-                for (i, m, stats, events) in handle.join().expect("grid worker panicked") {
+                // Workers catch job panics themselves, so joins cannot
+                // fail; `expect` guards the invariant.
+                for (i, m, stats, events) in handle.join().expect("grid workers catch job panics") {
                     slots[i] = Some((m, stats, events));
                 }
             }
         });
+
+        let mut failed = panics.into_inner().unwrap_or_else(|e| e.into_inner());
+        if !failed.is_empty() {
+            failed.sort_by_key(|&(index, ..)| index);
+            let detail: Vec<String> = failed
+                .iter()
+                .map(|(_, point, seed, msg)| format!("[{point} seed={seed}] {msg}"))
+                .collect();
+            panic!(
+                "{} of {jobs} grid jobs panicked: {}",
+                failed.len(),
+                detail.join("; ")
+            );
+        }
 
         // Deterministic reduction: fold per-job instances in grid order.
         let mut totals = RunStats::default();
         let mut events = 0u64;
         let mut acc: Option<M> = None;
         for slot in slots {
-            let (m, stats, ev) = slot.expect("every job produced a result");
+            let (m, stats, ev) = slot.expect("no job panicked, so every slot is filled");
             totals.merge(&stats);
             events += ev;
             match acc.as_mut() {
@@ -504,6 +555,32 @@ mod tests {
         assert_eq!(points[0].get("rate"), Some("1.5"));
         assert_eq!(points[0].get("nope"), None);
         assert_eq!(points[0].coords().len(), 1);
+    }
+
+    #[test]
+    fn job_panic_propagates_with_point_and_seed_context() {
+        let base = Scenario::builder()
+            .preset(Preset::Tiny)
+            .duration(SimDuration::from_secs(30))
+            .build();
+        let result = std::panic::catch_unwind(|| {
+            Grid::new(base)
+                .seed_range(1, 3)
+                .axis("interblock_s", [10.0], |s, &secs| {
+                    s.interblock = SimDuration::from_secs_f64(secs);
+                })
+                .threads(2)
+                .run(Scalars::new().column("boom", |ctx, _| {
+                    assert!(ctx.seed != 2, "synthetic metric failure");
+                    1.0
+                }))
+        });
+        // The run terminates (workers drain the queue, no hung joins)
+        // and the re-raised panic names the failing job.
+        let msg = panic_text(result.expect_err("grid must re-raise the job panic"));
+        assert!(msg.contains("1 of 3 grid jobs panicked"), "{msg}");
+        assert!(msg.contains("[interblock_s=10 seed=2]"), "{msg}");
+        assert!(msg.contains("synthetic metric failure"), "{msg}");
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod chainonly;
 pub mod experiments;
 pub mod grid;
 pub mod metric;
+pub mod par;
 pub mod report;
 pub mod runner;
 pub mod scenario;
@@ -82,6 +83,7 @@ pub mod world;
 
 pub use grid::{AxisSetter, Grid, GridOutcome, GridPoint};
 pub use metric::{Analyze, Metric, PerPoint, RetainRuns, RunCtx, Scalars};
+pub use par::run_campaign_sharded;
 pub use report::{GridReport, GridRow};
 pub use runner::{run_campaign, CampaignOutcome, CampaignRunner};
 pub use scenario::{Preset, Scenario, ScenarioBuilder, ScenarioError};

@@ -22,8 +22,13 @@ pub struct CampaignOutcome {
 /// Runs a scenario to its configured duration and returns the dataset.
 ///
 /// Deterministic: the same scenario and seed produce an identical
-/// [`CampaignData`].
+/// [`CampaignData`]. Scenarios with `shards > 1` run on the sharded
+/// parallel engine ([`crate::par::run_campaign_sharded`]), whose output
+/// is bit-identical to the sequential reference at any shard count.
 pub fn run_campaign(scenario: &Scenario) -> CampaignOutcome {
+    if scenario.shards > 1 {
+        return crate::par::run_campaign_sharded(scenario);
+    }
     let mut world = SimWorld::new(scenario);
     let initial = world.initial_events();
     let mut engine = Engine::new(world);
@@ -66,7 +71,14 @@ impl CampaignRunner {
     }
 
     /// Runs one campaign, reusing the previous run's allocations.
+    ///
+    /// Scenarios with `shards > 1` are handed to the sharded parallel
+    /// engine, which builds per-shard worlds for that run instead of
+    /// reusing this runner's (the outputs are still bit-identical).
     pub fn run(&mut self, scenario: &Scenario) -> CampaignOutcome {
+        if scenario.shards > 1 {
+            return crate::par::run_campaign_sharded(scenario);
+        }
         let engine = match self.engine.as_mut() {
             Some(engine) => {
                 engine.reset();

@@ -28,6 +28,11 @@ pub enum Preset {
     /// ~800 nodes, 24 simulated hours, √-fanout tx relay. The
     /// EXPERIMENTS.md headline runs.
     PaperScaled,
+    /// ~10,000 nodes, 30 simulated minutes, √-fanout tx relay —
+    /// planet-scale decentralization measurements (Nakamoto/Gini/HHI over
+    /// observation and revenue share). Only practical with the sharded
+    /// parallel engine ([`ScenarioBuilder::shards`]).
+    Planet,
 }
 
 /// A fully specified campaign.
@@ -64,6 +69,11 @@ pub struct Scenario {
     pub miner_lag_mean: SimDuration,
     /// Peer target of gateway nodes.
     pub gateway_degree: usize,
+    /// Worker shards for a *single* campaign. `1` (the default) selects
+    /// the sequential reference engine; `n > 1` runs the deterministic
+    /// sharded engine, whose output is bit-identical to sequential at any
+    /// shard count (pinned by the golden fingerprints).
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -165,6 +175,7 @@ pub struct ScenarioBuilder {
     net: Option<NetConfig>,
     interblock: Option<SimDuration>,
     clock: Option<ClockModel>,
+    shards: usize,
 }
 
 impl ScenarioBuilder {
@@ -181,6 +192,7 @@ impl ScenarioBuilder {
             net: None,
             interblock: None,
             clock: None,
+            shards: 1,
         }
     }
 
@@ -254,6 +266,17 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the intra-run worker shard count. `1` (the default) is the
+    /// sequential reference engine; `n > 1` partitions the nodes
+    /// region-atomically across `n` workers that run in bounded lookahead
+    /// windows, producing bit-identical campaign output. `0` is treated
+    /// as `1`.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Finalizes the scenario.
     ///
     /// # Panics
@@ -285,6 +308,13 @@ impl ScenarioBuilder {
                     ..NetConfig::default()
                 };
                 (800, SimDuration::from_hours(24), 4.0, cfg)
+            }
+            Preset::Planet => {
+                let cfg = NetConfig {
+                    tx_relay: ethmeter_net::TxRelayPolicy::Sqrt,
+                    ..NetConfig::default()
+                };
+                (10_000, SimDuration::from_mins(30), 4.0, cfg)
             }
         };
         // Observer peer targets cannot exceed the network, and in small
@@ -341,6 +371,7 @@ impl ScenarioBuilder {
             vantages: self.vantages.unwrap_or_else(VantagePoint::paper_all),
             miner_lag_mean: SimDuration::from_millis(750),
             gateway_degree: 40,
+            shards: self.shards.max(1),
         })
     }
 }
@@ -416,6 +447,24 @@ mod tests {
     fn paper_scaled_uses_sqrt_relay() {
         let s = Scenario::builder().preset(Preset::PaperScaled).build();
         assert_eq!(s.net.tx_relay, ethmeter_net::TxRelayPolicy::Sqrt);
+    }
+
+    #[test]
+    fn planet_preset_and_shards_knob() {
+        let s = Scenario::builder().preset(Preset::Planet).shards(4).build();
+        assert_eq!(s.ordinary_nodes, 10_000);
+        assert_eq!(s.net.tx_relay, ethmeter_net::TxRelayPolicy::Sqrt);
+        assert_eq!(s.shards, 4);
+        // Default is the sequential reference; zero clamps to it.
+        assert_eq!(Scenario::builder().preset(Preset::Tiny).build().shards, 1);
+        assert_eq!(
+            Scenario::builder()
+                .preset(Preset::Tiny)
+                .shards(0)
+                .build()
+                .shards,
+            1
+        );
     }
 
     #[test]

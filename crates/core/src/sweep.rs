@@ -160,7 +160,13 @@ impl Sweep {
     ///
     /// Jobs are distributed over worker threads, but results are returned
     /// in grid order (variant-major, then seed), so the output is
-    /// independent of scheduling. Panics if a worker panics.
+    /// independent of scheduling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job panicked, after every worker has exited
+    /// cleanly; the message carries each failed job's variant label and
+    /// seed (see [`Grid::run`]).
     pub fn run(&self) -> SweepOutcome {
         let out = self.to_grid().run(RetainRuns::new());
         let runs = out

@@ -45,14 +45,17 @@ use ethmeter_mining::{
     next_block_delay, BlockPlan, PoolBehavior, PoolDirectory, SelfishOutcome, SelfishState,
 };
 use ethmeter_net::topology::DegreePlan;
-use ethmeter_net::{ImportAction, Message, Node, Send, Topology};
+use ethmeter_net::{
+    ImportAction, Message, Node, RemoteEvent, RemoteEventKind, Send, ShardMap, Topology,
+};
 use ethmeter_sim::dist::{Exp, LogNormal};
 use ethmeter_sim::engine::Scheduler;
 use ethmeter_sim::{World, Xoshiro256};
 use ethmeter_types::{
-    BlockHash, BlockIdx, BlockNumber, ByteSize, FxHashSet, NodeId, PoolId, Region, SimDuration,
-    SimTime, TxId, TxIdx,
+    BlockHash, BlockIdx, BlockNumber, ByteSize, FxHashMap, FxHashSet, NodeId, PoolId, Region,
+    SimDuration, SimTime, TxId, TxIdx,
 };
+use std::sync::Arc;
 
 use crate::scenario::Scenario;
 
@@ -174,6 +177,11 @@ struct PoolState {
     gateways: Vec<NodeId>,
     /// `(parent, height)` the pool's miners currently work on.
     target: (BlockHash, BlockNumber),
+    /// Per-pool hash salt counter. Block hashes mix in the miner id, so
+    /// per-pool counters keep hashes campaign-unique while letting each
+    /// pool's salt sequence be independent of every other pool's mining
+    /// activity (which is what lets shards mint blocks concurrently).
+    salt: u64,
     /// Live duplication episode, if any (honest pools only).
     dup: Option<DupState>,
     /// The selfish-mining machine, for pools running
@@ -225,12 +233,16 @@ pub struct SimWorld {
     generator: ethmeter_workload::TxGenerator,
     account_homes: Vec<[NodeId; 3]>,
 
-    // Randomness (one decoupled stream per subsystem).
-    rng_net: Xoshiro256,
-    rng_mining: Xoshiro256,
+    // Randomness. The workload stream is world-global (and replayed
+    // verbatim by every shard of a parallel run); all other draws come
+    // from per-entity lanes — one stream per node, per pool, and per
+    // observer clock — so executing only an ownership subset of events
+    // never perturbs any other entity's stream. Sequential execution
+    // consumes the lanes in exactly the same per-lane order.
+    lanes_node: Vec<Xoshiro256>,
+    lanes_pool: Vec<Xoshiro256>,
+    lanes_clock: Vec<Xoshiro256>,
     rng_workload: Xoshiro256,
-    rng_latency: Xoshiro256,
-    rng_clock: Xoshiro256,
 
     // Recycled per-event buffers (cleared before use; never observable).
     /// Outgoing-message buffer shared by every handler invocation.
@@ -240,9 +252,39 @@ pub struct SimWorld {
     /// Recent-ancestor transaction set for double-inclusion guarding.
     ancestor_scratch: FxHashSet<TxId>,
 
-    block_salt: u64,
+    /// Sharded-execution context. `None` (the default after every
+    /// [`SimWorld::reset`]) is the sequential reference: the world owns
+    /// every entity and schedules everything locally. `Some` makes the
+    /// world one shard of a parallel run: events addressed to foreign
+    /// entities divert to the outbox for the next window barrier.
+    shard: Option<ShardCtx>,
+    /// `NextSubmission` events processed (replicated on every shard;
+    /// the parallel merge subtracts the duplicates from event totals).
+    submissions: u64,
     /// Run counters.
     pub stats: RunStats,
+}
+
+/// One shard's view of a partitioned campaign (see [`crate::par`]).
+struct ShardCtx {
+    /// The shared node → shard ownership table.
+    map: Arc<ShardMap>,
+    /// This shard's id.
+    me: u32,
+    /// Per-pool ownership: a pool belongs to the shard owning its
+    /// primary gateway, which co-locates the only cross-entity mutable
+    /// coupling (pool state ↔ primary-gateway chain view).
+    owned_pools: Vec<bool>,
+    /// Cross-shard events emitted this window, in emission order.
+    outbox: Vec<RemoteEvent>,
+    /// Monotone emission counter feeding [`RemoteEvent::seq`].
+    emit_seq: u64,
+    /// Registry slots below this watermark have already been replicated
+    /// to the other shards (or arrived as replicas from them).
+    block_watermark: usize,
+    /// Registry slots of locally minted blocks, in creation order — the
+    /// merge rebuilds the global creation order from these.
+    local_created: Vec<usize>,
 }
 
 impl std::fmt::Debug for SimWorld {
@@ -286,15 +328,15 @@ impl SimWorld {
             pool_states: Vec::new(),
             generator: ethmeter_workload::TxGenerator::new(scenario.workload.clone()),
             account_homes: Vec::new(),
-            rng_net: Xoshiro256::seed_from_u64(0),
-            rng_mining: Xoshiro256::seed_from_u64(0),
+            lanes_node: Vec::new(),
+            lanes_pool: Vec::new(),
+            lanes_clock: Vec::new(),
             rng_workload: Xoshiro256::seed_from_u64(0),
-            rng_latency: Xoshiro256::seed_from_u64(0),
-            rng_clock: Xoshiro256::seed_from_u64(0),
             send_scratch: Vec::new(),
             pack_buf: Vec::new(),
             ancestor_scratch: FxHashSet::default(),
-            block_salt: 1,
+            shard: None,
+            submissions: 0,
             stats: RunStats::default(),
         };
         world.reset(scenario);
@@ -314,11 +356,9 @@ impl SimWorld {
         let mut root = Xoshiro256::seed_from_u64(scenario.seed);
         let mut rng_topo = root.fork("topology");
         let mut rng_place = root.fork("placement");
-        self.rng_net = root.fork("net");
-        self.rng_mining = root.fork("mining");
         self.rng_workload = root.fork("workload");
-        self.rng_latency = root.fork("latency");
         let mut rng_clock = root.fork("clock");
+        let mut lane_src = root.fork("lanes");
 
         self.net = scenario.net.clone();
         self.latency = scenario.latency.clone();
@@ -374,7 +414,21 @@ impl SimWorld {
             }
         }
         self.logs.truncate(n_obs);
-        self.rng_clock = rng_clock;
+
+        // Per-entity RNG lanes, derived positionally from one dedicated
+        // stream: node lanes first, then pool lanes, then observer clock
+        // lanes. Every shard of a parallel run replays this construction
+        // identically, so lane `k` is the same stream everywhere.
+        self.lanes_node.clear();
+        self.lanes_node.extend(
+            (0..self.node_meta.len()).map(|_| Xoshiro256::seed_from_u64(lane_src.next_u64())),
+        );
+        self.lanes_pool.clear();
+        self.lanes_pool
+            .extend((0..self.pools.len()).map(|_| Xoshiro256::seed_from_u64(lane_src.next_u64())));
+        self.lanes_clock.clear();
+        self.lanes_clock
+            .extend((0..n_obs).map(|_| Xoshiro256::seed_from_u64(lane_src.next_u64())));
 
         // Topology: dial targets per role.
         let mut targets = Vec::with_capacity(n);
@@ -476,6 +530,7 @@ impl SimWorld {
                     .map(|(gws, cfg)| PoolState {
                         gateways: gws,
                         target: (genesis, 1),
+                        salt: 1,
                         dup: None,
                         selfish: match cfg.behavior {
                             PoolBehavior::Honest => None,
@@ -490,21 +545,24 @@ impl SimWorld {
         self.send_scratch.clear();
         self.pack_buf.clear();
         self.ancestor_scratch.clear();
-        self.block_salt = 1;
+        self.shard = None;
+        self.submissions = 0;
         self.stats = RunStats::default();
     }
 
     /// The events that bootstrap a run (one solve per pool, the workload
-    /// pump).
+    /// pump). On a shard, only locally owned pools get their solve — but
+    /// the workload pump runs everywhere (the transaction stream is
+    /// replicated so every shard can resolve any `TxId`).
     pub fn initial_events(&mut self) -> Vec<(SimTime, Event)> {
         let mut evs = Vec::new();
         for pool in 0..self.pools.len() {
             let pid = PoolId(pool as u16);
             let share = self.pools.pool(pid).share;
-            if share <= 0.0 {
+            if share <= 0.0 || !self.owns_pool(pid) {
                 continue;
             }
-            let d = next_block_delay(share, self.interblock, &mut self.rng_mining);
+            let d = next_block_delay(share, self.interblock, &mut self.lanes_pool[pid.index()]);
             evs.push((SimTime::ZERO + d, Event::PoolSolve { pool: pid }));
         }
         evs.push((SimTime::ZERO, Event::NextSubmission));
@@ -515,7 +573,7 @@ impl SimWorld {
     /// replaying every block in creation order — identical to the tree an
     /// incremental builder would have produced, because parents are always
     /// registered before children.
-    fn build_truth_tree(blocks: impl IntoIterator<Item = Block>) -> BlockTree {
+    pub(crate) fn build_truth_tree(blocks: impl IntoIterator<Item = Block>) -> BlockTree {
         let mut tree = BlockTree::new();
         for block in blocks {
             // Duplicate hashes cannot occur (the registry deduplicates at
@@ -605,7 +663,11 @@ impl SimWorld {
         let tx_count = self.blocks.by_idx(idx).txs().len() as u64;
         let base = self.net.import_base + self.net.import_per_tx * tx_count;
         let hw = self.node_meta[node.index()].1.import_factor();
-        base.mul_f64(hw * self.import_jitter.sample(&mut self.rng_net))
+        base.mul_f64(
+            hw * self
+                .import_jitter
+                .sample(&mut self.lanes_node[node.index()]),
+        )
     }
 
     /// Applies link timing and schedules delivery of a node's sends,
@@ -627,13 +689,33 @@ impl SimWorld {
                 )
             };
             let (to_region, to_bw) = self.node_meta[send.to.index()];
+            // The link draw always comes from the *sender's* lane — the
+            // sender is local by construction, so the draw happens on
+            // exactly one shard, in the sender's processing order,
+            // whether or not the destination is foreign.
             let delay = self.net.proc_overhead
                 + from_bw.transfer_time(size)
                 + self
                     .latency
-                    .sample(&mut self.rng_latency, from_region, to_region)
+                    .sample(&mut self.lanes_node[from.index()], from_region, to_region)
                 + to_bw.transfer_time(size);
             self.stats.bytes += size.as_bytes();
+            if let Some(ctx) = self.shard.as_mut() {
+                if !ctx.map.owns(ctx.me as usize, send.to) {
+                    ctx.outbox.push(RemoteEvent {
+                        at: sched.now() + delay,
+                        origin: from,
+                        seq: ctx.emit_seq,
+                        kind: RemoteEventKind::Deliver {
+                            from,
+                            to: send.to,
+                            msg: send.msg,
+                        },
+                    });
+                    ctx.emit_seq += 1;
+                    continue;
+                }
+            }
             sched.after(
                 delay,
                 Event::Deliver {
@@ -678,10 +760,16 @@ impl SimWorld {
 
     /// Registers a block, returning its dense slot. The registry is the
     /// single owner; ground truth is derived from it at the campaign
-    /// boundary.
+    /// boundary. On a shard, the slot is also recorded as locally minted
+    /// so the window barrier can replicate it and the merge can rebuild
+    /// global creation order.
     fn register_block(&mut self, block: Block) -> BlockIdx {
         self.stats.blocks_produced += 1;
-        self.blocks.insert(block)
+        let idx = self.blocks.insert(block);
+        if let Some(ctx) = self.shard.as_mut() {
+            ctx.local_created.push(idx.index());
+        }
+        idx
     }
 
     /// Injects a block at every gateway of its pool. Pools run dedicated
@@ -695,12 +783,32 @@ impl SimWorld {
         sched: &mut Scheduler<Event>,
     ) {
         let n_gws = self.pool_states[pool.index()].gateways.len();
+        let hash = self.blocks.by_idx(idx).hash();
         for g in 0..n_gws {
             let gw = self.pool_states[pool.index()].gateways[g];
+            // Pool-lane draw: only the pool's owner shard runs this, so
+            // the lane order matches sequential execution exactly.
             let delay = SimDuration::from_millis(5)
                 + self
                     .intra_gateway_delay
-                    .sample_duration(&mut self.rng_latency);
+                    .sample_duration(&mut self.lanes_pool[pool.index()]);
+            if let Some(ctx) = self.shard.as_mut() {
+                if !ctx.map.owns(ctx.me as usize, gw) {
+                    // Foreign gateway: the injection crosses by hash and
+                    // re-resolves after the receiver ingests replicas.
+                    ctx.outbox.push(RemoteEvent {
+                        at: sched.now() + delay,
+                        origin: gw,
+                        seq: ctx.emit_seq,
+                        kind: RemoteEventKind::Inject {
+                            node: gw,
+                            block: hash,
+                        },
+                    });
+                    ctx.emit_seq += 1;
+                    continue;
+                }
+            }
             sched.after(delay, Event::InjectBlock { node: gw, idx });
         }
     }
@@ -714,7 +822,7 @@ impl SimWorld {
                 block,
                 idx,
                 &self.net,
-                &mut self.rng_net,
+                &mut self.lanes_node[node.index()],
                 &mut sends,
             )
         };
@@ -729,7 +837,7 @@ impl SimWorld {
     /// Builds and publishes one block for `pool` at its current target.
     fn solve_normal(&mut self, pool: PoolId, now: SimTime, sched: &mut Scheduler<Event>) {
         let cfg = self.pools.pool(pool).clone();
-        let plan = BlockPlan::decide(&cfg, &mut self.rng_mining);
+        let plan = BlockPlan::decide(&cfg, &mut self.lanes_pool[pool.index()]);
         let (parent, number) = self.pool_states[pool.index()].target;
         let gw = self.primary_gateway(pool);
         let uncles = self.nodes[gw.index()]
@@ -740,8 +848,7 @@ impl SimWorld {
         } else {
             self.pack_for(pool, parent)
         };
-        let salt = self.block_salt;
-        self.block_salt += 1;
+        let salt = self.next_salt(pool);
         let block = BlockBuilder::new(parent, number, pool)
             .mined_at(now)
             .txs(txs.clone())
@@ -754,16 +861,13 @@ impl SimWorld {
 
         // Malfunction burst: extra same-height siblings released at once.
         for k in 0..plan.malfunction_extra {
-            let sibling_txs = if self
-                .rng_mining
-                .chance(cfg.strategy.duplicate_same_txset_prob)
-            {
-                txs.clone()
-            } else {
-                txs.iter().copied().skip(k + 1).collect()
-            };
-            let salt = self.block_salt;
-            self.block_salt += 1;
+            let sibling_txs =
+                if self.lanes_pool[pool.index()].chance(cfg.strategy.duplicate_same_txset_prob) {
+                    txs.clone()
+                } else {
+                    txs.iter().copied().skip(k + 1).collect()
+                };
+            let salt = self.next_salt(pool);
             let sib = BlockBuilder::new(parent, number, pool)
                 .mined_at(now)
                 .txs(sibling_txs)
@@ -823,8 +927,7 @@ impl SimWorld {
             Vec::new()
         };
         let txs = self.pack_for(pool, parent);
-        let salt = self.block_salt;
-        self.block_salt += 1;
+        let salt = self.next_salt(pool);
         let block = BlockBuilder::new(parent, number, pool)
             .mined_at(now)
             .txs(txs)
@@ -871,10 +974,17 @@ impl SimWorld {
         self.broadcast_from_gateways(pool, idx, sched);
     }
 
+    /// The next hash salt of `pool`'s counter.
+    fn next_salt(&mut self, pool: PoolId) -> u64 {
+        let salt = self.pool_states[pool.index()].salt;
+        self.pool_states[pool.index()].salt += 1;
+        salt
+    }
+
     fn solve(&mut self, pool: PoolId, now: SimTime, sched: &mut Scheduler<Event>) {
         // Renewal process: the pool mines continuously.
         let share = self.pools.pool(pool).share;
-        let d = next_block_delay(share, self.interblock, &mut self.rng_mining);
+        let d = next_block_delay(share, self.interblock, &mut self.lanes_pool[pool.index()]);
         sched.after(d, Event::PoolSolve { pool });
 
         if self.pool_states[pool.index()].selfish.is_some() {
@@ -893,8 +1003,7 @@ impl SimWorld {
                 } else {
                     self.pack_for(pool, ds.parent)
                 };
-                let salt = self.block_salt;
-                self.block_salt += 1;
+                let salt = self.next_salt(pool);
                 let dup = BlockBuilder::new(ds.parent, ds.height, pool)
                     .mined_at(now)
                     .txs(txs)
@@ -903,7 +1012,7 @@ impl SimWorld {
                 let dup_idx = self.register_block(dup);
                 self.stats.duplicates_produced += 1;
                 self.broadcast_from_gateways(pool, dup_idx, sched);
-                if BlockPlan::continue_duplicating(&cfg, &mut self.rng_mining) {
+                if BlockPlan::continue_duplicating(&cfg, &mut self.lanes_pool[pool.index()]) {
                     self.pool_states[pool.index()].dup = Some(ds);
                 } else {
                     self.resume_after_duplication(pool, &ds);
@@ -917,7 +1026,9 @@ impl SimWorld {
     }
 
     fn record_observation(&mut self, slot: usize, from: NodeId, msg: &Message, now: SimTime) {
-        let local = self.observers[slot].skew.read(now, &mut self.rng_clock);
+        let local = self.observers[slot]
+            .skew
+            .read(now, &mut self.lanes_clock[slot]);
         match msg {
             Message::Announce(hashes) => {
                 for &h in hashes.iter() {
@@ -990,7 +1101,7 @@ impl SimWorld {
                             block,
                             idx,
                             &self.net,
-                            &mut self.rng_net,
+                            &mut self.lanes_node[to.index()],
                             &mut sends,
                         )
                     };
@@ -1018,7 +1129,7 @@ impl SimWorld {
                             Some(from),
                             &[(ix, txs.by_idx(ix))],
                             &self.net,
-                            &mut self.rng_net,
+                            &mut self.lanes_node[to.index()],
                             &mut sends,
                         );
                     }
@@ -1036,7 +1147,7 @@ impl SimWorld {
                         Some(from),
                         &resolved,
                         &self.net,
-                        &mut self.rng_net,
+                        &mut self.lanes_node[to.index()],
                         &mut sends,
                     );
                 }
@@ -1067,7 +1178,9 @@ impl SimWorld {
                         // honest retarget lag.
                         self.selfish_head_update(pool, sched);
                     } else {
-                        let lag = self.miner_lag.sample_duration(&mut self.rng_mining);
+                        let lag = self
+                            .miner_lag
+                            .sample_duration(&mut self.lanes_pool[pool.index()]);
                         sched.after(lag, Event::PoolRetarget { pool });
                     }
                 }
@@ -1095,6 +1208,7 @@ impl SimWorld {
     }
 
     fn on_next_submission(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        self.submissions += 1;
         let ev = self.generator.next_event(&mut self.rng_workload);
         // Stop planning past the horizon; the queue drains naturally.
         if now + ev.delay > SimTime::ZERO + self.duration {
@@ -1106,6 +1220,9 @@ impl SimWorld {
             let homes = &self.account_homes[planned.sender.index() % self.account_homes.len()];
             let origin = homes[self.rng_workload.index(homes.len())];
             let submit_at = now + ev.delay + planned.offset;
+            // Every shard interns every transaction (so any shard can
+            // resolve any `TxId`), but only the origin's owner counts it
+            // and performs the injection.
             let idx = self.txs.insert(Transaction {
                 id,
                 sender: planned.sender,
@@ -1116,8 +1233,10 @@ impl SimWorld {
                 submitted_at: submit_at,
                 origin,
             });
-            self.stats.txs_submitted += 1;
-            sched.at(submit_at, Event::InjectTx { idx });
+            if self.owns_node(origin) {
+                self.stats.txs_submitted += 1;
+                sched.at(submit_at, Event::InjectTx { idx });
+            }
         }
     }
 
@@ -1130,12 +1249,163 @@ impl SimWorld {
                 None,
                 &[(idx, tx)],
                 &self.net,
-                &mut self.rng_net,
+                &mut self.lanes_node[origin.index()],
                 &mut sends,
             );
         }
         self.dispatch_sends(origin, &mut sends, sched);
         self.send_scratch = sends;
+    }
+
+    // ---- Sharded-execution plumbing (driven by `crate::par`) ----
+
+    /// True when this world (or this shard of it) owns `node`.
+    fn owns_node(&self, node: NodeId) -> bool {
+        self.shard
+            .as_ref()
+            .is_none_or(|c| c.map.owns(c.me as usize, node))
+    }
+
+    /// True when this world (or this shard of it) owns `pool`.
+    fn owns_pool(&self, pool: PoolId) -> bool {
+        self.shard
+            .as_ref()
+            .is_none_or(|c| c.owned_pools[pool.index()])
+    }
+
+    /// The region of every node, in id order — the input to
+    /// [`ShardMap::by_region`].
+    pub(crate) fn node_regions(&self) -> Vec<Region> {
+        self.node_meta.iter().map(|&(r, _)| r).collect()
+    }
+
+    /// Turns this freshly reset world into shard `me` of a partitioned
+    /// run. Must be called before [`SimWorld::initial_events`]; pools are
+    /// owned by the shard owning their primary gateway.
+    pub(crate) fn attach_shard(&mut self, map: Arc<ShardMap>, me: usize) {
+        let owned_pools = self
+            .pool_states
+            .iter()
+            .map(|ps| map.owns(me, ps.gateways[0]))
+            .collect();
+        self.shard = Some(ShardCtx {
+            map,
+            me: me as u32,
+            owned_pools,
+            outbox: Vec::new(),
+            emit_seq: 0,
+            block_watermark: self.blocks.len(),
+            local_created: Vec::new(),
+        });
+    }
+
+    /// Drains this window's cross-shard events and newly minted blocks
+    /// into the barrier exchange buffers and advances the replication
+    /// watermark.
+    pub(crate) fn drain_shard_output(
+        &mut self,
+        remotes: &mut Vec<RemoteEvent>,
+        blocks: &mut Vec<Block>,
+    ) {
+        let Some(ctx) = self.shard.as_mut() else {
+            return;
+        };
+        remotes.append(&mut ctx.outbox);
+        for slot in ctx.block_watermark..self.blocks.len() {
+            blocks.push(self.blocks.by_idx(BlockIdx(slot as u32)).clone());
+        }
+        ctx.block_watermark = self.blocks.len();
+    }
+
+    /// Interns the other shards' newly minted blocks. Slot assignment is
+    /// made deterministic (independent of which shard posted first) by
+    /// sorting into canonical creation order before insertion. Must run
+    /// *before* the window's remote events are scheduled, so hash →
+    /// slot resolution always succeeds.
+    pub(crate) fn ingest_replica_blocks(&mut self, blocks: &mut Vec<Block>) {
+        blocks.sort_by_key(|b| (b.mined_at(), b.miner().raw(), b.hash().raw()));
+        for b in blocks.drain(..) {
+            self.blocks.insert(b);
+        }
+        if let Some(ctx) = self.shard.as_mut() {
+            ctx.block_watermark = self.blocks.len();
+        }
+    }
+
+    /// Resolves a cross-shard event against the local registries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an injected block's replica was not ingested first —
+    /// a violation of the window-barrier protocol.
+    pub(crate) fn resolve_remote(&self, kind: RemoteEventKind) -> Event {
+        match kind {
+            RemoteEventKind::Deliver { from, to, msg } => Event::Deliver { from, to, msg },
+            RemoteEventKind::Inject { node, block } => Event::InjectBlock {
+                node,
+                idx: self
+                    .blocks
+                    .idx_of(block)
+                    .expect("replica blocks are ingested before remote events"),
+            },
+        }
+    }
+
+    /// Moves out the locally minted blocks, in creation order (replicas
+    /// from other shards are dropped). The world must be reset before it
+    /// runs again.
+    pub(crate) fn take_local_blocks(&mut self) -> Vec<Block> {
+        let blocks = self.blocks.take_blocks();
+        let Some(ctx) = self.shard.as_ref() else {
+            return blocks;
+        };
+        let mut want = ctx.local_created.iter().copied().peekable();
+        let mut out = Vec::with_capacity(ctx.local_created.len());
+        for (slot, block) in blocks.into_iter().enumerate() {
+            if want.peek() == Some(&slot) {
+                want.next();
+                out.push(block);
+            }
+        }
+        out
+    }
+
+    /// Moves out every observer log, in vantage order (non-owned slots
+    /// are empty on a shard).
+    pub(crate) fn take_logs(&mut self) -> Vec<ObserverLog> {
+        std::mem::take(&mut self.logs)
+    }
+
+    /// The node id hosting each observer slot, in vantage order.
+    pub(crate) fn observer_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<(usize, NodeId)> = self
+            .observer_slot
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|slot| (slot, NodeId(i as u32))))
+            .collect();
+        out.sort_by_key(|&(slot, _)| slot);
+        out.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// Moves out the transaction table as the ground-truth map.
+    pub(crate) fn take_tx_map(&mut self) -> FxHashMap<TxId, Transaction> {
+        std::mem::take(&mut self.txs).into_map()
+    }
+
+    /// `NextSubmission` events processed by this world.
+    pub(crate) fn submission_events(&self) -> u64 {
+        self.submissions
+    }
+
+    /// Pool names by id (replicated, identical on every shard).
+    pub(crate) fn pool_names(&self) -> Vec<String> {
+        self.pools.iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// Pool hash-power shares by id (replicated, identical on every shard).
+    pub(crate) fn pool_shares(&self) -> Vec<f64> {
+        self.pools.iter().map(|p| p.share).collect()
     }
 }
 

@@ -77,6 +77,17 @@ impl LatencyModel {
         SimDuration::from_millis_f64(self.base_ms[from.index()][to.index()])
     }
 
+    /// A hard lower bound on every delay this model can ever sample: the
+    /// floor applied in [`LatencyModel::sample`]. The log-normal jitter is
+    /// unbounded *below* (a multiplier arbitrarily close to zero), so the
+    /// floor — not the base matrix — is the only sound bound. The parallel
+    /// engine derives its conservative lookahead window from this: no
+    /// cross-shard message can arrive sooner than `min_delay` plus fixed
+    /// processing overheads, even on zero-latency what-if matrices.
+    pub fn min_delay(&self) -> SimDuration {
+        self.floor
+    }
+
     /// Samples a one-way delay for a single message on the `from -> to`
     /// path: `max(floor, base * jitter)`.
     pub fn sample(&self, rng: &mut Xoshiro256, from: Region, to: Region) -> SimDuration {

@@ -28,6 +28,7 @@ pub mod headerview;
 pub mod known;
 pub mod message;
 pub mod node;
+pub mod shard;
 pub mod topology;
 
 pub use config::{NetConfig, TxRelayPolicy};
@@ -35,4 +36,5 @@ pub use headerview::HeaderView;
 pub use known::KnownSet;
 pub use message::{AnnounceList, Message, TxBatch};
 pub use node::{ImportAction, Node, Send};
+pub use shard::{RemoteEvent, RemoteEventKind, ShardMap};
 pub use topology::Topology;

@@ -440,6 +440,42 @@ mod tests {
     }
 
     #[test]
+    fn exp_extreme_rates_convert_without_wrapping() {
+        let mut rng = Xoshiro256::seed_from_u64(31);
+        // A rate of one event per ~32 simulated years stays representable
+        // (u64 nanoseconds cover ~584 years): every draw must convert to
+        // a finite, positive duration.
+        let sparse = Exp::with_rate(1e-9);
+        for _ in 0..1_000 {
+            let d = sparse.sample_duration(&mut rng);
+            assert!(d > SimDuration::ZERO && d < SimDuration::MAX);
+        }
+        // An ultra-high rate truncates many draws to the same nanosecond
+        // but must never go negative or panic.
+        let dense = Exp::with_rate(1e12);
+        for _ in 0..1_000 {
+            let d = dense.sample_duration(&mut rng);
+            assert!(d < SimDuration::from_micros(10));
+        }
+    }
+
+    // At truly degenerate rates the mean exceeds the representable range;
+    // the checked conversion must clamp to `SimDuration::MAX` (debug
+    // builds assert instead, so this contract only executes in release).
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn exp_degenerate_rate_saturates_in_release() {
+        let mut rng = Xoshiro256::seed_from_u64(32);
+        let glacial = Exp::with_rate(1e-30);
+        let mut saw_max = false;
+        for _ in 0..64 {
+            let d = glacial.sample_duration(&mut rng);
+            saw_max |= d == SimDuration::MAX;
+        }
+        assert!(saw_max, "expected at least one clamped draw");
+    }
+
+    #[test]
     #[should_panic(expected = "at least one rank")]
     fn zipf_rejects_empty() {
         let _ = Zipf::new(0, 1.0);

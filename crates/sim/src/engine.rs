@@ -138,6 +138,15 @@ impl<W: World> Engine<W> {
         self.queue.len()
     }
 
+    /// The timestamp of the earliest pending event, or `None` if the
+    /// queue is empty. Non-mutating — the parallel window loop calls this
+    /// between every bounded window to compute the global next-event time
+    /// without perturbing queue state.
+    #[inline]
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
     /// Shared access to the world.
     pub fn world(&self) -> &W {
         &self.world
@@ -350,6 +359,22 @@ mod tests {
         eng.schedule(SimTime::from_secs(1), 0);
         eng.run_until(SimTime::from_secs(2));
         assert!(eng.world().fired);
+    }
+
+    #[test]
+    fn next_event_time_tracks_the_queue_head() {
+        let mut eng = Engine::new(Recorder {
+            seen: vec![],
+            respawn: false,
+        });
+        assert_eq!(eng.next_event_time(), None);
+        eng.schedule(SimTime::from_secs(7), 1);
+        eng.schedule(SimTime::from_secs(3), 2);
+        assert_eq!(eng.next_event_time(), Some(SimTime::from_secs(3)));
+        eng.run_until(SimTime::from_secs(5));
+        assert_eq!(eng.next_event_time(), Some(SimTime::from_secs(7)));
+        eng.run_until(SimTime::from_secs(10));
+        assert_eq!(eng.next_event_time(), None);
     }
 
     #[test]

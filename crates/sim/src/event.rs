@@ -51,9 +51,9 @@ pub struct EventQueue<E> {
     buckets: Vec<Vec<u128>>,
     /// Absolute index (`time >> WIDTH_SHIFT`) of the bucket being
     /// drained. The cursor is *lazy*: it stands on the bucket of the most
-    /// recently popped key and only advances inside [`EventQueue::pop`] /
-    /// [`EventQueue::peek_time`] when that bucket runs dry, so handler
-    /// pushes (which are never in the past) land at or ahead of it.
+    /// recently popped key and only advances inside [`EventQueue::pop`]'s
+    /// opening settle when that bucket runs dry, so handler pushes (which
+    /// are never in the past) land at or ahead of it.
     cursor: u64,
     /// Consumed prefix of the current bucket.
     drained: usize,
@@ -69,6 +69,15 @@ pub struct EventQueue<E> {
     /// Vacated slab slots available for reuse.
     free: Vec<u32>,
     next_seq: u64,
+    /// Cached timestamp of the earliest pending event, kept accurate by
+    /// every mutating operation: [`EventQueue::push`] lowers it,
+    /// [`EventQueue::pop`] relocates the new head on its way out (without
+    /// advancing the cursor — see [`EventQueue::min_after_pop`]), and
+    /// [`EventQueue::clear`] resets it. This is what lets
+    /// [`EventQueue::peek_time`] take `&self` — the parallel window loop
+    /// peeks between every window, so a mutating peek was a latent
+    /// hazard.
+    min_time: Option<SimTime>,
     /// Debug backstop: a `(time, seq)` watermark every pop must meet or
     /// exceed. Raised to each popped key, lowered by any push below it —
     /// so delivering a key out of order relative to a co-pending earlier
@@ -100,6 +109,7 @@ impl<E> EventQueue<E> {
             events: Vec::new(),
             free: Vec::new(),
             next_seq: 0,
+            min_time: None,
             #[cfg(debug_assertions)]
             last_order: 0,
         }
@@ -157,6 +167,10 @@ impl<E> EventQueue<E> {
             self.buckets[(ab as usize) & (N_BUCKETS - 1)].push(key);
             self.ring_count += 1;
         }
+        self.min_time = Some(match self.min_time {
+            Some(m) => m.min(time),
+            None => time,
+        });
     }
 
     /// Advances the cursor to the bucket holding the minimum pending key
@@ -236,19 +250,58 @@ impl<E> EventQueue<E> {
             .take()
             .expect("ring keys reference live slots");
         self.free.push(slot);
+        self.min_time = self.min_after_pop();
         Some((key_time(key), event))
     }
 
-    /// The timestamp of the earliest pending event. Takes `&mut self`:
-    /// locating the minimum may advance the lazy cursor (a pure-layout
-    /// change — the pending set is untouched).
-    #[inline]
-    pub fn peek_time(&mut self) -> Option<SimTime> {
-        if !self.settle() {
-            return None;
+    /// The minimum pending key's timestamp, located **without advancing
+    /// the cursor** — refreshing the [`EventQueue::peek_time`] cache on
+    /// the way out of a pop must not move the cursor ahead of the popped
+    /// bucket, because the handler's pushes (at the popped time plus a
+    /// delay) haven't landed yet. A cursor that has already jumped to the
+    /// next pending bucket would clamp those pushes into it, piling
+    /// sparse-regime traffic into one perpetually re-sorted bucket.
+    fn min_after_pop(&mut self) -> Option<SimTime> {
+        // Fast path: the settled (sorted) current bucket still has keys.
+        let slot = (self.cursor as usize) & (N_BUCKETS - 1);
+        if self.drained < self.buckets[slot].len() {
+            if self.dirty {
+                self.buckets[slot][self.drained..].sort_unstable();
+                self.dirty = false;
+            }
+            return Some(key_time(self.buckets[slot][self.drained]));
         }
-        let cur = &self.buckets[(self.cursor as usize) & (N_BUCKETS - 1)];
-        Some(key_time(cur[self.drained]))
+        // Current bucket exhausted: the ring minimum (if any) is in the
+        // first non-empty later bucket — later buckets hold strictly
+        // later times. The walk re-crosses buckets the next settle will
+        // clear anyway; emptiness checks are cheap.
+        let mut ring_min = None;
+        if self.ring_count > 0 {
+            for off in 1..N_BUCKETS as u64 {
+                let b = &self.buckets[((self.cursor + off) as usize) & (N_BUCKETS - 1)];
+                if !b.is_empty() {
+                    ring_min = b.iter().copied().min();
+                    break;
+                }
+            }
+        }
+        let over_min = self.overflow.peek().map(|&Reverse(k)| k);
+        let best = match (ring_min, over_min) {
+            (Some(r), Some(o)) => Some(r.min(o)),
+            (r, o) => r.or(o),
+        };
+        best.map(key_time)
+    }
+
+    /// The timestamp of the earliest pending event.
+    ///
+    /// Non-mutating: the value is a cache maintained by `push`/`pop`/
+    /// `clear`, so peeking can never advance the lazy calendar cursor or
+    /// otherwise perturb `(time, seq)` pop order (a regression test pins
+    /// this).
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.min_time
     }
 
     /// Number of pending events.
@@ -277,6 +330,7 @@ impl<E> EventQueue<E> {
         self.events.clear();
         self.free.clear();
         self.next_seq = 0;
+        self.min_time = None;
         #[cfg(debug_assertions)]
         {
             self.last_order = 0;
@@ -344,6 +398,61 @@ mod tests {
         assert_eq!(q.peek_time(), Some(t(4)));
         q.pop();
         assert_eq!(q.peek_time(), Some(t(9)));
+    }
+
+    #[test]
+    fn interleaved_peeks_never_perturb_pop_order() {
+        // Regression test for the old `&mut self` peek, whose lazy-cursor
+        // settle was a mutation: a queue peeked between every operation
+        // must pop the exact same (time, seq) sequence as an un-peeked
+        // twin. Times deliberately collide and span bucket widths.
+        let mut peeked = EventQueue::new();
+        let mut plain = EventQueue::new();
+        let times: Vec<u64> = (0..256u64).map(|i| (i * 2_654_435_761) % 400_000).collect();
+        for (i, &nanos) in times.iter().enumerate() {
+            let at = SimTime::from_nanos(nanos);
+            assert_eq!(peeked.peek_time(), plain.peek_time());
+            peeked.push(at, i);
+            plain.push(at, i);
+            assert_eq!(peeked.peek_time(), plain.peek_time());
+            if i % 3 == 0 {
+                for _ in 0..8 {
+                    let _ = peeked.peek_time(); // repeated peeks are free
+                }
+                assert_eq!(peeked.pop(), plain.pop());
+                assert_eq!(peeked.peek_time(), plain.peek_time());
+            }
+        }
+        loop {
+            assert_eq!(peeked.peek_time(), plain.peek_time());
+            let (a, b) = (peeked.pop(), plain.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn peek_tracks_minimum_through_churn() {
+        // The cached minimum must stay accurate when a push undercuts the
+        // current head and when pops drain across bucket boundaries.
+        let mut q = EventQueue::new();
+        q.push(t(5), 0u32);
+        assert_eq!(q.peek_time(), Some(t(5)));
+        q.push(t(2), 1);
+        assert_eq!(q.peek_time(), Some(t(2)));
+        assert_eq!(q.pop(), Some((t(2), 1)));
+        assert_eq!(q.peek_time(), Some(t(5)));
+        // Push behind the settled head, into the same bucket region.
+        q.push(SimTime::from_nanos(t(5).as_nanos() - 1), 2);
+        assert_eq!(
+            q.peek_time(),
+            Some(SimTime::from_nanos(t(5).as_nanos() - 1))
+        );
+        q.pop();
+        q.pop();
+        assert_eq!(q.peek_time(), None);
     }
 
     #[test]

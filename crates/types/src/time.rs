@@ -20,6 +20,39 @@ const NANOS_PER_MICRO: u64 = 1_000;
 const NANOS_PER_MILLI: u64 = 1_000_000;
 const NANOS_PER_SEC: u64 = 1_000_000_000;
 
+/// Converts a fractional nanosecond count to integer nanoseconds — the
+/// single checked route for every `f64` → simulated-time conversion
+/// ([`SimDuration::from_secs_f64`], [`SimDuration::from_millis_f64`],
+/// [`SimDuration::mul_f64`], and through them the distribution samplers
+/// and scheduler offsets).
+///
+/// Saturates instead of wrapping or panicking in release builds: NaN and
+/// negative inputs clamp to zero, values beyond `u64::MAX` nanoseconds
+/// (~584 years) clamp to the maximum — a defined, *ordered* result, so a
+/// pathological latency or a near-zero arrival rate stalls an event at
+/// the far horizon rather than aborting or time-travelling. Debug builds
+/// assert first: reaching such a value means a model produced a
+/// nonsensical duration, and the workspace test suite should see it.
+#[inline]
+fn saturating_nanos_from_f64(nanos: f64) -> u64 {
+    debug_assert!(!nanos.is_nan(), "time conversion from NaN nanoseconds");
+    debug_assert!(
+        nanos.is_nan() || nanos >= 0.0,
+        "time conversion from negative nanoseconds ({nanos}); durations must be non-negative"
+    );
+    debug_assert!(
+        nanos < u64::MAX as f64,
+        "time conversion of {nanos} ns overflows SimDuration"
+    );
+    if nanos.is_nan() || nanos < 0.0 {
+        0
+    } else if nanos >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        nanos as u64
+    }
+}
+
 impl SimTime {
     /// The experiment start instant.
     pub const ZERO: SimTime = SimTime(0);
@@ -118,30 +151,28 @@ impl SimDuration {
 
     /// Creates a duration from fractional seconds.
     ///
+    /// Routed through the workspace's one checked `f64` → nanoseconds
+    /// conversion: NaN/negative inputs saturate to zero and oversized
+    /// inputs to [`SimDuration::MAX`] in release builds.
+    ///
     /// # Panics
     ///
-    /// Panics if `secs` is negative, NaN, or too large to represent.
+    /// Panics in debug builds if `secs` is negative, NaN, or too large
+    /// to represent.
     #[inline]
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(
-            secs.is_finite() && secs >= 0.0,
-            "duration seconds must be finite and non-negative, got {secs}"
-        );
-        let nanos = secs * NANOS_PER_SEC as f64;
-        assert!(
-            nanos <= u64::MAX as f64,
-            "duration of {secs}s overflows SimDuration"
-        );
-        SimDuration(nanos as u64)
+        SimDuration(saturating_nanos_from_f64(secs * NANOS_PER_SEC as f64))
     }
 
     /// Creates a duration from fractional milliseconds.
     ///
-    /// # Panics
-    ///
-    /// Panics under the same conditions as [`SimDuration::from_secs_f64`].
+    /// Saturates (and debug-asserts) under the same conditions as
+    /// [`SimDuration::from_secs_f64`].
     #[inline]
     pub fn from_millis_f64(millis: f64) -> Self {
+        // Delegation (not `millis * 1e6` directly) keeps the rounding
+        // sequence bit-identical to what the golden fingerprints were
+        // captured with.
         Self::from_secs_f64(millis / 1e3)
     }
 
@@ -187,18 +218,22 @@ impl SimDuration {
         SimDuration(self.0.saturating_sub(other.0))
     }
 
-    /// Scales the duration by a non-negative float (e.g. jitter factors).
+    /// Scales the duration by a non-negative float (e.g. jitter factors),
+    /// through the same checked conversion as
+    /// [`SimDuration::from_secs_f64`]: the product saturates at
+    /// [`SimDuration::MAX`] instead of silently `as`-casting.
     ///
     /// # Panics
     ///
-    /// Panics if `factor` is negative or NaN.
+    /// Panics in debug builds if `factor` is negative or NaN, or if the
+    /// scaled duration overflows.
     #[inline]
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(
+        debug_assert!(
             factor.is_finite() && factor >= 0.0,
             "scale factor must be finite and non-negative, got {factor}"
         );
-        SimDuration((self.0 as f64 * factor) as u64)
+        SimDuration(saturating_nanos_from_f64(self.0 as f64 * factor))
     }
 }
 
@@ -378,10 +413,57 @@ mod tests {
         assert_eq!(SimTime::from_secs(2).to_string(), "t+2.000s");
     }
 
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "non-negative")]
-    fn negative_float_duration_panics() {
+    fn negative_float_duration_panics_in_debug() {
         let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn oversized_float_duration_panics_in_debug() {
+        // ~1.8e19 ns is the ceiling; 1e12 s = 1e21 ns is far past it —
+        // the kind of value an exponential sampler emits at a near-zero
+        // rate.
+        let _ = SimDuration::from_secs_f64(1e12);
+    }
+
+    // The saturating release-mode contract can only execute where the
+    // debug asserts are compiled out.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn float_conversions_saturate_in_release() {
+        assert_eq!(SimDuration::from_secs_f64(1e12), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis_f64(1e18), SimDuration::MAX);
+        assert_eq!(
+            SimDuration::from_secs(1).mul_f64(1e30),
+            SimDuration::MAX,
+            "mul_f64 overflow must clamp, not wrap"
+        );
+        assert_eq!(
+            SimDuration::from_secs(1).mul_f64(f64::NAN),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn extreme_in_range_conversions_are_exact() {
+        // Sub-nanosecond values truncate to zero rather than wrapping.
+        assert_eq!(SimDuration::from_secs_f64(1e-12), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_millis_f64(1e-9), SimDuration::ZERO);
+        // Near the representable ceiling (but under it), the conversion
+        // stays monotone and finite: ~1.84e10 s is ~584 years.
+        let big = SimDuration::from_secs_f64(1.8e10);
+        assert!(big < SimDuration::MAX);
+        assert!(big > SimDuration::from_secs(17_000_000_000));
+        // A century-scale mul_f64 stays in range and ordered.
+        let scaled = SimDuration::from_hours(1).mul_f64(8.76e5);
+        assert_eq!(scaled.as_secs(), 3_153_600_000);
     }
 
     #[test]

@@ -56,6 +56,28 @@ fn campaign_fingerprints_match_goldens() {
 }
 
 #[test]
+fn sharded_campaigns_match_the_sequential_goldens() {
+    // The parallel engine must land on the *same* pinned digests as the
+    // sequential reference at every shard count — the goldens are
+    // shard-count-invariant, not merely reproducible per count.
+    for &(label, preset, seed, mins, expected) in &GOLDENS {
+        for shards in [2, 4, 8] {
+            let s = Scenario::builder()
+                .preset(preset)
+                .seed(seed)
+                .duration(SimDuration::from_mins(mins))
+                .shards(shards)
+                .build();
+            let got = run_campaign(&s).campaign.fingerprint();
+            assert_eq!(
+                got, expected,
+                "{label} at {shards} shards: fingerprint {got:#018x}, pinned {expected:#018x}"
+            );
+        }
+    }
+}
+
+#[test]
 fn fingerprint_is_reproducible_and_seed_sensitive() {
     let s = scenario(Preset::Tiny, 101, 5);
     let a = run_campaign(&s).campaign.fingerprint();
