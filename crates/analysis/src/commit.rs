@@ -16,7 +16,7 @@ use std::fmt;
 
 use ethmeter_measure::CampaignData;
 use ethmeter_stats::table::pct;
-use ethmeter_stats::Cdf;
+use ethmeter_stats::{Cdf, QuantileSketch};
 use ethmeter_types::{AccountId, BlockNumber, FxHashMap, FxHashSet, SimTime, TxId};
 
 use crate::Reduce;
@@ -29,6 +29,11 @@ pub const CONFIRMATION_DEPTHS: [u64; 4] = [3, 12, 15, 36];
 pub struct CommitReport {
     /// Delay from first tx observation to inclusion-block observation (s).
     pub inclusion: Cdf,
+    /// The inclusion-delay sample as a fixed-size mergeable sketch —
+    /// the planet-scale collector (quantiles within
+    /// [`ethmeter_stats::sketch::RELATIVE_ERROR`] of
+    /// [`CommitReport::inclusion`], bit-stable under any merge tree).
+    pub inclusion_sketch: QuantileSketch,
     /// Delay to the k-th confirmation, for k in
     /// [`CONFIRMATION_DEPTHS`] order (s).
     pub confirmations: Vec<(u64, Cdf)>,
@@ -44,6 +49,7 @@ impl CommitReport {
     pub fn empty() -> Self {
         CommitReport {
             inclusion: Cdf::from_values(std::iter::empty()),
+            inclusion_sketch: QuantileSketch::new(),
             confirmations: CONFIRMATION_DEPTHS
                 .iter()
                 .map(|&k| (k, Cdf::from_values(std::iter::empty())))
@@ -57,6 +63,7 @@ impl CommitReport {
     /// one. Exact: the CDFs become the union of both samples.
     pub fn merge(&mut self, other: &CommitReport) {
         self.inclusion.merge(&other.inclusion);
+        self.inclusion_sketch.merge(&other.inclusion_sketch);
         for ((k, cdf), (ok, ocdf)) in self.confirmations.iter_mut().zip(&other.confirmations) {
             debug_assert_eq!(k, ok, "confirmation depths are fixed");
             cdf.merge(ocdf);
@@ -76,38 +83,43 @@ impl CommitReport {
 }
 
 /// Per-block observation index: height -> earliest true observation.
+///
+/// Built from one streaming merge-join over the observer scans (spilled
+/// or in-memory), joined against the canonical chain; the index itself
+/// holds one entry per canonical block, never raw rows.
 fn block_observations(data: &CampaignData) -> FxHashMap<BlockNumber, SimTime> {
-    let mut obs: FxHashMap<BlockNumber, SimTime> = FxHashMap::default();
+    let mut canonical: FxHashMap<ethmeter_types::BlockHash, BlockNumber> = FxHashMap::default();
     for block in data.truth.tree.canonical_blocks() {
-        if block.number() == 0 {
-            continue;
-        }
-        let earliest = data
-            .main_observers()
-            .filter_map(|(_, log)| log.block(block.hash()))
-            .map(|r| r.first_true)
-            .min();
-        if let Some(t) = earliest {
-            obs.insert(block.number(), t);
+        if block.number() > 0 {
+            canonical.insert(block.hash(), block.number());
         }
     }
+    let mut obs: FxHashMap<BlockNumber, SimTime> = FxHashMap::default();
+    data.for_each_main_block(|hash, group| {
+        if let Some(&number) = canonical.get(&hash) {
+            let earliest = group
+                .iter()
+                .map(|(_, r)| r.first_true)
+                .min()
+                .expect("non-empty group");
+            obs.insert(number, earliest);
+        }
+    });
     obs
 }
 
-/// Earliest true observation of each transaction across main observers.
+/// Earliest true observation of each transaction across main observers,
+/// streamed through the scan merge-join.
 fn tx_observations(data: &CampaignData) -> FxHashMap<TxId, SimTime> {
     let mut obs: FxHashMap<TxId, SimTime> = FxHashMap::default();
-    for (_, log) in data.main_observers() {
-        for r in log.txs() {
-            obs.entry(r.id)
-                .and_modify(|t| {
-                    if r.first_true < *t {
-                        *t = r.first_true;
-                    }
-                })
-                .or_insert(r.first_true);
-        }
-    }
+    data.for_each_main_tx(|id, group| {
+        let earliest = group
+            .iter()
+            .map(|(_, r)| r.first_true)
+            .min()
+            .expect("non-empty group");
+        obs.insert(id, earliest);
+    });
     obs
 }
 
@@ -155,8 +167,11 @@ pub fn analyze(data: &CampaignData) -> CommitReport {
             }
         }
     }
+    let mut inclusion_sketch = QuantileSketch::new();
+    inclusion_sketch.record_all(inclusion.iter().copied());
     CommitReport {
         inclusion: Cdf::from_values(inclusion),
+        inclusion_sketch,
         confirmations: confs
             .into_iter()
             .map(|(k, v)| (k, Cdf::from_values(v)))
@@ -278,22 +293,31 @@ impl Reduce for CommitOrdering {
                 }
             }
         }
-        for (_, log) in data.main_observers() {
-            // Per sender: the observed committed txs as (nonce, seq, id).
-            let mut by_sender: FxHashMap<AccountId, Vec<(u64, u64, TxId)>> = FxHashMap::default();
-            for r in log.txs() {
-                if let Some(&(sender, nonce, _)) = committed.get(&r.id) {
-                    by_sender
-                        .entry(sender)
-                        .or_default()
-                        .push((nonce, r.arrival_seq, r.id));
+        // One streaming merge-join over the observer scans fills every
+        // observer's per-sender worklist (with each record's own first
+        // arrival carried along), replacing per-observer random access.
+        let n_obs = data.main_observers().count();
+        // Per-sender worklist entries: (nonce, arrival_seq, tx, first arrival).
+        type SenderWork = FxHashMap<AccountId, Vec<(u64, u64, TxId, SimTime)>>;
+        let mut by_sender: Vec<SenderWork> = vec![FxHashMap::default(); n_obs];
+        data.for_each_main_tx(|id, group| {
+            if let Some(&(sender, nonce, _)) = committed.get(&id) {
+                for &(i, r) in group {
+                    by_sender[i].entry(sender).or_default().push((
+                        nonce,
+                        r.arrival_seq,
+                        id,
+                        r.first_true,
+                    ));
                 }
             }
-            for txs in by_sender.values_mut() {
+        });
+        for per_observer in &mut by_sender {
+            for txs in per_observer.values_mut() {
                 txs.sort_unstable(); // by nonce
                 let mut max_seq_below = 0u64;
                 let mut any_below = false;
-                for &(_, seq, id) in txs.iter() {
+                for &(_, seq, id, first_true) in txs.iter() {
                     let ooo = any_below && max_seq_below > seq;
                     self.total += 1;
                     if ooo {
@@ -302,9 +326,9 @@ impl Reduce for CommitOrdering {
                     // Commit sample: 12-conf delay from this observer's own
                     // first arrival.
                     let (_, _, height) = committed[&id];
-                    if let (Some(rec), Some(&t12)) = (log.tx(id), block_obs.get(&(height + 12))) {
-                        if rec.first_true <= t12 {
-                            let d = (t12 - rec.first_true).as_secs_f64();
+                    if let Some(&t12) = block_obs.get(&(height + 12)) {
+                        if first_true <= t12 {
+                            let d = (t12 - first_true).as_secs_f64();
                             if ooo {
                                 self.out_of_order.push(d);
                             } else {

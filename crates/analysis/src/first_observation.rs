@@ -233,32 +233,29 @@ impl Reduce for FirstObservation {
                 "first-observation reduction requires a stable pool directory"
             );
         }
-        for block in data.truth.tree.all_blocks() {
-            if block.number() == 0 {
-                continue;
+        // One streaming merge-join over the observer scans (works for
+        // spilled and in-memory logs alike); the truth tree supplies the
+        // origin pool per observed hash.
+        let tree = &data.truth.tree;
+        let genesis = tree.genesis_hash();
+        data.for_each_main_block(|hash, group| {
+            if hash == genesis || group.len() < 2 {
+                return;
             }
-            let arrivals: Vec<(usize, u64)> = data
-                .main_observers()
-                .enumerate()
-                .filter_map(|(i, (_, log))| {
-                    log.block(block.hash())
-                        .map(|r| (i, r.first_local.as_nanos()))
-                })
-                .collect();
-            if arrivals.len() < 2 {
-                continue;
-            }
+            let Some(block) = tree.get(hash) else {
+                return;
+            };
             self.blocks += 1;
-            let (winner, t_first) = arrivals
+            let (winner, t_first) = group
                 .iter()
-                .copied()
+                .map(|&(i, r)| (i, r.first_local.as_nanos()))
                 .min_by_key(|&(_, t)| t)
                 .expect("non-empty");
             self.wins[winner] += 1;
-            let runner_up = arrivals
+            let runner_up = group
                 .iter()
                 .filter(|&&(i, _)| i != winner)
-                .map(|&(_, t)| t)
+                .map(|&(_, r)| r.first_local.as_nanos())
                 .min()
                 .expect("two arrivals");
             if runner_up - t_first < NTP_MARGIN_NANOS {
@@ -270,7 +267,7 @@ impl Reduce for FirstObservation {
                 .or_insert_with(|| (0, vec![0; self.vantages.len()]));
             entry.0 += 1;
             entry.1[winner] += 1;
-        }
+        });
     }
 
     fn merge(&mut self, other: Self) {

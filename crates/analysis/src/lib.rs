@@ -14,6 +14,7 @@
 //! | [`forks`] | Table III and §III-C5 (fork census, one-miner forks) |
 //! | [`sequences`] | Figure 7 and §III-D (consecutive-block sequences, censorship windows) |
 //! | [`rewards`] | Per-pool revenue share vs hash-power share (the selfish-mining yardstick) |
+//! | [`decentralization`] | Nakamoto / Gini / HHI scalars over hash power, block production, first observation, and revenue |
 //!
 //! All analyzers consume a [`ethmeter_measure::CampaignData`]; the
 //! sequence analyses additionally accept bare miner sequences so the fast
@@ -25,7 +26,8 @@
 //! ([`propagation::Propagation`], [`redundancy::Redundancy`],
 //! [`first_observation::FirstObservation`], [`commit::Commit`],
 //! [`commit::CommitOrdering`], [`empty_blocks::EmptyBlocks`],
-//! [`forks::Forks`], [`rewards::Rewards`]) that folds one campaign at a time into a compact
+//! [`forks::Forks`], [`rewards::Rewards`],
+//! [`decentralization::Decentralization`]) that folds one campaign at a time into a compact
 //! summary and can merge with other accumulators. The single-campaign
 //! `analyze` functions are the one-shot path through the same
 //! accumulators, so a streamed multi-campaign report over one run equals
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod commit;
+pub mod decentralization;
 pub mod empty_blocks;
 pub mod first_observation;
 pub mod forks;

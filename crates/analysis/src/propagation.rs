@@ -11,7 +11,7 @@
 use std::fmt;
 
 use ethmeter_measure::CampaignData;
-use ethmeter_stats::{Histogram, Summary};
+use ethmeter_stats::{Histogram, QuantileSketch, Summary};
 
 use crate::Reduce;
 
@@ -22,6 +22,12 @@ pub struct PropagationReport {
     pub delays: Summary,
     /// The PDF histogram of Figure 1 (0–500 ms, 25 bins).
     pub histogram: Histogram,
+    /// The same delay sample as a fixed-size mergeable sketch — the
+    /// planet-scale collector: bit-identical at any shard/merge-tree
+    /// shape, quantiles within
+    /// [`ethmeter_stats::sketch::RELATIVE_ERROR`] of
+    /// [`PropagationReport::delays`].
+    pub sketch: QuantileSketch,
     /// Blocks observed by at least two observers.
     pub blocks_measured: u64,
 }
@@ -32,6 +38,7 @@ impl PropagationReport {
         PropagationReport {
             delays: Summary::from_values(std::iter::empty()),
             histogram: Histogram::new(0.0, 500.0, 25),
+            sketch: QuantileSketch::new(),
             blocks_measured: 0,
         }
     }
@@ -42,6 +49,7 @@ impl PropagationReport {
     pub fn merge(&mut self, other: &PropagationReport) {
         self.delays.merge(&other.delays);
         self.histogram.merge(&other.histogram);
+        self.sketch.merge(&other.sketch);
         self.blocks_measured += other.blocks_measured;
     }
 }
@@ -85,34 +93,41 @@ impl Reduce for Propagation {
 }
 
 /// Computes Figure 1 from the campaign's main observers.
+///
+/// Consumes the logs through [`CampaignData::for_each_main_block`], so
+/// spilled and in-memory campaigns produce bit-identical reports (the
+/// delay multiset is the same; [`Summary`] sorts, the histogram and
+/// sketch count).
 pub fn analyze(data: &CampaignData) -> PropagationReport {
     let mut delays_ms: Vec<f64> = Vec::new();
     let mut blocks_measured = 0u64;
-    for block in data.truth.tree.all_blocks() {
-        if block.number() == 0 {
-            continue;
-        }
-        let hash = block.hash();
-        let mut arrivals: Vec<f64> = data
-            .main_observers()
-            .filter_map(|(_, log)| log.block(hash))
-            .map(|r| r.first_local.as_nanos() as f64 / 1e6)
-            .collect();
-        if arrivals.len() < 2 {
-            continue;
+    let genesis = data.truth.tree.genesis_hash();
+    let mut arrivals: Vec<f64> = Vec::new();
+    data.for_each_main_block(|hash, group| {
+        if hash == genesis || group.len() < 2 {
+            return;
         }
         blocks_measured += 1;
+        arrivals.clear();
+        arrivals.extend(
+            group
+                .iter()
+                .map(|(_, r)| r.first_local.as_nanos() as f64 / 1e6),
+        );
         arrivals.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let first = arrivals[0];
         for &t in &arrivals[1..] {
             delays_ms.push(t - first);
         }
-    }
+    });
     let mut histogram = Histogram::new(0.0, 500.0, 25);
     histogram.record_all(delays_ms.iter().copied());
+    let mut sketch = QuantileSketch::new();
+    sketch.record_all(delays_ms.iter().copied());
     PropagationReport {
         delays: Summary::from_values(delays_ms),
         histogram,
+        sketch,
         blocks_measured,
     }
 }
@@ -159,6 +174,13 @@ mod tests {
         assert!((report.delays.median() - 60.0).abs() < 1e-9);
         assert!((report.delays.max() - 100.0).abs() < 1e-9);
         assert!((report.delays.min() - 40.0).abs() < 1e-9);
+        // The sketch tracks the same sample within its documented bound.
+        assert_eq!(report.sketch.count(), report.delays.count() as u64);
+        let est = report.sketch.quantile(0.5);
+        assert!(
+            (60.0..=60.0 * ethmeter_stats::sketch::GAMMA).contains(&est),
+            "sketch median {est}"
+        );
     }
 
     #[test]

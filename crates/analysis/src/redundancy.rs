@@ -88,13 +88,18 @@ pub fn analyze(data: &CampaignData) -> Result<RedundancyReport, RedundancyError>
 
 /// Per-block reception summaries of one observer log:
 /// `(announcements, whole blocks, both combined)`.
+///
+/// One pass over [`ObserverLog::scan_blocks`], so a spilled log reads
+/// identically to an in-memory one and raw rows are never collected.
 fn reception_summaries(log: &ObserverLog) -> (Summary, Summary, Summary) {
-    let ann: Vec<f64> = log.blocks().map(|r| f64::from(r.announces)).collect();
-    let full: Vec<f64> = log.blocks().map(|r| f64::from(r.full_blocks)).collect();
-    let both: Vec<f64> = log
-        .blocks()
-        .map(|r| f64::from(r.total_receptions()))
-        .collect();
+    let mut ann: Vec<f64> = Vec::new();
+    let mut full: Vec<f64> = Vec::new();
+    let mut both: Vec<f64> = Vec::new();
+    for r in log.scan_blocks() {
+        ann.push(f64::from(r.announces));
+        full.push(f64::from(r.full_blocks));
+        both.push(f64::from(r.total_receptions()));
+    }
     (
         Summary::from_values(ann),
         Summary::from_values(full),

@@ -1,5 +1,5 @@
 //! Simulator-throughput benchmarks and the `BENCH_engine.json` report
-//! (schema `ethmeter-bench-engine/v4`).
+//! (schema `ethmeter-bench-engine/v5`).
 //!
 //! Four jobs in one harness:
 //!
@@ -25,6 +25,14 @@
 //!    vs the retain-everything `RetainRuns` collector, each as a
 //!    multiple of one campaign's own peak — the number that certifies
 //!    "grid size bounded by CPU, not RAM".
+//! 5. (v5) An out-of-core measurement survey: per preset, the observer
+//!    logs' own high-water mark (`ObserverLog::peak_mem_bytes`) for the
+//!    in-memory backend vs a spilled run under half that budget, with
+//!    the ratio of spilled peak over budget — the number that certifies
+//!    "measurement memory bounded by the budget, not the campaign".
+//!    Plus a planet-preset spill smoke leg: 10,000 nodes measured under
+//!    a fixed kilobyte-scale budget, fingerprint-checked against the
+//!    same campaign in memory.
 //!
 //! The report embeds two frozen baselines measured on the reference
 //! container: the seed implementation (pre-dense-rewrite) and the PR 2
@@ -45,6 +53,7 @@ use ethmeter_core::sweep::Sweep;
 use ethmeter_core::{run_campaign, CampaignRunner, Grid, Preset, Scenario};
 use ethmeter_sim::event::EventQueue;
 use ethmeter_stats::runs::{expected_maximal_runs, prob_run_at_least};
+use ethmeter_stats::Cdf;
 use ethmeter_types::{SimDuration, SimTime};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -162,6 +171,21 @@ struct PresetThroughput {
     /// the single-core reference container this is the pure overhead
     /// ratio (< 1); with >= PAR_SHARDS cores it is the real speedup.
     par_speedup: f64,
+    /// Observer-log high-water mark (sum of `peak_mem_bytes` across
+    /// vantages) with the all-in-memory backend.
+    measure_peak_bytes: usize,
+    /// The campaign-wide spill budget of the out-of-core leg: half the
+    /// in-memory peak, floored at 4 KiB.
+    spill_budget_bytes: usize,
+    /// Observer-log high-water mark of the same campaign spilled under
+    /// `spill_budget_bytes` — live maps plus the per-segment key
+    /// filters, which is why it can exceed the budget slightly.
+    spill_measure_peak_bytes: usize,
+    /// `spill_measure_peak_bytes / spill_budget_bytes`: the bounded-
+    /// memory claim in one number.
+    spill_over_budget: f64,
+    /// Columnar segments flushed to disk across all vantages.
+    spill_segments: usize,
 }
 
 /// Shard count of the parallel-engine leg of the preset survey.
@@ -209,11 +233,47 @@ fn measure_preset(
             par_best = wall;
         }
     }
-    let seq_fp = run_campaign(&scenario).campaign.fingerprint();
+    let seq_outcome = run_campaign(&scenario);
+    let seq_fp = seq_outcome.campaign.fingerprint();
     assert_eq!(
         par_fp, seq_fp,
         "{name}: sharded fingerprint must match sequential"
     );
+    // Out-of-core pass: the identical campaign with observer logs
+    // spilled under half their in-memory high-water mark. The
+    // fingerprint must again match (segments export identically); the
+    // interesting numbers are the bounded peak and the segment count.
+    let measure_peak_bytes: usize = seq_outcome
+        .campaign
+        .observers
+        .iter()
+        .map(|(_, log)| log.peak_mem_bytes())
+        .sum();
+    let spill_budget_bytes = (measure_peak_bytes / 2).max(4096);
+    let spill_dir = std::env::temp_dir().join("ethmeter-bench-spill");
+    std::fs::create_dir_all(&spill_dir).expect("create spill dir");
+    let spill_scenario = Scenario::builder()
+        .preset(preset)
+        .seed(7)
+        .duration(duration)
+        .spill_dir(spill_dir)
+        .measure_budget(spill_budget_bytes)
+        .build();
+    let spill_outcome = run_campaign(&spill_scenario);
+    assert_eq!(
+        spill_outcome.campaign.fingerprint(),
+        seq_fp,
+        "{name}: spilled fingerprint must match in-memory"
+    );
+    let (spill_measure_peak_bytes, spill_segments) = spill_outcome
+        .campaign
+        .observers
+        .iter()
+        .fold((0usize, 0usize), |(peak, segs), (_, log)| {
+            (peak + log.peak_mem_bytes(), segs + log.spilled_segments())
+        });
+    let spill_over_budget = spill_measure_peak_bytes as f64 / spill_budget_bytes as f64;
+    drop(spill_outcome);
     // Allocation pass (separate from timing so counters don't share the
     // measured region with `Instant` bookkeeping).
     let (_, fresh) = measure_allocs(|| black_box(run_campaign(&scenario)));
@@ -228,8 +288,13 @@ fn measure_preset(
         "  throughput/{name}: {events} events in {best:.3}s best-of-{samples} \
          ({eps:.0} events/sec, {allocs_per_event:.3} allocs/event fresh, \
          {steady_allocs_per_event:.3} reused, peak {:.1} MiB; \
-         {PAR_SHARDS}-shard {par_best:.3}s => {par_speedup:.2}x)",
-        fresh.peak_growth_bytes as f64 / (1024.0 * 1024.0)
+         {PAR_SHARDS}-shard {par_best:.3}s => {par_speedup:.2}x; \
+         measure {:.1} KiB in-memory vs {:.1} KiB spilled under {:.1} KiB \
+         budget = {spill_over_budget:.2}x, {spill_segments} segments)",
+        fresh.peak_growth_bytes as f64 / (1024.0 * 1024.0),
+        measure_peak_bytes as f64 / 1024.0,
+        spill_measure_peak_bytes as f64 / 1024.0,
+        spill_budget_bytes as f64 / 1024.0,
     );
     PresetThroughput {
         name,
@@ -242,6 +307,11 @@ fn measure_preset(
         alloc_peak_bytes: fresh.peak_growth_bytes,
         par_wall_seconds: par_best,
         par_speedup,
+        measure_peak_bytes,
+        spill_budget_bytes,
+        spill_measure_peak_bytes,
+        spill_over_budget,
+        spill_segments,
     }
 }
 
@@ -374,6 +444,86 @@ fn measure_grid_memory(runs: usize, duration: SimDuration) -> GridMemory {
     }
 }
 
+/// The planet-preset spill smoke: a 10,000-node campaign measured under
+/// a fixed kilobyte-scale budget, fingerprint-checked against the same
+/// campaign with all-in-memory logs. This is the "planet-scale
+/// measurement" claim at bench scale: observer memory pinned by the
+/// budget while the network is 25x the medium preset.
+struct SpillSmoke {
+    nodes: usize,
+    sim_seconds: f64,
+    events: u64,
+    wall_seconds: f64,
+    budget_bytes: usize,
+    measure_peak_bytes: usize,
+    spill_measure_peak_bytes: usize,
+    spill_over_budget: f64,
+    spill_segments: usize,
+}
+
+fn measure_spill_smoke(duration: SimDuration, budget_bytes: usize) -> SpillSmoke {
+    let mem_scenario = Scenario::builder()
+        .preset(Preset::Planet)
+        .seed(7)
+        .duration(duration)
+        .build();
+    let mem_outcome = run_campaign(&mem_scenario);
+    let measure_peak_bytes: usize = mem_outcome
+        .campaign
+        .observers
+        .iter()
+        .map(|(_, log)| log.peak_mem_bytes())
+        .sum();
+    let mem_fp = mem_outcome.campaign.fingerprint();
+    drop(mem_outcome);
+    let spill_dir = std::env::temp_dir().join("ethmeter-bench-spill");
+    std::fs::create_dir_all(&spill_dir).expect("create spill dir");
+    let scenario = Scenario::builder()
+        .preset(Preset::Planet)
+        .seed(7)
+        .duration(duration)
+        .spill_dir(spill_dir)
+        .measure_budget(budget_bytes)
+        .build();
+    let start = Instant::now();
+    let outcome = run_campaign(&scenario);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(
+        outcome.campaign.fingerprint(),
+        mem_fp,
+        "planet: spilled fingerprint must match in-memory"
+    );
+    let (spill_measure_peak_bytes, spill_segments) = outcome
+        .campaign
+        .observers
+        .iter()
+        .fold((0usize, 0usize), |(peak, segs), (_, log)| {
+            (peak + log.peak_mem_bytes(), segs + log.spilled_segments())
+        });
+    let spill_over_budget = spill_measure_peak_bytes as f64 / budget_bytes as f64;
+    println!(
+        "  spill/planet: {} nodes, {} events in {wall_seconds:.1}s; measure \
+         {:.1} KiB in-memory vs {:.1} KiB spilled under {:.1} KiB budget \
+         = {spill_over_budget:.2}x, {spill_segments} segments",
+        scenario.ordinary_nodes,
+        outcome.events,
+        measure_peak_bytes as f64 / 1024.0,
+        spill_measure_peak_bytes as f64 / 1024.0,
+        budget_bytes as f64 / 1024.0,
+    );
+    SpillSmoke {
+        nodes: scenario.ordinary_nodes,
+        sim_seconds: duration.as_secs_f64(),
+        events: outcome.events,
+        wall_seconds,
+        budget_bytes,
+        measure_peak_bytes,
+        spill_measure_peak_bytes,
+        spill_over_budget,
+        spill_segments,
+    }
+}
+
 /// Event-queue microbench: ns per push+pop at a realistic pending-queue
 /// depth, with campaign-like inter-event spacing (link delays spread over
 /// hundreds of microseconds to tens of milliseconds) plus a share of
@@ -441,6 +591,21 @@ fn classic_benches(c: &mut Criterion, quick: bool) {
     g.bench_function("expected_maximal_runs", |b| {
         b.iter(|| black_box(expected_maximal_runs(201_086, 0.259, 8)))
     });
+
+    // The sweep-reduction hot path: folding many per-campaign CDFs into
+    // one. `merge_many` is a single k-way rebuild; the naive pairwise
+    // loop it replaced re-sorted the accumulated vector once per
+    // campaign (quadratic in total samples).
+    let parts: Vec<Cdf> = (0..256)
+        .map(|i| Cdf::from_values((0..64).map(|j| ((i * 64 + j) % 977) as f64)))
+        .collect();
+    g.bench_function("cdf_merge_many_256x64", |b| {
+        b.iter(|| {
+            let mut acc = Cdf::from_values(std::iter::empty());
+            acc.merge_many(parts.iter());
+            black_box(acc)
+        })
+    });
     g.finish();
 }
 
@@ -457,12 +622,13 @@ fn write_report(
     presets: &[PresetThroughput],
     sweep: &SweepThroughput,
     grid: &GridMemory,
+    spill: &SpillSmoke,
     queue_push_pop_ns: f64,
     criterion: &Criterion,
 ) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"ethmeter-bench-engine/v4\",\n");
+    out.push_str("  \"schema\": \"ethmeter-bench-engine/v5\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
@@ -508,7 +674,9 @@ fn write_report(
              \"speedup_vs_baseline\": {}, \"speedup_vs_pr2\": {}, \
              \"allocs_per_event\": {}, \"steady_allocs_per_event\": {}, \
              \"alloc_peak_bytes\": {}, \"par_wall_seconds\": {}, \
-             \"par_speedup\": {}}}{comma}\n",
+             \"par_speedup\": {}, \"measure_peak_bytes\": {}, \
+             \"spill_budget_bytes\": {}, \"spill_measure_peak_bytes\": {}, \
+             \"spill_over_budget\": {}, \"spill_segments\": {}}}{comma}\n",
             p.name,
             json_f64(p.sim_seconds),
             p.events,
@@ -521,6 +689,11 @@ fn write_report(
             p.alloc_peak_bytes,
             json_f64(p.par_wall_seconds),
             json_f64(p.par_speedup),
+            p.measure_peak_bytes,
+            p.spill_budget_bytes,
+            p.spill_measure_peak_bytes,
+            json_f64(p.spill_over_budget),
+            p.spill_segments,
         ));
     }
     out.push_str("  ],\n");
@@ -554,6 +727,22 @@ fn write_report(
         json_f64(grid.retain_over_single),
     ));
     out.push_str(&format!(
+        "  \"spill_smoke\": {{\"preset\": \"planet\", \"nodes\": {}, \
+         \"sim_seconds\": {}, \"events\": {}, \"wall_seconds\": {}, \
+         \"budget_bytes\": {}, \"measure_peak_bytes\": {}, \
+         \"spill_measure_peak_bytes\": {}, \"spill_over_budget\": {}, \
+         \"spill_segments\": {}}},\n",
+        spill.nodes,
+        json_f64(spill.sim_seconds),
+        spill.events,
+        json_f64(spill.wall_seconds),
+        spill.budget_bytes,
+        spill.measure_peak_bytes,
+        spill.spill_measure_peak_bytes,
+        json_f64(spill.spill_over_budget),
+        spill.spill_segments,
+    ));
+    out.push_str(&format!(
         "  \"queue_push_pop_ns\": {},\n",
         json_f64(queue_push_pop_ns)
     ));
@@ -582,9 +771,12 @@ fn main() {
     classic_benches(&mut criterion, quick);
 
     println!("group: throughput");
+    // Quick mode still takes best-of-3: a best-of-1 sub-100ms run on a
+    // shared single-core host swings +/-25% with scheduler noise, which
+    // is wider than the CI regression floor it feeds.
     let (samples, tiny_d, small_d, medium_d) = if quick {
         (
-            1,
+            3,
             SimDuration::from_mins(2),
             SimDuration::from_mins(2),
             SimDuration::from_mins(1),
@@ -617,10 +809,17 @@ fn main() {
         measure_grid_memory(256, SimDuration::from_mins(2))
     };
 
+    println!("group: spill smoke");
+    let spill = if quick {
+        measure_spill_smoke(SimDuration::from_mins(2), 64 << 10)
+    } else {
+        measure_spill_smoke(SimDuration::from_mins(10), 256 << 10)
+    };
+
     println!("group: queue");
     let queue_ns = measure_queue(if quick { 1 } else { 5 });
 
-    let report = write_report(mode, &presets, &sweep, &grid, queue_ns, &criterion);
+    let report = write_report(mode, &presets, &sweep, &grid, &spill, queue_ns, &criterion);
     // CARGO_MANIFEST_DIR = crates/bench; the report lives at the repo root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &report).expect("write BENCH_engine.json");

@@ -1,7 +1,8 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [EXPERIMENT] [--preset tiny|small|medium|paper|planet] [--seed N] [--json]
+//! repro [EXPERIMENT] [--preset tiny|small|medium|paper|planet] [--seed N]
+//!       [--shards N] [--spill-dir DIR] [--budget BYTES] [--json]
 //!
 //! EXPERIMENT:
 //!   all        every experiment (default)
@@ -16,13 +17,19 @@
 //!   table3     fork census + one-miner forks
 //!   fig7       consecutive-block sequences (campaign + 201k-block month)
 //!   rewards    per-pool revenue share vs hash-power share
+//!   decentralization  Nakamoto / Gini / HHI over hash power, block
+//!              production, first observation, and revenue (--json emits
+//!              the machine-readable table)
 //!   security   §III-D whole-chain sequence scan (7.7M blocks)
 //!   ablation   §V uncle-policy ablation
 //!   selfish    selfish-mining profitability thresholds (α × γ grid;
 //!              --json emits the machine-readable surface)
 //!
 //! The preset scales the campaign for campaign-backed experiments and the
-//! α × γ grid density for `selfish`.
+//! α × γ grid density for `selfish`. `--shards` runs the campaign on the
+//! sharded parallel engine; `--spill-dir` + `--budget` bound the
+//! measurement heap by spilling observer logs to columnar segments under
+//! DIR (bit-identical reports to the in-memory path).
 //! ```
 
 use std::process::ExitCode;
@@ -36,6 +43,9 @@ struct Args {
     experiment: String,
     preset: Preset,
     seed: u64,
+    shards: usize,
+    spill_dir: Option<std::path::PathBuf>,
+    budget: Option<usize>,
     json: bool,
 }
 
@@ -43,6 +53,9 @@ fn parse_args() -> Result<Args, String> {
     let mut experiment = "all".to_owned();
     let mut preset = Preset::Small;
     let mut seed = 42u64;
+    let mut shards = 1usize;
+    let mut spill_dir = None;
+    let mut budget = None;
     let mut json = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -63,15 +76,40 @@ fn parse_args() -> Result<Args, String> {
                 let v = argv.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
             }
+            "--shards" => {
+                let v = argv.next().ok_or("--shards needs a value")?;
+                shards = v.parse().map_err(|_| format!("bad shard count '{v}'"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--spill-dir" => {
+                let v = argv.next().ok_or("--spill-dir needs a value")?;
+                spill_dir = Some(std::path::PathBuf::from(v));
+            }
+            "--budget" => {
+                let v = argv.next().ok_or("--budget needs a value")?;
+                let b: usize = v.parse().map_err(|_| format!("bad budget '{v}'"))?;
+                if b == 0 {
+                    return Err("--budget must be positive".into());
+                }
+                budget = Some(b);
+            }
             "--help" | "-h" => return Err(String::new()),
             other if !other.starts_with('-') => experiment = other.to_owned(),
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
+    if budget.is_some() && spill_dir.is_none() {
+        return Err("--budget requires --spill-dir".into());
+    }
     Ok(Args {
         experiment,
         preset,
         seed,
+        shards,
+        spill_dir,
+        budget,
         json,
     })
 }
@@ -122,12 +160,20 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}");
             }
             eprintln!(
-                "usage: repro [EXPERIMENT] [--preset tiny|small|medium|paper|planet] [--seed N] [--json]"
+                "usage: repro [EXPERIMENT] [--preset tiny|small|medium|paper|planet] [--seed N] \
+                 [--shards N] [--spill-dir DIR] [--budget BYTES] [--json]"
             );
             return ExitCode::FAILURE;
         }
     };
-    let scenario = repro_scenario(args.preset, args.seed);
+    let mut scenario = repro_scenario(args.preset, args.seed);
+    scenario.shards = args.shards;
+    if let Some(dir) = &args.spill_dir {
+        scenario.spill_dir = Some(dir.clone());
+        if let Some(budget) = args.budget {
+            scenario.measure_budget_bytes = budget;
+        }
+    }
     let needs_campaign = matches!(
         args.experiment.as_str(),
         "all"
@@ -142,6 +188,7 @@ fn main() -> ExitCode {
             | "table3"
             | "fig7"
             | "rewards"
+            | "decentralization"
     );
     let campaign_and_suite = needs_campaign.then(|| run_suite(&scenario));
 
@@ -159,6 +206,13 @@ fn main() -> ExitCode {
         "fig6" => println!("{}\n", suite.fig6),
         "table3" => println!("{}\n", suite.table3),
         "rewards" => println!("{}\n", ethmeter_core::analysis::rewards::analyze(campaign)),
+        "decentralization" => {
+            if args.json {
+                println!("{}", suite.decentralization.to_json());
+            } else {
+                println!("{}\n", suite.decentralization);
+            }
+        }
         "fig7" => {
             println!("campaign-scale sequences:\n{}\n", suite.fig7);
             println!(
@@ -173,8 +227,18 @@ fn main() -> ExitCode {
         "all" => {
             let (campaign, suite) = campaign_and_suite.as_ref().expect("campaign ran");
             for name in [
-                "table1", "fig1", "table2", "fig2", "fig3", "fig4", "fig5", "fig6", "table3",
-                "fig7", "rewards",
+                "table1",
+                "fig1",
+                "table2",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "table3",
+                "fig7",
+                "rewards",
+                "decentralization",
             ] {
                 print_for(name, campaign, suite);
             }

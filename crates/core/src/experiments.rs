@@ -4,6 +4,7 @@
 use std::fmt;
 
 use ethmeter_analysis::commit::{CommitReport, OrderingReport};
+use ethmeter_analysis::decentralization::{Concentration, DecentralizationReport};
 use ethmeter_analysis::empty_blocks::EmptyBlockReport;
 use ethmeter_analysis::first_observation::{GeoReport, PoolReport};
 use ethmeter_analysis::forks::ForkReport;
@@ -11,7 +12,8 @@ use ethmeter_analysis::propagation::PropagationReport;
 use ethmeter_analysis::redundancy::{RedundancyError, RedundancyReport};
 use ethmeter_analysis::sequences::SequenceReport;
 use ethmeter_analysis::{
-    commit, empty_blocks, first_observation, forks, propagation, redundancy, sequences,
+    commit, decentralization, empty_blocks, first_observation, forks, propagation, redundancy,
+    sequences,
 };
 use ethmeter_chain::rewards::{uncle_reward, MilliEther};
 use ethmeter_chain::uncles::UnclePolicy;
@@ -51,6 +53,9 @@ pub struct Suite {
     pub table3: ForkReport,
     /// Figure 7 over the campaign's own (short) chain.
     pub fig7: SequenceReport,
+    /// Nakamoto / Gini / HHI over hash power, block production, first
+    /// observation, and revenue.
+    pub decentralization: DecentralizationReport,
 }
 
 impl Suite {
@@ -66,6 +71,7 @@ impl Suite {
             fig6: empty_blocks::analyze(data, 15),
             table3: forks::analyze(data),
             fig7: sequences::analyze(data),
+            decentralization: decentralization::analyze(data),
         }
     }
 }
@@ -120,6 +126,68 @@ pub fn headline_scalars() -> Scalars {
                 .median_commit_12()
                 .unwrap_or(0.0)
         })
+}
+
+/// The decentralization probe set for cross-seed grids: Nakamoto
+/// coefficient, Gini, and HHI over hash power, first-observation share,
+/// and revenue share — nine streaming scalar columns, one
+/// [`ethmeter_analysis::decentralization`] pass per run.
+pub fn decentralization_scalars() -> Scalars {
+    // All nine columns come from one analysis pass: the probe memoizes
+    // the scalar vector per job index (same pattern and determinism
+    // argument as `headline_scalars`' propagation cache).
+    let cache = std::sync::Arc::new(std::sync::Mutex::new(None::<(usize, [f64; 9])>));
+    let probe = move |ctx: &crate::metric::RunCtx<'_>, campaign: &_| -> [f64; 9] {
+        let mut cache = cache.lock().expect("probe cache never poisoned");
+        if let Some((index, value)) = *cache {
+            if index == ctx.index {
+                return value;
+            }
+        }
+        let r = decentralization::analyze(campaign);
+        let axis = |c: &Concentration| [f64::from(c.nakamoto), c.gini, c.hhi];
+        let [hn, hg, hh] = axis(&r.hash_power);
+        let [fn_, fg, fh] = axis(&r.first_observation);
+        let [rn, rg, rh] = axis(&r.revenue);
+        let value = [hn, hg, hh, fn_, fg, fh, rn, rg, rh];
+        *cache = Some((ctx.index, value));
+        value
+    };
+    let probe = std::sync::Arc::new(probe);
+    let names = [
+        "nakamoto_hash",
+        "gini_hash",
+        "hhi_hash",
+        "nakamoto_first_obs",
+        "gini_first_obs",
+        "hhi_first_obs",
+        "nakamoto_revenue",
+        "gini_revenue",
+        "hhi_revenue",
+    ];
+    let mut scalars = Scalars::new();
+    for (i, name) in names.into_iter().enumerate() {
+        let probe = std::sync::Arc::clone(&probe);
+        scalars = scalars.column(name, move |ctx, o| probe(ctx, &o.campaign)[i]);
+    }
+    scalars
+}
+
+/// Runs a seeds-only grid over `base` and returns the aggregated
+/// decentralization table — the cross-seed companion of
+/// [`decentralization_scalars`], ~flat in memory like
+/// [`cross_seed_report`].
+pub fn decentralization_report(
+    base: &Scenario,
+    first_seed: u64,
+    seeds: usize,
+    threads: usize,
+) -> GridReport {
+    Grid::new(base.clone())
+        .seed_range(first_seed, seeds)
+        .threads(threads)
+        .run(decentralization_scalars())
+        .output
 }
 
 /// Runs a seeds-only grid over `base` and returns the aggregated
@@ -549,9 +617,11 @@ mod tests {
         assert!(!suite.fig3.pools.is_empty());
         assert!(suite.fig6.total_blocks > 0);
         assert!(suite.fig7.total_blocks > 0);
+        assert!(suite.decentralization.blocks > 0);
+        assert!(suite.decentralization.hash_power.nakamoto >= 1);
         // Displays all render.
         let _ = format!(
-            "{}{}{}{}{}{}{}{}",
+            "{}{}{}{}{}{}{}{}{}",
             suite.fig1,
             suite.fig2,
             suite.fig3,
@@ -559,8 +629,32 @@ mod tests {
             suite.fig5,
             suite.fig6,
             suite.table3,
-            suite.fig7
+            suite.fig7,
+            suite.decentralization
         );
+    }
+
+    #[test]
+    fn decentralization_report_aggregates_scalars() {
+        let base = Scenario::builder()
+            .preset(Preset::Tiny)
+            .duration(SimDuration::from_mins(5))
+            .build();
+        let report = decentralization_report(&base, 1, 2, 2);
+        assert_eq!(report.rows.len(), 1, "seeds-only grid has one point");
+        assert_eq!(report.columns.len(), 9);
+        let row = &report.rows[0];
+        assert!(row.cells.iter().all(|c| c.runs == 2));
+        let col = |name: &str| {
+            let i = report.columns.iter().position(|c| c == name).expect("col");
+            &row.cells[i]
+        };
+        // The hash-power axis is configuration, identical across seeds.
+        assert!(col("nakamoto_hash").mean >= 1.0);
+        assert_eq!(col("nakamoto_hash").std_dev, 0.0);
+        assert!(col("hhi_revenue").mean > 0.0 && col("hhi_revenue").mean <= 1.0);
+        assert!(col("gini_first_obs").mean >= 0.0);
+        assert!(report.to_csv().contains("nakamoto_first_obs_mean"));
     }
 
     #[test]

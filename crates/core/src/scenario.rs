@@ -3,6 +3,8 @@
 //! A [`Scenario`] fully determines a campaign: the same scenario and seed
 //! reproduce the same dataset bit for bit.
 
+use std::path::PathBuf;
+
 use ethmeter_geo::{ClockModel, LatencyModel};
 use ethmeter_measure::VantagePoint;
 use ethmeter_mining::PoolDirectory;
@@ -74,6 +76,20 @@ pub struct Scenario {
     /// sharded engine, whose output is bit-identical to sequential at any
     /// shard count (pinned by the golden fingerprints).
     pub shards: usize,
+    /// Spill directory for out-of-core measurement. `Some` flips every
+    /// observer log to the columnar on-disk backend: once a log's
+    /// estimated in-memory record bytes cross its share of
+    /// [`Scenario::measure_budget_bytes`], it drains to sorted segment
+    /// files under this directory (deterministic names; unlinked when the
+    /// campaign data drops). Campaign output is bit-identical to the
+    /// in-memory backend. One spill dir must not be shared by
+    /// concurrently running campaigns (per-job sweep scenarios should
+    /// each point somewhere distinct).
+    pub spill_dir: Option<PathBuf>,
+    /// Total measurement-memory budget (bytes, estimated record storage
+    /// across all vantages) once [`Scenario::spill_dir`] is set. Split
+    /// evenly across observer logs.
+    pub measure_budget_bytes: usize,
 }
 
 impl Scenario {
@@ -130,6 +146,8 @@ pub enum ScenarioError {
     InvalidTxRate(f64),
     /// The mean inter-block time is zero.
     ZeroInterblock,
+    /// A spill dir was configured with a zero measurement budget.
+    ZeroMeasureBudget,
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -154,6 +172,10 @@ impl std::fmt::Display for ScenarioError {
                 f,
                 "mean inter-block time is zero — blocks cannot be mined infinitely fast"
             ),
+            ScenarioError::ZeroMeasureBudget => write!(
+                f,
+                "spill dir set with a zero measurement budget — every record would flush"
+            ),
         }
     }
 }
@@ -176,6 +198,8 @@ pub struct ScenarioBuilder {
     interblock: Option<SimDuration>,
     clock: Option<ClockModel>,
     shards: usize,
+    spill_dir: Option<PathBuf>,
+    measure_budget_bytes: Option<usize>,
 }
 
 impl ScenarioBuilder {
@@ -193,6 +217,8 @@ impl ScenarioBuilder {
             interblock: None,
             clock: None,
             shards: 1,
+            spill_dir: None,
+            measure_budget_bytes: None,
         }
     }
 
@@ -277,6 +303,25 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Enables out-of-core measurement: observer logs spill to columnar
+    /// segment files under `dir` once they exceed their share of the
+    /// measurement budget (see [`ScenarioBuilder::measure_budget`];
+    /// default 64 MiB). Output is bit-identical to the in-memory backend.
+    #[must_use]
+    pub fn spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the total measurement-memory budget in bytes (estimated
+    /// record storage across all vantages). Only meaningful together with
+    /// [`ScenarioBuilder::spill_dir`].
+    #[must_use]
+    pub fn measure_budget(mut self, bytes: usize) -> Self {
+        self.measure_budget_bytes = Some(bytes);
+        self
+    }
+
     /// Finalizes the scenario.
     ///
     /// # Panics
@@ -355,6 +400,10 @@ impl ScenarioBuilder {
         if pools.is_empty() {
             return Err(ScenarioError::EmptyPoolDirectory);
         }
+        let measure_budget_bytes = self.measure_budget_bytes.unwrap_or(64 << 20);
+        if self.spill_dir.is_some() && measure_budget_bytes == 0 {
+            return Err(ScenarioError::ZeroMeasureBudget);
+        }
 
         Ok(Scenario {
             seed: self.seed,
@@ -372,6 +421,8 @@ impl ScenarioBuilder {
             miner_lag_mean: SimDuration::from_millis(750),
             gateway_degree: 40,
             shards: self.shards.max(1),
+            spill_dir: self.spill_dir,
+            measure_budget_bytes,
         })
     }
 }
@@ -464,6 +515,34 @@ mod tests {
                 .build()
                 .shards,
             1
+        );
+    }
+
+    #[test]
+    fn spill_knobs_flow_through() {
+        let s = Scenario::builder()
+            .preset(Preset::Tiny)
+            .spill_dir("/tmp/ethmeter-spill")
+            .measure_budget(1 << 20)
+            .build();
+        assert_eq!(
+            s.spill_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/ethmeter-spill"))
+        );
+        assert_eq!(s.measure_budget_bytes, 1 << 20);
+        // Defaults: no spill, 64 MiB budget.
+        let d = Scenario::builder().preset(Preset::Tiny).build();
+        assert!(d.spill_dir.is_none());
+        assert_eq!(d.measure_budget_bytes, 64 << 20);
+        // Zero budget with a spill dir is rejected.
+        assert_eq!(
+            Scenario::builder()
+                .preset(Preset::Tiny)
+                .spill_dir("/tmp/x")
+                .measure_budget(0)
+                .build_checked()
+                .err(),
+            Some(ScenarioError::ZeroMeasureBudget)
         );
     }
 

@@ -40,7 +40,7 @@ use ethmeter_chain::tree::BlockTree;
 use ethmeter_chain::tx::Transaction;
 use ethmeter_chain::{BlockRegistry, TxRegistry};
 use ethmeter_geo::{BandwidthClass, ClockSkew};
-use ethmeter_measure::{BlockMsgKind, ObserverLog, VantagePoint};
+use ethmeter_measure::{BlockMsgKind, ObserverLog, SpillConfig, VantagePoint};
 use ethmeter_mining::{
     next_block_delay, BlockPlan, PoolBehavior, PoolDirectory, SelfishOutcome, SelfishState,
 };
@@ -261,6 +261,11 @@ pub struct SimWorld {
     /// `NextSubmission` events processed (replicated on every shard;
     /// the parallel merge subtracts the duplicates from event totals).
     submissions: u64,
+    /// Campaign ordinal on this world (increments per [`SimWorld::reset`]).
+    /// Folded into spill-segment file names so a reused runner's past
+    /// campaigns — whose extracted data may still reference its segment
+    /// files — never collide with the next campaign's spill output.
+    measure_epoch: u64,
     /// Run counters.
     pub stats: RunStats,
 }
@@ -337,6 +342,7 @@ impl SimWorld {
             ancestor_scratch: FxHashSet::default(),
             shard: None,
             submissions: 0,
+            measure_epoch: 0,
             stats: RunStats::default(),
         };
         world.reset(scenario);
@@ -353,6 +359,8 @@ impl SimWorld {
     /// A world whose campaign was extracted with [`SimWorld::take_campaign`]
     /// must be reset before its next run.
     pub fn reset(&mut self, scenario: &Scenario) {
+        let epoch = self.measure_epoch;
+        self.measure_epoch += 1;
         let mut root = Xoshiro256::seed_from_u64(scenario.seed);
         let mut rng_topo = root.fork("topology");
         let mut rng_place = root.fork("placement");
@@ -407,10 +415,24 @@ impl SimWorld {
             self.observers.push(ObserverState {
                 skew: scenario.clock.skew(&mut rng_clock),
             });
-            // Observer logs are reused across campaigns: clear in place.
+            // Observer logs are reused across campaigns: clear in place
+            // (releasing oversized buffers per the log's shrink policy).
             match self.logs.get_mut(slot) {
                 Some(log) => log.clear(),
                 None => self.logs.push(ObserverLog::new()),
+            }
+            // Budgeted campaigns spill to per-vantage columnar segments.
+            // The epoch in the prefix keeps this campaign's files disjoint
+            // from any still-referenced files of earlier campaigns on a
+            // reused world.
+            if let Some(dir) = &scenario.spill_dir {
+                let budget =
+                    (scenario.measure_budget_bytes / scenario.vantages.len().max(1)).max(1);
+                self.logs[slot].set_spill(Some(SpillConfig {
+                    dir: dir.clone(),
+                    budget_bytes: budget,
+                    prefix: format!("{}-e{epoch:04}", SpillConfig::sanitize(&v.name)),
+                }));
             }
         }
         self.logs.truncate(n_obs);

@@ -2,10 +2,10 @@
 
 use ethmeter_chain::tree::BlockTree;
 use ethmeter_chain::tx::Transaction;
-use ethmeter_types::{FxHashMap, PoolId, SimDuration, TxId};
+use ethmeter_types::{BlockHash, FxHashMap, PoolId, SimDuration, TxId};
 
 use crate::csv;
-use crate::log::ObserverLog;
+use crate::log::{BlockRecord, ObserverLog, TxRecord};
 use crate::vantage::VantagePoint;
 
 /// Simulator-side ground truth. The real experiment approximates these
@@ -68,6 +68,82 @@ impl CampaignData {
     /// Looks an observer up by name.
     pub fn observer(&self, name: &str) -> Option<&(VantagePoint, ObserverLog)> {
         self.observers.iter().find(|(v, _)| v.name == name)
+    }
+
+    /// Visits every distinct block observed by at least one main
+    /// observer, in ascending hash order, together with the observing
+    /// records as `(main-observer index, record)` pairs (ascending
+    /// observer index).
+    ///
+    /// This is the one iteration API the report families consume: it is
+    /// a k-way merge-join over the observers'
+    /// [`ObserverLog::scan_blocks`] streams, so spilled and in-memory
+    /// logs read identically and no caller ever materializes the raw
+    /// rows — memory is bounded by the scans' fixed chunked read-ahead,
+    /// not by campaign size.
+    pub fn for_each_main_block<F>(&self, mut f: F)
+    where
+        F: FnMut(BlockHash, &[(usize, BlockRecord)]),
+    {
+        let mut scans: Vec<_> = self
+            .main_observers()
+            .map(|(_, log)| log.scan_blocks().peekable())
+            .collect();
+        let mut group: Vec<(usize, BlockRecord)> = Vec::new();
+        loop {
+            let mut min: Option<BlockHash> = None;
+            for s in &mut scans {
+                if let Some(r) = s.peek() {
+                    min = Some(match min {
+                        Some(m) => m.min(r.hash),
+                        None => r.hash,
+                    });
+                }
+            }
+            let Some(min) = min else { break };
+            group.clear();
+            for (i, s) in scans.iter_mut().enumerate() {
+                if s.peek().is_some_and(|r| r.hash == min) {
+                    group.push((i, s.next().expect("peeked")));
+                }
+            }
+            f(min, &group);
+        }
+    }
+
+    /// Visits every distinct transaction observed by at least one main
+    /// observer, in ascending id order, with `(main-observer index,
+    /// record)` pairs — the transaction-side twin of
+    /// [`CampaignData::for_each_main_block`], streaming through
+    /// [`ObserverLog::scan_txs`].
+    pub fn for_each_main_tx<F>(&self, mut f: F)
+    where
+        F: FnMut(TxId, &[(usize, TxRecord)]),
+    {
+        let mut scans: Vec<_> = self
+            .main_observers()
+            .map(|(_, log)| log.scan_txs().peekable())
+            .collect();
+        let mut group: Vec<(usize, TxRecord)> = Vec::new();
+        loop {
+            let mut min: Option<TxId> = None;
+            for s in &mut scans {
+                if let Some(r) = s.peek() {
+                    min = Some(match min {
+                        Some(m) => m.min(r.id),
+                        None => r.id,
+                    });
+                }
+            }
+            let Some(min) = min else { break };
+            group.clear();
+            for (i, s) in scans.iter_mut().enumerate() {
+                if s.peek().is_some_and(|r| r.id == min) {
+                    group.push((i, s.next().expect("peeked")));
+                }
+            }
+            f(min, &group);
+        }
     }
 
     /// A stable 64-bit digest of the entire dataset: every observer log
@@ -249,6 +325,60 @@ mod tests {
             b.truth.txs.insert(TxId(id), tx(id));
         }
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn group_scans_join_main_observers_by_key() {
+        use ethmeter_types::{NodeId, SimTime};
+        let mut c = empty_campaign();
+        let t = SimTime::from_secs(1);
+        // Main observers are indices 0..4; index 4 is the redundancy
+        // observer and must never appear in a group.
+        c.observers[0].1.record_block_msg(
+            BlockHash(9),
+            crate::BlockMsgKind::Announce,
+            NodeId(1),
+            t,
+            t,
+        );
+        c.observers[0].1.record_block_msg(
+            BlockHash(3),
+            crate::BlockMsgKind::FullBlock,
+            NodeId(1),
+            t,
+            t,
+        );
+        c.observers[2].1.record_block_msg(
+            BlockHash(3),
+            crate::BlockMsgKind::FullBlock,
+            NodeId(2),
+            t,
+            t,
+        );
+        c.observers[4].1.record_block_msg(
+            BlockHash(3),
+            crate::BlockMsgKind::FullBlock,
+            NodeId(3),
+            t,
+            t,
+        );
+        let mut seen = Vec::new();
+        c.for_each_main_block(|hash, group| {
+            seen.push((hash, group.iter().map(|(i, _)| *i).collect::<Vec<_>>()));
+        });
+        assert_eq!(
+            seen,
+            vec![(BlockHash(3), vec![0, 2]), (BlockHash(9), vec![0])]
+        );
+
+        c.observers[1].1.record_tx(TxId(5), NodeId(1), t, t);
+        c.observers[3].1.record_tx(TxId(5), NodeId(2), t, t);
+        c.observers[3].1.record_tx(TxId(2), NodeId(2), t, t);
+        let mut seen = Vec::new();
+        c.for_each_main_tx(|id, group| {
+            seen.push((id, group.iter().map(|(i, _)| *i).collect::<Vec<_>>()));
+        });
+        assert_eq!(seen, vec![(TxId(2), vec![3]), (TxId(5), vec![1, 3])]);
     }
 
     #[test]

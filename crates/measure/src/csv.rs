@@ -123,9 +123,11 @@ fn kind_tag(kind: BlockMsgKind) -> &'static str {
 }
 
 /// Serializes an observer's block records (sorted by first true time, ties
-/// by hash, so exports are deterministic).
+/// by hash, so exports are deterministic). Reads through
+/// [`ObserverLog::scan_blocks`], so spilled and in-memory logs export the
+/// identical text (and therefore the identical campaign fingerprint).
 pub fn blocks_to_csv(log: &ObserverLog) -> String {
-    let mut rows: Vec<&BlockRecord> = log.blocks().collect();
+    let mut rows: Vec<BlockRecord> = log.scan_blocks().collect();
     rows.sort_by_key(|r| (r.first_true, r.hash));
     let mut out = String::with_capacity(64 * (rows.len() + 1));
     out.push_str(BLOCK_HEADER);
@@ -148,8 +150,9 @@ pub fn blocks_to_csv(log: &ObserverLog) -> String {
 }
 
 /// Serializes an observer's transaction records (sorted by arrival seq).
+/// Reads through [`ObserverLog::scan_txs`] — see [`blocks_to_csv`].
 pub fn txs_to_csv(log: &ObserverLog) -> String {
-    let mut rows: Vec<&TxRecord> = log.txs().collect();
+    let mut rows: Vec<TxRecord> = log.scan_txs().collect();
     rows.sort_by_key(|r| r.arrival_seq);
     let mut out = String::with_capacity(48 * (rows.len() + 1));
     out.push_str(TX_HEADER);

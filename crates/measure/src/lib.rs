@@ -15,7 +15,9 @@
 //!   ground truth (the paper's analogue: logs plus Etherscan
 //!   cross-checks);
 //! - [`csv`]: dataset export/import in a stable text format, standing in
-//!   for the paper's published measurement data.
+//!   for the paper's published measurement data;
+//! - [`spill`]: columnar on-disk segments backing budget-bounded
+//!   (out-of-core) observer logs for planet-scale campaigns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,8 +25,10 @@
 pub mod campaign;
 pub mod csv;
 pub mod log;
+pub mod spill;
 pub mod vantage;
 
 pub use campaign::{CampaignData, GroundTruth};
-pub use log::{BlockMsgKind, BlockRecord, ObserverLog, TxRecord};
+pub use log::{BlockMsgKind, BlockRecord, ObserverLog, TxRecord, MAX_RETAINED_BYTES};
+pub use spill::SpillConfig;
 pub use vantage::VantagePoint;

@@ -7,7 +7,11 @@
 //! month-scale simulations in memory. Raw per-message streams can be
 //! reconstructed for small runs via the `csv` module's record export.
 
+use std::sync::Arc;
+
 use ethmeter_types::{BlockHash, FxHashMap, NodeId, SimTime, TxId};
+
+use crate::spill::{self, BlockSegment, SpillConfig, TxSegment};
 
 /// How a block reached the observer (Table II's two message families).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,6 +66,29 @@ pub struct TxRecord {
     pub arrival_seq: u64,
 }
 
+/// Estimated resident bytes of one block map entry (record + key + hash
+/// table overhead) — the unit of the spill budget accounting.
+pub const BLOCK_ENTRY_BYTES: usize = 64;
+
+/// Estimated resident bytes of one tx map entry.
+pub const TX_ENTRY_BYTES: usize = 56;
+
+/// [`ObserverLog::clear`] drops (rather than retains) map allocations
+/// whose estimated capacity exceeds this, so one planet-sized campaign
+/// cannot pin its peak measurement heap across later small jobs on a
+/// reused runner.
+pub const MAX_RETAINED_BYTES: usize = 1 << 20;
+
+/// Out-of-core state of a budgeted log: its spill policy plus the
+/// immutable segments flushed so far (shared by reference with any
+/// clones, e.g. extracted campaign data).
+#[derive(Debug, Clone)]
+struct SpillState {
+    config: SpillConfig,
+    block_segments: Vec<Arc<BlockSegment>>,
+    tx_segments: Vec<Arc<TxSegment>>,
+}
+
 /// Everything one observer recorded.
 #[derive(Debug, Clone, Default)]
 pub struct ObserverLog {
@@ -72,12 +99,123 @@ pub struct ObserverLog {
     blocks: FxHashMap<BlockHash, BlockRecord>,
     txs: FxHashMap<TxId, TxRecord>,
     tx_arrivals: u64,
+    /// `Some` iff this log spills to disk once `record_bytes()` crosses
+    /// half the budget. The flush decision is a pure function of the
+    /// record stream (estimated byte counts), never of allocator state,
+    /// so segment boundaries are deterministic.
+    spill: Option<SpillState>,
+    /// Distinct blocks across segments and the live map (only maintained
+    /// under spill; equals `blocks.len()` otherwise).
+    distinct_blocks: usize,
+    /// High-water mark of [`ObserverLog::retained_bytes`].
+    peak_bytes: usize,
 }
 
 impl ObserverLog {
-    /// Creates an empty log.
+    /// Creates an empty in-memory log.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty log that spills under `config`'s budget.
+    pub fn with_spill(config: SpillConfig) -> Self {
+        let mut log = Self::default();
+        log.set_spill(Some(config));
+        log
+    }
+
+    /// Switches the backend: `Some` enables spilling (budget per
+    /// [`SpillConfig`]), `None` reverts to purely in-memory. Must only be
+    /// called on an empty (new or cleared) log.
+    pub fn set_spill(&mut self, config: Option<SpillConfig>) {
+        assert!(
+            self.blocks.is_empty() && self.txs.is_empty(),
+            "spill backend must be configured before recording"
+        );
+        self.spill = config.map(|config| SpillState {
+            config,
+            block_segments: Vec::new(),
+            tx_segments: Vec::new(),
+        });
+    }
+
+    /// True if this log spills to disk under a budget.
+    pub fn is_spilling(&self) -> bool {
+        self.spill.is_some()
+    }
+
+    /// Estimated resident bytes of the live record maps — the quantity
+    /// the spill budget bounds.
+    fn record_bytes(&self) -> usize {
+        self.blocks.len() * BLOCK_ENTRY_BYTES + self.txs.len() * TX_ENTRY_BYTES
+    }
+
+    /// Estimated resident bytes of everything this log retains: map
+    /// capacity plus (under spill) the per-segment key filters. The
+    /// filters cost 8 bytes per distinct key and are what exact
+    /// deduplication across segments needs; they are *not* counted
+    /// against the flush budget (flushing cannot shrink them).
+    pub fn retained_bytes(&self) -> usize {
+        let mut bytes =
+            self.blocks.capacity() * BLOCK_ENTRY_BYTES + self.txs.capacity() * TX_ENTRY_BYTES;
+        if let Some(sp) = &self.spill {
+            for s in &sp.block_segments {
+                bytes += s.rows() * 8;
+            }
+            for s in &sp.tx_segments {
+                bytes += s.rows() * 8;
+            }
+        }
+        bytes
+    }
+
+    /// High-water mark of [`ObserverLog::retained_bytes`] over this log's
+    /// life (since construction or the last [`ObserverLog::clear`]).
+    pub fn peak_mem_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Number of segments flushed to disk so far.
+    pub fn spilled_segments(&self) -> usize {
+        self.spill
+            .as_ref()
+            .map_or(0, |sp| sp.block_segments.len() + sp.tx_segments.len())
+    }
+
+    /// Post-record bookkeeping: track the heap high-water mark, then
+    /// flush if the live maps crossed *half* the budget. Half, because
+    /// the budget bounds resident bytes and [`ObserverLog::retained_bytes`]
+    /// counts map *capacity*, which can sit at ~2x the live length right
+    /// after a hash-map doubling — draining at `budget / 2` keeps the
+    /// capacity peak itself within the budget, not within 2x of it.
+    fn after_record(&mut self) {
+        self.peak_bytes = self.peak_bytes.max(self.retained_bytes());
+        if let Some(sp) = &self.spill {
+            if self.record_bytes() >= (sp.config.budget_bytes / 2).max(1) {
+                self.flush();
+            }
+        }
+    }
+
+    /// Drains the live maps into one new sorted columnar segment each
+    /// (skipping empty maps). File names are `{prefix}.blk{seq:04}.seg` /
+    /// `{prefix}.txs{seq:04}.seg` under the configured spill dir.
+    fn flush(&mut self) {
+        let sp = self.spill.as_mut().expect("flush requires spill config");
+        if !self.blocks.is_empty() {
+            let mut rows: Vec<BlockRecord> = self.blocks.drain().map(|(_, r)| r).collect();
+            rows.sort_unstable_by_key(|r| r.hash);
+            let name = format!("{}.blk{:04}.seg", sp.config.prefix, sp.block_segments.len());
+            sp.block_segments
+                .push(BlockSegment::write(&sp.config.dir, &name, &rows));
+        }
+        if !self.txs.is_empty() {
+            let mut rows: Vec<TxRecord> = self.txs.drain().map(|(_, r)| r).collect();
+            rows.sort_unstable_by_key(|r| r.id);
+            let name = format!("{}.txs{:04}.seg", sp.config.prefix, sp.tx_segments.len());
+            sp.tx_segments
+                .push(TxSegment::write(&sp.config.dir, &name, &rows));
+        }
     }
 
     /// Records a block-bearing or announcement message.
@@ -89,6 +227,7 @@ impl ObserverLog {
         local: SimTime,
         true_time: SimTime,
     ) {
+        let fresh = !self.blocks.contains_key(&hash);
         let entry = self.blocks.entry(hash).or_insert(BlockRecord {
             hash,
             first_local: local,
@@ -103,19 +242,37 @@ impl ObserverLog {
             BlockMsgKind::FullBlock => entry.full_blocks += 1,
         }
         // Defensive: receptions may be recorded out of true-time order only
-        // if the driver misbehaves; keep the earliest.
+        // if the driver misbehaves; keep the earliest. Under spill, a
+        // reception after a flush starts a *delta* record; the scan merge
+        // folds deltas back under this same earliest-wins rule.
         if true_time < entry.first_true {
             entry.first_true = true_time;
             entry.first_local = local;
             entry.first_kind = kind;
             entry.first_from = from;
         }
+        if fresh {
+            if let Some(sp) = &self.spill {
+                if !sp.block_segments.iter().any(|s| s.contains(hash)) {
+                    self.distinct_blocks += 1;
+                }
+            }
+        }
+        self.after_record();
     }
 
     /// Records a transaction reception (only the first one is kept).
     pub fn record_tx(&mut self, id: TxId, from: NodeId, local: SimTime, true_time: SimTime) {
         if self.txs.contains_key(&id) {
             return;
+        }
+        if let Some(sp) = &self.spill {
+            // Already flushed to a segment: still a duplicate. The filter
+            // check keeps `arrival_seq` assignment identical to the
+            // in-memory backend.
+            if sp.tx_segments.iter().any(|s| s.contains(id)) {
+                return;
+            }
         }
         let seq = self.tx_arrivals;
         self.tx_arrivals += 1;
@@ -129,46 +286,107 @@ impl ObserverLog {
                 arrival_seq: seq,
             },
         );
+        self.after_record();
     }
 
-    /// The record of a block, if observed.
+    /// The live (in-memory) record of a block, if present. Under spill,
+    /// flushed blocks are not visible here — use
+    /// [`ObserverLog::scan_blocks`] for complete reads.
     pub fn block(&self, hash: BlockHash) -> Option<&BlockRecord> {
         self.blocks.get(&hash)
     }
 
-    /// The record of a transaction, if observed.
+    /// The live (in-memory) record of a transaction, if present. Under
+    /// spill, flushed txs are not visible here — use
+    /// [`ObserverLog::scan_txs`] for complete reads.
     pub fn tx(&self, id: TxId) -> Option<&TxRecord> {
         self.txs.get(&id)
     }
 
-    /// Number of distinct blocks observed.
+    /// Number of distinct blocks observed (across segments and the live
+    /// map).
     pub fn block_count(&self) -> usize {
-        self.blocks.len()
+        match &self.spill {
+            Some(_) => self.distinct_blocks,
+            None => self.blocks.len(),
+        }
     }
 
-    /// Number of distinct transactions observed.
+    /// Number of distinct transactions observed (across segments and the
+    /// live map; ids are globally deduplicated, so segment rows are
+    /// disjoint).
     pub fn tx_count(&self) -> usize {
-        self.txs.len()
+        let spilled: usize = self
+            .spill
+            .as_ref()
+            .map_or(0, |sp| sp.tx_segments.iter().map(|s| s.rows()).sum());
+        spilled + self.txs.len()
     }
 
-    /// Iterates over block records (arbitrary, but deterministic, order).
+    /// Streams every block record in ascending hash order, merging
+    /// spilled segments with the live map. This is **the** iteration API:
+    /// both backends yield the bit-identical sequence for the same record
+    /// stream, so analyses built on it never see the difference.
+    pub fn scan_blocks(&self) -> spill::BlockScan {
+        let mut mem: Vec<BlockRecord> = self.blocks.values().copied().collect();
+        mem.sort_unstable_by_key(|r| r.hash);
+        let segs: &[Arc<BlockSegment>] = self
+            .spill
+            .as_ref()
+            .map_or(&[], |sp| sp.block_segments.as_slice());
+        spill::merge_block_scan(segs, mem)
+    }
+
+    /// Streams every transaction record in ascending id order, merging
+    /// spilled segments with the live map (counterpart of
+    /// [`ObserverLog::scan_blocks`]).
+    pub fn scan_txs(&self) -> spill::TxScan {
+        let mut mem: Vec<TxRecord> = self.txs.values().copied().collect();
+        mem.sort_unstable_by_key(|r| r.id);
+        let segs: &[Arc<TxSegment>] = self
+            .spill
+            .as_ref()
+            .map_or(&[], |sp| sp.tx_segments.as_slice());
+        spill::merge_tx_scan(segs, mem)
+    }
+
+    /// Iterates over live block records (arbitrary, but deterministic,
+    /// order; excludes spilled rows — prefer [`ObserverLog::scan_blocks`]).
     pub fn blocks(&self) -> impl Iterator<Item = &BlockRecord> + '_ {
         // detlint::allow(unordered-iter, reason = "documented-unordered accessor over an FxHashMap (deterministic per process); goldens pin the observable results and consumers sort or fold commutatively")
         self.blocks.values()
     }
 
-    /// Iterates over transaction records (arbitrary, but deterministic, order).
+    /// Iterates over live transaction records (arbitrary, but
+    /// deterministic, order; excludes spilled rows — prefer
+    /// [`ObserverLog::scan_txs`]).
     pub fn txs(&self) -> impl Iterator<Item = &TxRecord> + '_ {
         // detlint::allow(unordered-iter, reason = "documented-unordered accessor over an FxHashMap (deterministic per process); goldens pin the observable results and consumers sort or fold commutatively")
         self.txs.values()
     }
 
-    /// Forgets every record, retaining the maps' allocations. A cleared
-    /// log behaves exactly like a new one.
+    /// Forgets every record and drops this log's spill segments (their
+    /// files are unlinked once no extracted campaign references them). A
+    /// cleared log behaves exactly like a new in-memory one.
+    ///
+    /// Shrink policy: map allocations above [`MAX_RETAINED_BYTES`] are
+    /// released rather than retained, so a reused
+    /// [`CampaignRunner`](../core) that just finished a planet-scale job
+    /// does not pin that job's measurement heap under later small jobs.
     pub fn clear(&mut self) {
-        self.blocks.clear();
-        self.txs.clear();
+        if self.blocks.capacity() * BLOCK_ENTRY_BYTES + self.txs.capacity() * TX_ENTRY_BYTES
+            > MAX_RETAINED_BYTES
+        {
+            self.blocks = FxHashMap::default();
+            self.txs = FxHashMap::default();
+        } else {
+            self.blocks.clear();
+            self.txs.clear();
+        }
         self.tx_arrivals = 0;
+        self.spill = None;
+        self.distinct_blocks = 0;
+        self.peak_bytes = 0;
     }
 }
 
@@ -178,6 +396,122 @@ mod tests {
 
     fn t(ms: u64) -> SimTime {
         SimTime::from_nanos(ms * 1_000_000)
+    }
+
+    fn spill_cfg(tag: &str, budget: usize) -> SpillConfig {
+        SpillConfig {
+            dir: std::env::temp_dir().join(format!("ethmeter-log-test-{tag}")),
+            budget_bytes: budget,
+            prefix: format!("obs-{tag}"),
+        }
+    }
+
+    /// Replays a deterministic mixed record stream into `log`.
+    fn replay(log: &mut ObserverLog, n: u64) {
+        for i in 0..n {
+            let h = BlockHash(i % 97);
+            let kind = if i % 3 == 0 {
+                BlockMsgKind::Announce
+            } else {
+                BlockMsgKind::FullBlock
+            };
+            log.record_block_msg(h, kind, NodeId((i % 11) as u32), t(i + 1), t(i));
+            log.record_tx(TxId(i % 301), NodeId((i % 7) as u32), t(i + 2), t(i + 1));
+            // Duplicate tx receptions must be ignored on both backends.
+            log.record_tx(TxId(i % 301), NodeId(99), t(0), t(0));
+        }
+    }
+
+    #[test]
+    fn spilled_log_scans_bit_identical_to_in_memory() {
+        let mut mem = ObserverLog::new();
+        replay(&mut mem, 2_000);
+        // A budget this small forces many flushes mid-stream.
+        let mut spilled = ObserverLog::with_spill(spill_cfg("ident", 2_048));
+        replay(&mut spilled, 2_000);
+        assert!(spilled.spilled_segments() > 2, "budget must actually spill");
+        let a: Vec<BlockRecord> = mem.scan_blocks().collect();
+        let b: Vec<BlockRecord> = spilled.scan_blocks().collect();
+        assert_eq!(a, b);
+        let at: Vec<TxRecord> = mem.scan_txs().collect();
+        let bt: Vec<TxRecord> = spilled.scan_txs().collect();
+        assert_eq!(at, bt);
+        assert_eq!(mem.block_count(), spilled.block_count());
+        assert_eq!(mem.tx_count(), spilled.tx_count());
+        // Scans are ascending by key on both backends.
+        assert!(a.windows(2).all(|w| w[0].hash < w[1].hash));
+        assert!(at.windows(2).all(|w| w[0].id < w[1].id));
+    }
+
+    #[test]
+    fn scan_matches_the_unordered_accessors_in_memory() {
+        let mut log = ObserverLog::new();
+        replay(&mut log, 500);
+        let mut via_accessor: Vec<BlockRecord> = log.blocks().copied().collect();
+        via_accessor.sort_unstable_by_key(|r| r.hash);
+        let via_scan: Vec<BlockRecord> = log.scan_blocks().collect();
+        assert_eq!(via_scan, via_accessor);
+    }
+
+    #[test]
+    fn spill_bounds_live_records_and_tracks_peak() {
+        let budget = 4_096;
+        let mut log = ObserverLog::with_spill(spill_cfg("budget", budget));
+        replay(&mut log, 3_000);
+        // The live maps never hold more than one record past the budget.
+        let live = log.blocks.len() * BLOCK_ENTRY_BYTES + log.txs.len() * TX_ENTRY_BYTES;
+        assert!(live < budget + BLOCK_ENTRY_BYTES.max(TX_ENTRY_BYTES));
+        assert!(log.peak_mem_bytes() >= log.retained_bytes());
+        assert!(log.is_spilling());
+    }
+
+    #[test]
+    fn clear_releases_oversized_maps_and_spill_state() {
+        let mut log = ObserverLog::new();
+        // Grow the maps well past the retention cap.
+        for i in 0..40_000u64 {
+            log.record_tx(TxId(i), NodeId(1), t(i), t(i));
+        }
+        assert!(log.retained_bytes() > MAX_RETAINED_BYTES);
+        log.clear();
+        assert!(
+            log.retained_bytes() <= MAX_RETAINED_BYTES,
+            "clear must release oversized measurement buffers, retained {}",
+            log.retained_bytes()
+        );
+        assert_eq!(log.peak_mem_bytes(), 0);
+        assert_eq!(log.tx_count(), 0);
+
+        // A small log keeps its allocation (cheap reuse path).
+        let mut small = ObserverLog::new();
+        for i in 0..100u64 {
+            small.record_tx(TxId(i), NodeId(1), t(i), t(i));
+        }
+        let cap = small.txs.capacity();
+        small.clear();
+        assert_eq!(small.txs.capacity(), cap);
+
+        // Clearing a spilled log drops its segments (files unlink).
+        let mut sp = ObserverLog::with_spill(spill_cfg("clear", 1_024));
+        replay(&mut sp, 1_000);
+        assert!(sp.spilled_segments() > 0);
+        sp.clear();
+        assert_eq!(sp.spilled_segments(), 0);
+        assert!(!sp.is_spilling());
+    }
+
+    #[test]
+    fn extracted_clone_outlives_source_clear() {
+        // take_campaign clones logs and then resets the world; the clone
+        // must keep its segment files alive until it is dropped.
+        let mut log = ObserverLog::with_spill(spill_cfg("extract", 1_024));
+        replay(&mut log, 1_200);
+        let extracted = log.clone();
+        let before: Vec<BlockRecord> = extracted.scan_blocks().collect();
+        log.clear();
+        let after: Vec<BlockRecord> = extracted.scan_blocks().collect();
+        assert_eq!(before, after);
+        assert!(!before.is_empty());
     }
 
     #[test]

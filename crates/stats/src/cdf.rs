@@ -36,8 +36,64 @@ impl Cdf {
     /// never on the merge-tree shape — per-run CDFs streamed out of a
     /// sweep aggregate to the same object in any grouping.
     pub fn merge(&mut self, other: &Cdf) {
+        // Fast paths: empty operands and non-overlapping ranges (the common
+        // case when folding per-shard segments that cover disjoint spans)
+        // skip the element-wise merge walk entirely.
+        if other.sorted.is_empty() {
+            return;
+        }
+        if self.sorted.is_empty() {
+            self.sorted = other.sorted.clone();
+            return;
+        }
+        let self_last = *self.sorted.last().expect("non-empty");
+        if self_last <= other.sorted[0] {
+            self.sorted.extend_from_slice(&other.sorted);
+            return;
+        }
+        if *other.sorted.last().expect("non-empty") < self.sorted[0] {
+            let mut out = Vec::with_capacity(self.sorted.len() + other.sorted.len());
+            out.extend_from_slice(&other.sorted);
+            out.append(&mut self.sorted);
+            self.sorted = out;
+            return;
+        }
         let merged = merge_sorted(&self.sorted, &other.sorted);
         self.sorted = merged;
+    }
+
+    /// Folds many CDFs into this one in `O(n log k)` total work instead of
+    /// the `O(n·k)` a chain of pairwise [`Cdf::merge`] calls costs (each
+    /// pairwise merge re-copies the whole accumulated sample).
+    ///
+    /// The result is the same exact union-multiset CDF as any sequence of
+    /// pairwise merges — merging stays merge-tree independent — so sweeps
+    /// and the sharded engine can fold hundreds of per-segment CDFs without
+    /// quadratic re-copying.
+    pub fn merge_many<'a, I: IntoIterator<Item = &'a Cdf>>(&mut self, others: I) {
+        // Tournament fold: repeatedly merge pairs of runs until one is left.
+        let mut runs: Vec<Vec<f64>> = Vec::new();
+        if !self.sorted.is_empty() {
+            runs.push(std::mem::take(&mut self.sorted));
+        }
+        runs.extend(
+            others
+                .into_iter()
+                .filter(|c| !c.sorted.is_empty())
+                .map(|c| c.sorted.clone()),
+        );
+        while runs.len() > 1 {
+            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut it = runs.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(merge_sorted(&a, &b)),
+                    None => next.push(a),
+                }
+            }
+            runs = next;
+        }
+        self.sorted = runs.pop().unwrap_or_default();
     }
 
     /// Number of samples.
@@ -204,6 +260,54 @@ mod tests {
         let mut x = Cdf::from_values(a);
         x.merge(&Cdf::from_values(std::iter::empty()));
         assert_eq!(x, Cdf::from_values(a));
+    }
+
+    #[test]
+    fn merge_fast_paths_match_general_path() {
+        // Disjoint-after, disjoint-before, overlapping, and empty operands
+        // all land on the one-shot construction.
+        let cases: [(&[f64], &[f64]); 5] = [
+            (&[1.0, 2.0], &[3.0, 4.0]),
+            (&[3.0, 4.0], &[1.0, 2.0]),
+            (&[1.0, 3.0], &[2.0, 4.0]),
+            (&[], &[1.0, 2.0]),
+            (&[1.0, 2.0], &[]),
+        ];
+        for (a, b) in cases {
+            let mut m = Cdf::from_values(a.iter().copied());
+            m.merge(&Cdf::from_values(b.iter().copied()));
+            let oneshot = Cdf::from_values(a.iter().chain(b).copied());
+            assert_eq!(m, oneshot, "a={a:?} b={b:?}");
+        }
+        // Touching boundary (tie) stays exact too.
+        let mut m = Cdf::from_values([1.0, 2.0]);
+        m.merge(&Cdf::from_values([2.0, 3.0]));
+        assert_eq!(m, Cdf::from_values([1.0, 2.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn merge_many_equals_pairwise_chain() {
+        let parts: Vec<Vec<f64>> = (0..7)
+            .map(|k| (0..40).map(|i| ((i * 7 + k * 3) % 50) as f64).collect())
+            .collect();
+        let cdfs: Vec<Cdf> = parts
+            .iter()
+            .map(|p| Cdf::from_values(p.iter().copied()))
+            .collect();
+        let mut chained = cdfs[0].clone();
+        for c in &cdfs[1..] {
+            chained.merge(c);
+        }
+        let mut kway = cdfs[0].clone();
+        kway.merge_many(&cdfs[1..]);
+        assert_eq!(kway, chained);
+        // Degenerate inputs.
+        let mut empty = Cdf::from_values(std::iter::empty());
+        empty.merge_many(std::iter::empty());
+        assert!(empty.is_empty());
+        let mut single = Cdf::from_values([2.0, 1.0]);
+        single.merge_many(std::iter::empty());
+        assert_eq!(single, Cdf::from_values([1.0, 2.0]));
     }
 
     #[test]

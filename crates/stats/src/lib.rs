@@ -10,6 +10,8 @@
 //!   statistic (mean ± stddev plus percentile-of-percentiles spread);
 //! - [`histogram::Histogram`]: fixed-width binning with PDF normalization;
 //! - [`cdf::Cdf`]: empirical CDF with quantile and fraction-below queries;
+//! - [`sketch::QuantileSketch`]: fixed-size log-bucketed quantile sketch
+//!   with a deterministic (element-wise-add) merge for out-of-core runs;
 //! - [`runs`]: run-length extraction and the exact/approximate theory of
 //!   longest same-miner block sequences;
 //! - [`table`]: plain-text table rendering for paper-style reports.
@@ -27,10 +29,12 @@
 pub mod cdf;
 pub mod histogram;
 pub mod runs;
+pub mod sketch;
 pub mod summary;
 pub mod table;
 
 pub use cdf::Cdf;
 pub use histogram::Histogram;
+pub use sketch::QuantileSketch;
 pub use summary::{Aggregate, Summary};
 pub use table::Table;
