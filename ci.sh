@@ -18,9 +18,15 @@
 #                clean, and its JSON report must validate
 #   bench-smoke  engine bench in --quick mode: schema-validated JSON,
 #                the regression floor (speedup_vs_pr2 must stay within
-#                0.7x of the committed BENCH_engine.json), and the
+#                0.7x of the committed BENCH_engine.json), the
 #                out-of-core bound (spilled observer-log peak < 1.5x
-#                budget, per preset and on the planet smoke leg)
+#                budget, per preset and on the planet smoke leg), and
+#                the v6 churn leg (throughput under a 10%-churn script)
+#   dynamics-smoke  scripted network dynamics: partition and eclipse
+#                campaigns must be fingerprint-identical at 2/4/8 shards
+#                vs sequential, and `repro dynamics --json` must emit a
+#                schema-valid ethmeter-reorg/v1 document that is
+#                byte-identical between the sequential and 4-shard runs
 #   repro-smoke  `repro table3`, the selfish-threshold grid, and the
 #                spilled decentralization scalars on tiny presets:
 #                non-empty, schema-valid output
@@ -30,7 +36,7 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(build test golden par-smoke lint detlint bench-smoke repro-smoke)
+STAGES=(build test golden par-smoke lint detlint bench-smoke dynamics-smoke repro-smoke)
 
 stage_build() {
     cargo build --release
@@ -102,8 +108,15 @@ stage_bench_smoke() {
         trap "mv '$saved_report' BENCH_engine.json" EXIT
     fi
     cargo bench -p ethmeter-bench --bench engine -- --quick
-    test "$(jq -r .schema BENCH_engine.json)" = "ethmeter-bench-engine/v5"
+    test "$(jq -r .schema BENCH_engine.json)" = "ethmeter-bench-engine/v6"
     jq -e '.presets | length == 3' BENCH_engine.json > /dev/null
+    # v6 addition: the churn leg — throughput measured under a 10%-churn
+    # script next to the static baseline, with a real ratio between them.
+    jq -e '.churn | .preset == "tiny" and .churned_nodes >= 1
+                    and .static_events > 0 and .churn_events > 0
+                    and (.static_events_per_sec > 0)
+                    and (.churn_relative_throughput > 0)' \
+        BENCH_engine.json > /dev/null
     # v5 additions: the out-of-core measurement survey — every preset
     # must carry both backends' observer-log peaks and a spilled peak
     # bounded by ~1.5x its budget, and the planet smoke leg must have
@@ -165,6 +178,45 @@ stage_bench_smoke() {
              jq '[.presets[] | {name, committed: .speedup_vs_pr2}]' "$saved_report" >&2
              return 1; }
     fi
+}
+
+stage_dynamics_smoke() {
+    # Scripted network dynamics must not break the sharded determinism
+    # contract: the partition and eclipse integration tests pin the
+    # 2/4/8-shard fingerprints against the sequential reference.
+    # (one positional filter; it matches both the partition and the
+    # eclipse test)
+    cargo test --release --test dynamics -q \
+        script_fingerprint_is_shard_invariant
+    # The reorg-depth CLI: a schema-valid ethmeter-reorg/v1 document with
+    # the full k ∈ 1..=12 tail, byte-identical between the sequential and
+    # the 4-shard run of the same eclipse campaign.
+    cargo build --release -p ethmeter-bench --bin repro
+    local seq_json par_json
+    seq_json="$(mktemp)"
+    par_json="$(mktemp)"
+    ./target/release/repro dynamics --preset tiny --seed 7 --json \
+        > "$seq_json" 2> /dev/null
+    ./target/release/repro dynamics --preset tiny --seed 7 --shards 4 --json \
+        > "$par_json" 2> /dev/null
+    jq -e '
+        .schema == "ethmeter-reorg/v1"
+        and .canonical_blocks > 0
+        and (.rows | length == 12)
+        and ([.rows[].k] == [range(1; 13)])
+        and ([.rows[] | .p_revert >= 0 and .p_revert <= 1] | all)
+        and ([.rows[].reverted] == ([.rows[].reverted] | sort | reverse))' \
+        "$seq_json" > /dev/null \
+    || { echo "reorg JSON failed schema validation:" >&2
+         cat "$seq_json" >&2
+         rm -f "$seq_json" "$par_json"
+         return 1; }
+    cmp -s "$seq_json" "$par_json" \
+    || { echo "dynamics: 4-shard reorg document differs from sequential" >&2
+         diff "$seq_json" "$par_json" >&2 || true
+         rm -f "$seq_json" "$par_json"
+         return 1; }
+    rm -f "$seq_json" "$par_json"
 }
 
 stage_repro_smoke() {

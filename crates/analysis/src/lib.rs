@@ -14,6 +14,7 @@
 //! | [`forks`] | Table III and §III-C5 (fork census, one-miner forks) |
 //! | [`sequences`] | Figure 7 and §III-D (consecutive-block sequences, censorship windows) |
 //! | [`rewards`] | Per-pool revenue share vs hash-power share (the selfish-mining yardstick) |
+//! | [`reorg`] | Reorg-depth tail `P(revert ≥ k)` vs confirmation policy (double-spend exposure) |
 //! | [`decentralization`] | Nakamoto / Gini / HHI scalars over hash power, block production, first observation, and revenue |
 //!
 //! All analyzers consume a [`ethmeter_measure::CampaignData`]; the
@@ -26,7 +27,7 @@
 //! ([`propagation::Propagation`], [`redundancy::Redundancy`],
 //! [`first_observation::FirstObservation`], [`commit::Commit`],
 //! [`commit::CommitOrdering`], [`empty_blocks::EmptyBlocks`],
-//! [`forks::Forks`], [`rewards::Rewards`],
+//! [`forks::Forks`], [`rewards::Rewards`], [`reorg::Reorg`],
 //! [`decentralization::Decentralization`]) that folds one campaign at a time into a compact
 //! summary and can merge with other accumulators. The single-campaign
 //! `analyze` functions are the one-shot path through the same
@@ -45,6 +46,7 @@ pub mod first_observation;
 pub mod forks;
 pub mod propagation;
 pub mod redundancy;
+pub mod reorg;
 pub mod rewards;
 pub mod sequences;
 

@@ -1,5 +1,5 @@
 //! Simulator-throughput benchmarks and the `BENCH_engine.json` report
-//! (schema `ethmeter-bench-engine/v5`).
+//! (schema `ethmeter-bench-engine/v6`).
 //!
 //! Four jobs in one harness:
 //!
@@ -33,6 +33,12 @@
 //!    Plus a planet-preset spill smoke leg: 10,000 nodes measured under
 //!    a fixed kilobyte-scale budget, fingerprint-checked against the
 //!    same campaign in memory.
+//! 6. (v6) A churn-heavy leg: the tiny campaign static vs under a
+//!    10%-node-churn script, reporting events/sec for both and their
+//!    ratio — the dynamics subsystem's hot-path cost (per-send dead-link
+//!    checks plus park/re-dial work) in one number. The churn campaign
+//!    is also fingerprint-asserted against its own 4-shard run, so the
+//!    bench doubles as a sharded-determinism-under-dynamics check.
 //!
 //! The report embeds two frozen baselines measured on the reference
 //! container: the seed implementation (pre-dense-rewrite) and the PR 2
@@ -524,6 +530,99 @@ fn measure_spill_smoke(duration: SimDuration, budget_bytes: usize) -> SpillSmoke
     }
 }
 
+/// The churn survey: one tiny campaign static vs under 10% node churn.
+///
+/// The script takes 10% of the ordinary nodes down once each (random
+/// offsets over the first 80% of the campaign, 30-second downtimes), so
+/// the run exercises every dynamics hot-path cost at once: the per-send
+/// dead-link check, link parking/re-dialing, and the replicated dynamics
+/// events themselves. `churn_relative_throughput` is churn events/sec
+/// over static events/sec — the "dynamics tax" on gossip throughput.
+struct ChurnThroughput {
+    sim_seconds: f64,
+    churned_nodes: u32,
+    fraction: f64,
+    static_events: u64,
+    static_wall_seconds: f64,
+    static_events_per_sec: f64,
+    churn_events: u64,
+    churn_wall_seconds: f64,
+    churn_events_per_sec: f64,
+    churn_relative_throughput: f64,
+}
+
+fn measure_churn(duration: SimDuration, samples: u32) -> ChurnThroughput {
+    const NODES: u32 = 60; // the tiny preset's ordinary-node count
+    const FRACTION: f64 = 0.1;
+    let static_scenario = Scenario::builder()
+        .preset(Preset::Tiny)
+        .seed(7)
+        .duration(duration)
+        .build();
+    let script = ethmeter_core::dynamics::DynamicsScript::new().churn(
+        7,
+        NODES,
+        FRACTION,
+        SimTime::ZERO + SimDuration::from_secs(10),
+        duration.mul_f64(0.8),
+        SimDuration::from_secs(30),
+    );
+    let churned_nodes = ((f64::from(NODES) * FRACTION).round() as u32).min(NODES);
+    let churn_scenario = Scenario::builder()
+        .preset(Preset::Tiny)
+        .seed(7)
+        .duration(duration)
+        .dynamics(script)
+        .build();
+    let time = |scenario: &Scenario| -> (f64, u64, u64) {
+        let mut best = f64::INFINITY;
+        let mut events = 0;
+        let mut fp = 0;
+        for _ in 0..samples {
+            let start = Instant::now();
+            let outcome = black_box(run_campaign(scenario));
+            let wall = start.elapsed().as_secs_f64();
+            events = outcome.events;
+            fp = outcome.campaign.fingerprint();
+            if wall < best {
+                best = wall;
+            }
+        }
+        (best, events, fp)
+    };
+    let (static_wall, static_events, _) = time(&static_scenario);
+    let (churn_wall, churn_events, churn_fp) = time(&churn_scenario);
+    // The determinism contract under dynamics: the same churn script on
+    // the sharded engine must land on the identical campaign.
+    let mut par_scenario = churn_scenario.clone();
+    par_scenario.shards = PAR_SHARDS;
+    assert_eq!(
+        run_campaign(&par_scenario).campaign.fingerprint(),
+        churn_fp,
+        "churn: sharded fingerprint must match sequential"
+    );
+    let static_eps = static_events as f64 / static_wall;
+    let churn_eps = churn_events as f64 / churn_wall;
+    let relative = churn_eps / static_eps;
+    println!(
+        "  churn/tiny-{churned_nodes}of{NODES}: static {static_events} events \
+         in {static_wall:.3}s ({static_eps:.0} ev/s) vs churn {churn_events} \
+         events in {churn_wall:.3}s ({churn_eps:.0} ev/s) => {relative:.3}x"
+    );
+    ChurnThroughput {
+        sim_seconds: duration.as_secs_f64(),
+        churned_nodes,
+        fraction: FRACTION,
+        static_events,
+        static_wall_seconds: static_wall,
+        static_events_per_sec: static_eps,
+        churn_events,
+        churn_wall_seconds: churn_wall,
+        churn_events_per_sec: churn_eps,
+        churn_relative_throughput: relative,
+    }
+}
+
 /// Event-queue microbench: ns per push+pop at a realistic pending-queue
 /// depth, with campaign-like inter-event spacing (link delays spread over
 /// hundreds of microseconds to tens of milliseconds) plus a share of
@@ -617,18 +716,30 @@ fn json_f64(v: f64) -> String {
     }
 }
 
+/// The non-preset survey results, bundled for the report writer.
+struct Surveys<'a> {
+    sweep: &'a SweepThroughput,
+    grid: &'a GridMemory,
+    spill: &'a SpillSmoke,
+    churn: &'a ChurnThroughput,
+}
+
 fn write_report(
     mode: &str,
     presets: &[PresetThroughput],
-    sweep: &SweepThroughput,
-    grid: &GridMemory,
-    spill: &SpillSmoke,
+    surveys: &Surveys<'_>,
     queue_push_pop_ns: f64,
     criterion: &Criterion,
 ) -> String {
+    let Surveys {
+        sweep,
+        grid,
+        spill,
+        churn,
+    } = *surveys;
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"ethmeter-bench-engine/v5\",\n");
+    out.push_str("  \"schema\": \"ethmeter-bench-engine/v6\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     let host_cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     out.push_str(&format!("  \"host_cores\": {host_cores},\n"));
@@ -743,6 +854,23 @@ fn write_report(
         spill.spill_segments,
     ));
     out.push_str(&format!(
+        "  \"churn\": {{\"preset\": \"tiny\", \"sim_seconds\": {}, \
+         \"churned_nodes\": {}, \"fraction\": {}, \"static_events\": {}, \
+         \"static_wall_seconds\": {}, \"static_events_per_sec\": {}, \
+         \"churn_events\": {}, \"churn_wall_seconds\": {}, \
+         \"churn_events_per_sec\": {}, \"churn_relative_throughput\": {}}},\n",
+        json_f64(churn.sim_seconds),
+        churn.churned_nodes,
+        json_f64(churn.fraction),
+        churn.static_events,
+        json_f64(churn.static_wall_seconds),
+        json_f64(churn.static_events_per_sec),
+        churn.churn_events,
+        json_f64(churn.churn_wall_seconds),
+        json_f64(churn.churn_events_per_sec),
+        json_f64(churn.churn_relative_throughput),
+    ));
+    out.push_str(&format!(
         "  \"queue_push_pop_ns\": {},\n",
         json_f64(queue_push_pop_ns)
     ));
@@ -816,10 +944,28 @@ fn main() {
         measure_spill_smoke(SimDuration::from_mins(10), 256 << 10)
     };
 
+    println!("group: churn");
+    let churn = if quick {
+        measure_churn(SimDuration::from_mins(2), 3)
+    } else {
+        measure_churn(SimDuration::from_mins(20), 5)
+    };
+
     println!("group: queue");
     let queue_ns = measure_queue(if quick { 1 } else { 5 });
 
-    let report = write_report(mode, &presets, &sweep, &grid, &spill, queue_ns, &criterion);
+    let report = write_report(
+        mode,
+        &presets,
+        &Surveys {
+            sweep: &sweep,
+            grid: &grid,
+            spill: &spill,
+            churn: &churn,
+        },
+        queue_ns,
+        &criterion,
+    );
     // CARGO_MANIFEST_DIR = crates/bench; the report lives at the repo root.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &report).expect("write BENCH_engine.json");

@@ -24,6 +24,10 @@
 //!   ablation   §V uncle-policy ablation
 //!   selfish    selfish-mining profitability thresholds (α × γ grid;
 //!              --json emits the machine-readable surface)
+//!   dynamics   eclipse-attack reorg-depth tail: a 30%-hash-power victim
+//!              pool is eclipsed for a quarter of the campaign and the
+//!              P(revert ≥ k) table for k ∈ 1..=12 is printed (--json
+//!              emits the ethmeter-reorg/v1 document)
 //!
 //! The preset scales the campaign for campaign-backed experiments and the
 //! α × γ grid density for `selfish`. `--shards` runs the campaign on the
@@ -251,6 +255,28 @@ fn main() -> ExitCode {
         }
         "selfish" => {
             let report = selfish_report(args.preset, args.seed);
+            if args.json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{report}");
+            }
+        }
+        "dynamics" => {
+            let mut base = scenario.clone();
+            base.pools = experiments::victim_vs_rest_pools(0.3, 2);
+            let start = base.duration.mul_f64(0.25);
+            let window = base.duration.mul_f64(0.25);
+            eprintln!(
+                "eclipsing pool 0 (30% hash power) for {window} starting at t+{start}, \
+                 seed {} ...",
+                base.seed
+            );
+            let report = experiments::eclipse_reorg_report(
+                &base,
+                ethmeter_core::types::PoolId(0),
+                start,
+                window,
+            );
             if args.json {
                 println!("{}", report.to_json());
             } else {

@@ -20,9 +20,11 @@ use ethmeter_chain::uncles::UnclePolicy;
 use ethmeter_measure::CampaignData;
 use ethmeter_stats::table::{grouped, pct, Table};
 
+use ethmeter_analysis::reorg::{self, ReorgReport};
 use ethmeter_analysis::rewards;
-use ethmeter_mining::{PoolDirectory, SelfishConfig};
-use ethmeter_types::PoolId;
+use ethmeter_dynamics::{DynamicsScript, RegionMask};
+use ethmeter_mining::{PoolBehavior, PoolConfig, PoolDirectory, SelfishConfig, Strategy};
+use ethmeter_types::{PoolId, Region, SimDuration, SimTime};
 
 use crate::chainonly::{run_chain_only, ChainOnlyConfig};
 use crate::grid::Grid;
@@ -564,6 +566,183 @@ pub fn selfish_sim_grid(
         })
         .threads(threads)
         .run(revenue_scalars(PoolId(0)))
+        .output
+}
+
+// ---- Network dynamics & attacks (EXPERIMENTS.md §dynamics) ----
+
+/// The east/rest region split used by the canonical partition scenarios:
+/// the Asian-Pacific regions on one side, everything else on the other
+/// (the paper's EA vantage vs its European/American ones).
+pub fn east_west_masks() -> (RegionMask, RegionMask) {
+    let east = RegionMask::of(&[Region::EasternAsia, Region::SouthAsia, Region::Oceania]);
+    (east, east.complement())
+}
+
+/// A victim-vs-rest pool directory: pool 0 ("Victim") holds hash share
+/// `gamma` with `victim_gateways` gateways spread over distinct regions,
+/// facing three equal honest pools splitting the remainder — the
+/// all-honest mirror of [`PoolDirectory::attacker_vs_honest`], used by
+/// the eclipse experiments (the attacker is the *network*, not a mining
+/// strategy).
+///
+/// # Panics
+///
+/// Panics if `gamma` is outside `(0, 1)` or `victim_gateways` is 0.
+pub fn victim_vs_rest_pools(gamma: f64, victim_gateways: usize) -> PoolDirectory {
+    assert!(
+        gamma > 0.0 && gamma < 1.0,
+        "victim share must be in (0, 1), got {gamma}"
+    );
+    assert!(victim_gateways > 0, "victim needs at least one gateway");
+    let mut pools = vec![PoolConfig {
+        id: PoolId(0),
+        name: "Victim".to_owned(),
+        share: gamma,
+        gateway_regions: (0..victim_gateways.min(Region::COUNT))
+            .map(|i| (Region::ALL[i], 1.0))
+            .collect(),
+        gateway_count: victim_gateways,
+        strategy: Strategy::honest(),
+        behavior: PoolBehavior::Honest,
+    }];
+    let rest = 3usize;
+    for i in 0..rest {
+        pools.push(PoolConfig {
+            id: PoolId(1 + i as u16),
+            name: format!("Rest-{i}"),
+            share: (1.0 - gamma) / rest as f64,
+            gateway_regions: vec![
+                (Region::ALL[(2 * i) % Region::COUNT], 0.6),
+                (Region::ALL[(2 * i + 3) % Region::COUNT], 0.4),
+            ],
+            gateway_count: 2,
+            strategy: Strategy::honest(),
+            behavior: PoolBehavior::Honest,
+        });
+    }
+    PoolDirectory::new(pools)
+}
+
+/// Reorg-depth probe columns for dynamics grids: `p_revert_1`,
+/// `p_revert_6`, `p_revert_12` (the `P(revert ≥ k)` tail at the common
+/// confirmation policies) and `abandoned_blocks`. All four come from one
+/// [`reorg::analyze`] pass, memoized per job index (same pattern and
+/// determinism argument as `headline_scalars`' propagation cache).
+pub fn reorg_scalars() -> Scalars {
+    let cache = std::sync::Arc::new(std::sync::Mutex::new(None::<(usize, [f64; 4])>));
+    let probe = move |ctx: &crate::metric::RunCtx<'_>, campaign: &_| -> [f64; 4] {
+        let mut cache = cache.lock().expect("probe cache never poisoned");
+        if let Some((index, value)) = *cache {
+            if index == ctx.index {
+                return value;
+            }
+        }
+        let r = reorg::analyze(campaign);
+        let value = [
+            r.p_revert(1),
+            r.p_revert(6),
+            r.p_revert(12),
+            r.abandoned_blocks as f64,
+        ];
+        *cache = Some((ctx.index, value));
+        value
+    };
+    let probe = std::sync::Arc::new(probe);
+    let names = [
+        "p_revert_1",
+        "p_revert_6",
+        "p_revert_12",
+        "abandoned_blocks",
+    ];
+    let mut scalars = Scalars::new();
+    for (i, name) in names.into_iter().enumerate() {
+        let probe = std::sync::Arc::clone(&probe);
+        scalars = scalars.column(name, move |ctx, o| probe(ctx, &o.campaign)[i]);
+    }
+    scalars
+}
+
+/// One eclipse campaign: the victim pool's gateways are isolated for
+/// `eclipse` starting at `start`, and the ground-truth reorg-depth table
+/// (`P(revert ≥ k)`) is computed from the resulting chain. Dispatches on
+/// `base.shards` like [`run_campaign`].
+pub fn eclipse_reorg_report(
+    base: &Scenario,
+    victim: PoolId,
+    start: SimDuration,
+    eclipse: SimDuration,
+) -> ReorgReport {
+    let mut s = base.clone();
+    s.dynamics = DynamicsScript::new().eclipse_window(SimTime::ZERO + start, eclipse, victim);
+    reorg::analyze(&run_campaign(&s).campaign)
+}
+
+/// The partition-resilience surface: regional partition duration × pool
+/// count (hash-power concentration — `n` uniform pools have Nakamoto
+/// coefficient `⌈(n+1)/2⌉`), with the reorg tail per point. The
+/// partition opens a quarter into the run and splits the east/west
+/// region sets of [`east_west_masks`].
+pub fn partition_surface(
+    base: &Scenario,
+    partition_secs: &[u64],
+    pool_counts: &[usize],
+    first_seed: u64,
+    seeds: usize,
+    threads: usize,
+) -> GridReport {
+    let start = SimTime::ZERO + base.duration.mul_f64(0.25);
+    Grid::new(base.clone())
+        .seed_range(first_seed, seeds)
+        .axis(
+            "partition_secs",
+            partition_secs.to_vec(),
+            move |s, &secs| {
+                let (east, west) = east_west_masks();
+                s.dynamics = DynamicsScript::new().partition_window(
+                    start,
+                    SimDuration::from_secs(secs),
+                    east,
+                    west,
+                );
+            },
+        )
+        .axis("pools", pool_counts.to_vec(), |s, &n| {
+            s.pools = PoolDirectory::uniform(n, 2);
+        })
+        .threads(threads)
+        .run(reorg_scalars())
+        .output
+}
+
+/// The eclipse surface: eclipse duration × victim hash share γ, with the
+/// reorg tail per point. The victim (pool 0 of
+/// [`victim_vs_rest_pools`]) is isolated from a quarter into the run; a
+/// bigger γ mines a taller island chain in the same wall of time, so the
+/// `P(revert ≥ k)` tail thickens along both axes.
+pub fn eclipse_surface(
+    base: &Scenario,
+    eclipse_secs: &[u64],
+    gammas: &[f64],
+    first_seed: u64,
+    seeds: usize,
+    threads: usize,
+) -> GridReport {
+    let start = SimTime::ZERO + base.duration.mul_f64(0.25);
+    Grid::new(base.clone())
+        .seed_range(first_seed, seeds)
+        .axis("eclipse_secs", eclipse_secs.to_vec(), move |s, &secs| {
+            s.dynamics = DynamicsScript::new().eclipse_window(
+                start,
+                SimDuration::from_secs(secs),
+                PoolId(0),
+            );
+        })
+        .axis("gamma", gammas.to_vec(), |s, &g| {
+            s.pools = victim_vs_rest_pools(g, 2);
+        })
+        .threads(threads)
+        .run(reorg_scalars())
         .output
 }
 

@@ -95,6 +95,7 @@ pub use world::{RunStats, SimWorld};
 // need only depend on the facade.
 pub use ethmeter_analysis as analysis;
 pub use ethmeter_chain as chain;
+pub use ethmeter_dynamics as dynamics;
 pub use ethmeter_geo as geo;
 pub use ethmeter_measure as measure;
 pub use ethmeter_mining as mining;
@@ -115,8 +116,11 @@ pub mod prelude {
     pub use crate::scenario::{Preset, Scenario, ScenarioError};
     pub use crate::selfish::{run_selfish_race, SelfishRaceConfig, SelfishRaceResult};
     pub use crate::sweep::{Sweep, SweepOutcome, SweepRun};
-    pub use crate::{analysis, chain, geo, measure, mining, net, sim, stats, types, workload};
+    pub use crate::{
+        analysis, chain, dynamics, geo, measure, mining, net, sim, stats, types, workload,
+    };
     pub use ethmeter_analysis::Reduce;
+    pub use ethmeter_dynamics::{DynamicsEvent, DynamicsScript, RegionMask};
     pub use ethmeter_measure::CampaignData;
     pub use ethmeter_stats::Aggregate;
     pub use ethmeter_types::{Region, SimDuration, SimTime};

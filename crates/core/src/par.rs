@@ -56,8 +56,17 @@ use crate::world::{RunStats, SimWorld};
 /// overhead + link latency, floored by the latency model) or a gateway
 /// block injection (fixed gateway delay, larger still), so `proc_overhead
 /// + latency floor` bounds both from below.
+///
+/// A dynamics script can *shrink* link latency at runtime (a sub-1.0
+/// [`ethmeter_dynamics::DynamicsEvent::LatencyScale`] window), so the
+/// floor is pre-tightened by the script's minimum scale — computed once
+/// here, before any worker starts, which keeps the window size a run
+/// constant. Scripts without latency events leave the bound untouched
+/// (`min_latency_scale()` is 1.0 and `mul_f64(1.0)` is exact on the
+/// nanosecond floor).
 fn lookahead(scenario: &Scenario) -> SimDuration {
-    scenario.net.proc_overhead + scenario.latency.min_delay()
+    let scale = scenario.dynamics.min_latency_scale();
+    scenario.net.proc_overhead + scenario.latency.min_delay().mul_f64(scale)
 }
 
 /// A sense-reversing barrier with a spin fast path and a parking slow
@@ -378,10 +387,12 @@ fn merge(scenario: &Scenario, map: &ShardMap, mut worlds: Vec<(SimWorld, u64)>) 
     // the destination's, bytes on the sender's, mining and import
     // counters on the owner's), so summation reproduces the sequential
     // totals. The only replicated events are the workload's
-    // `NextSubmission` ticks, subtracted from the processed-event sum.
+    // `NextSubmission` ticks and the dynamics script's
+    // `Dynamics`/`FloodTick` events, subtracted from the processed sum.
     let mut stats = RunStats::default();
     let mut processed = 0u64;
     let submissions = worlds[0].0.submission_events();
+    let dynamics = worlds[0].0.dynamics_events();
     for (world, events) in &worlds {
         stats.merge(&world.stats);
         processed += events;
@@ -390,8 +401,13 @@ fn merge(scenario: &Scenario, map: &ShardMap, mut worlds: Vec<(SimWorld, u64)>) 
             submissions,
             "workload ticks are replicated and must agree across shards"
         );
+        debug_assert_eq!(
+            world.dynamics_events(),
+            dynamics,
+            "dynamics events are replicated and must agree across shards"
+        );
     }
-    let events = processed - (worlds.len() as u64 - 1) * submissions;
+    let events = processed - (worlds.len() as u64 - 1) * (submissions + dynamics);
 
     // Ground-truth blocks: concatenate each shard's locally minted
     // blocks (already in creation order) and stable-sort on the

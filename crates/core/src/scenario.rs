@@ -5,6 +5,7 @@
 
 use std::path::PathBuf;
 
+use ethmeter_dynamics::{DynamicsError, DynamicsScript};
 use ethmeter_geo::{ClockModel, LatencyModel};
 use ethmeter_measure::VantagePoint;
 use ethmeter_mining::PoolDirectory;
@@ -90,6 +91,10 @@ pub struct Scenario {
     /// across all vantages) once [`Scenario::spill_dir`] is set. Split
     /// evenly across observer logs.
     pub measure_budget_bytes: usize,
+    /// Scheduled network dynamics (churn, partitions, eclipse, floods).
+    /// Empty by default: the static world, bit-identical to scenarios
+    /// built before the dynamics layer existed (pinned by the goldens).
+    pub dynamics: DynamicsScript,
 }
 
 impl Scenario {
@@ -148,6 +153,10 @@ pub enum ScenarioError {
     ZeroInterblock,
     /// A spill dir was configured with a zero measurement budget.
     ZeroMeasureBudget,
+    /// The dynamics script references entities outside the world or
+    /// carries malformed parameters (the payload names the offending
+    /// entry's virtual time).
+    Dynamics(DynamicsError),
 }
 
 impl std::fmt::Display for ScenarioError {
@@ -176,6 +185,7 @@ impl std::fmt::Display for ScenarioError {
                 f,
                 "spill dir set with a zero measurement budget — every record would flush"
             ),
+            ScenarioError::Dynamics(e) => write!(f, "dynamics script rejected: {e}"),
         }
     }
 }
@@ -200,6 +210,7 @@ pub struct ScenarioBuilder {
     shards: usize,
     spill_dir: Option<PathBuf>,
     measure_budget_bytes: Option<usize>,
+    dynamics: DynamicsScript,
 }
 
 impl ScenarioBuilder {
@@ -219,6 +230,7 @@ impl ScenarioBuilder {
             shards: 1,
             spill_dir: None,
             measure_budget_bytes: None,
+            dynamics: DynamicsScript::new(),
         }
     }
 
@@ -322,6 +334,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a network-dynamics script (churn, partitions, eclipse,
+    /// floods). Entries are validated against the built world's node and
+    /// pool population; an out-of-range reference fails the build with a
+    /// [`ScenarioError::Dynamics`] naming the offending entry's time.
+    #[must_use]
+    pub fn dynamics(mut self, script: DynamicsScript) -> Self {
+        self.dynamics = script;
+        self
+    }
+
     /// Finalizes the scenario.
     ///
     /// # Panics
@@ -404,6 +426,14 @@ impl ScenarioBuilder {
         if self.spill_dir.is_some() && measure_budget_bytes == 0 {
             return Err(ScenarioError::ZeroMeasureBudget);
         }
+        let vantages = self.vantages.unwrap_or_else(VantagePoint::paper_all);
+        // The world numbers ordinary nodes, then pool gateways, then
+        // observers — the script may address any of them.
+        let gateway_nodes: usize = pools.iter().map(|p| p.gateway_count).sum();
+        let total_nodes = ordinary + gateway_nodes + vantages.len();
+        self.dynamics
+            .validate(total_nodes, pools.len())
+            .map_err(ScenarioError::Dynamics)?;
 
         Ok(Scenario {
             seed: self.seed,
@@ -417,12 +447,13 @@ impl ScenarioBuilder {
             interblock,
             gas_limit,
             workload,
-            vantages: self.vantages.unwrap_or_else(VantagePoint::paper_all),
+            vantages,
             miner_lag_mean: SimDuration::from_millis(750),
             gateway_degree: 40,
             shards: self.shards.max(1),
             spill_dir: self.spill_dir,
             measure_budget_bytes,
+            dynamics: self.dynamics,
         })
     }
 }
@@ -579,6 +610,38 @@ mod tests {
         assert_eq!(checked.gas_limit, unchecked.gas_limit);
         // Error messages explain themselves.
         assert!(ScenarioError::ZeroNodes.to_string().contains("zero"));
+    }
+
+    #[test]
+    fn dynamics_scripts_validate_against_the_world() {
+        use ethmeter_dynamics::{DynamicsError, DynamicsEvent};
+        use ethmeter_types::{NodeId, SimTime};
+
+        // Default: the static world.
+        let s = Scenario::builder().preset(Preset::Tiny).build();
+        assert!(s.dynamics.is_empty());
+
+        // A valid script flows through.
+        let at = SimTime::ZERO + SimDuration::from_mins(1);
+        let ok = Scenario::builder()
+            .preset(Preset::Tiny)
+            .dynamics(DynamicsScript::new().churn_window(at, SimDuration::from_mins(2), NodeId(3)))
+            .build();
+        assert_eq!(ok.dynamics.entries().len(), 2);
+
+        // Out-of-world references are rejected with the offending time.
+        let err = Scenario::builder()
+            .preset(Preset::Tiny)
+            .dynamics(DynamicsScript::new().at(at, DynamicsEvent::NodeDown(NodeId(100_000))))
+            .build_checked()
+            .err();
+        assert_eq!(
+            err,
+            Some(ScenarioError::Dynamics(DynamicsError::UnknownNode {
+                at,
+                node: NodeId(100_000)
+            }))
+        );
     }
 
     #[test]

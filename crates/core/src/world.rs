@@ -39,6 +39,7 @@ use ethmeter_chain::block::{Block, BlockBuilder};
 use ethmeter_chain::tree::BlockTree;
 use ethmeter_chain::tx::Transaction;
 use ethmeter_chain::{BlockRegistry, TxRegistry};
+use ethmeter_dynamics::{DynamicsEvent, RegionMask};
 use ethmeter_geo::{BandwidthClass, ClockSkew};
 use ethmeter_measure::{BlockMsgKind, ObserverLog, SpillConfig, VantagePoint};
 use ethmeter_mining::{
@@ -52,8 +53,8 @@ use ethmeter_sim::dist::{Exp, LogNormal};
 use ethmeter_sim::engine::Scheduler;
 use ethmeter_sim::{World, Xoshiro256};
 use ethmeter_types::{
-    BlockHash, BlockIdx, BlockNumber, ByteSize, FxHashMap, FxHashSet, NodeId, PoolId, Region,
-    SimDuration, SimTime, TxId, TxIdx,
+    AccountId, BlockHash, BlockIdx, BlockNumber, ByteSize, FxHashMap, FxHashSet, NodeId, PoolId,
+    Region, SimDuration, SimTime, TxId, TxIdx,
 };
 use std::sync::Arc;
 
@@ -120,6 +121,22 @@ pub enum Event {
         /// The transaction's registry slot.
         idx: TxIdx,
     },
+    /// A scheduled [`DynamicsEvent`] from the scenario's
+    /// [`ethmeter_dynamics::DynamicsScript`] fires. Carries the script
+    /// entry index; the event itself is looked up in the world's copy of
+    /// the script. Like [`Event::NextSubmission`], dynamics events are
+    /// *replicated*: every shard of a parallel run executes every one of
+    /// them (topology and degradation scalars are part of the replicated
+    /// world), and the merge subtracts the duplicates from event totals.
+    Dynamics {
+        /// Index into the scenario's dynamics script.
+        entry: u32,
+    },
+    /// The next spam transaction of an active tx-flood window is due.
+    /// Replicated on every shard (the spam stream is part of the global
+    /// workload, like [`Event::NextSubmission`]); only the shard owning
+    /// the drawn origin node injects.
+    FloodTick,
 }
 
 /// Counters accumulated during a run.
@@ -190,6 +207,63 @@ struct PoolState {
     selfish: Option<SelfishState<BlockIdx>>,
 }
 
+/// Mutable runtime-dynamics state: degradation scalars, which nodes are
+/// down (with their parked links), which links a partition severed, and
+/// the live flood window. Replicated identically on every shard — all of
+/// it is driven by replicated [`Event::Dynamics`]/[`Event::FloodTick`]
+/// events and the dedicated `rng_dynamics` stream.
+#[derive(Debug, Clone)]
+struct DynamicsState {
+    /// Multiplier on every sampled link latency (1.0 = nominal).
+    latency_scale: f64,
+    /// Divisor-style multiplier on bandwidth: transfer times are scaled
+    /// by `1 / bandwidth_scale` (1.0 = nominal, 0.5 = half throughput).
+    bandwidth_scale: f64,
+    /// Nodes currently down, each with the peer links parked at teardown
+    /// (re-dialed on [`DynamicsEvent::NodeUp`]). Insertion-ordered.
+    down: Vec<(NodeId, Vec<NodeId>)>,
+    /// Links severed by [`DynamicsEvent::Partition`]/`LinkDown`, awaiting
+    /// a heal. Stored `(a, b)` in severance order.
+    severed: Vec<(NodeId, NodeId)>,
+    /// Spam rate of the active flood window, if any (txs per sim-second).
+    flood_rate: Option<f64>,
+    /// Sequence number for spam-sender account ids (top of the u32 range,
+    /// far above any workload account).
+    spam_seq: u32,
+    /// `Dynamics` + `FloodTick` events processed (replicated on every
+    /// shard; the parallel merge subtracts the duplicates, exactly like
+    /// `submissions`).
+    fired: u64,
+}
+
+impl DynamicsState {
+    fn reset(&mut self) {
+        self.latency_scale = 1.0;
+        self.bandwidth_scale = 1.0;
+        self.down.clear();
+        self.severed.clear();
+        self.flood_rate = None;
+        self.spam_seq = 0;
+        self.fired = 0;
+    }
+}
+
+impl Default for DynamicsState {
+    fn default() -> Self {
+        let mut s = DynamicsState {
+            latency_scale: 0.0,
+            bandwidth_scale: 0.0,
+            down: Vec::new(),
+            severed: Vec::new(),
+            flood_rate: None,
+            spam_seq: 0,
+            fired: 0,
+        };
+        s.reset();
+        s
+    }
+}
+
 /// The campaign world (see module docs).
 pub struct SimWorld {
     // Configuration (copied out of the scenario).
@@ -243,6 +317,18 @@ pub struct SimWorld {
     lanes_pool: Vec<Xoshiro256>,
     lanes_clock: Vec<Xoshiro256>,
     rng_workload: Xoshiro256,
+    /// Stream for dynamics draws (flood inter-arrival gaps and origin
+    /// picks). World-global and replayed verbatim on every shard, like
+    /// the workload stream; forked *after* the lanes so static worlds
+    /// (empty script, no draws) keep their historical streams bit for bit.
+    rng_dynamics: Xoshiro256,
+
+    /// The scenario's dynamics script, copied at reset. Empty for static
+    /// worlds, in which case none of the dynamics machinery runs and the
+    /// hot path is byte-identical to the pre-dynamics code.
+    dyn_script: Vec<(SimTime, DynamicsEvent)>,
+    /// Runtime dynamics state (see [`DynamicsState`]).
+    dynamics: DynamicsState,
 
     // Recycled per-event buffers (cleared before use; never observable).
     /// Outgoing-message buffer shared by every handler invocation.
@@ -337,6 +423,9 @@ impl SimWorld {
             lanes_pool: Vec::new(),
             lanes_clock: Vec::new(),
             rng_workload: Xoshiro256::seed_from_u64(0),
+            rng_dynamics: Xoshiro256::seed_from_u64(0),
+            dyn_script: Vec::new(),
+            dynamics: DynamicsState::default(),
             send_scratch: Vec::new(),
             pack_buf: Vec::new(),
             ancestor_scratch: FxHashSet::default(),
@@ -367,6 +456,9 @@ impl SimWorld {
         self.rng_workload = root.fork("workload");
         let mut rng_clock = root.fork("clock");
         let mut lane_src = root.fork("lanes");
+        // Forked last: static worlds never draw from it, so the streams
+        // above (and thus every pre-dynamics golden) are untouched.
+        self.rng_dynamics = root.fork("dynamics");
 
         self.net = scenario.net.clone();
         self.latency = scenario.latency.clone();
@@ -569,6 +661,10 @@ impl SimWorld {
         self.ancestor_scratch.clear();
         self.shard = None;
         self.submissions = 0;
+        self.dyn_script.clear();
+        self.dyn_script
+            .extend_from_slice(scenario.dynamics.entries());
+        self.dynamics.reset();
         self.stats = RunStats::default();
     }
 
@@ -588,6 +684,12 @@ impl SimWorld {
             evs.push((SimTime::ZERO + d, Event::PoolSolve { pool: pid }));
         }
         evs.push((SimTime::ZERO, Event::NextSubmission));
+        // The whole dynamics script is scheduled up front, on every shard
+        // (replicated — topology mutations and degradation scalars apply
+        // to the replicated world wholesale).
+        for (i, &(at, _)) in self.dyn_script.iter().enumerate() {
+            evs.push((at, Event::Dynamics { entry: i as u32 }));
+        }
         evs
     }
 
@@ -701,7 +803,19 @@ impl SimWorld {
         sched: &mut Scheduler<Event>,
     ) {
         let (from_region, from_bw) = self.node_meta[from.index()];
+        let dynamics_on = !self.dyn_script.is_empty();
         for send in sends.drain(..) {
+            // Runtime topology mutations can sever a link between a
+            // request and its reply: a handler may address a node that is
+            // no longer a peer. Such sends die on the torn-down link.
+            // Dropping happens *before* the lane draw — the link no
+            // longer exists, so it costs no latency sample — and the node
+            // peer tables are replicated, so every shard agrees. Static
+            // worlds skip the check entirely (handlers only ever address
+            // live peers there).
+            if dynamics_on && !self.nodes[from.index()].is_peer(send.to) {
+                continue;
+            }
             let size = {
                 let blocks = &self.blocks;
                 let txs = &self.txs;
@@ -715,12 +829,25 @@ impl SimWorld {
             // sender is local by construction, so the draw happens on
             // exactly one shard, in the sender's processing order,
             // whether or not the destination is foreign.
-            let delay = self.net.proc_overhead
-                + from_bw.transfer_time(size)
-                + self
-                    .latency
-                    .sample(&mut self.lanes_node[from.index()], from_region, to_region)
-                + to_bw.transfer_time(size);
+            let mut link =
+                self.latency
+                    .sample(&mut self.lanes_node[from.index()], from_region, to_region);
+            let mut xfer = from_bw.transfer_time(size) + to_bw.transfer_time(size);
+            if dynamics_on {
+                // Degradation scalars apply to the sampled values only
+                // when a script is attached; the explicit `!= 1.0` guards
+                // are exact (the scalars are only ever set, never
+                // computed). A sub-1.0 latency scale stays safe for the
+                // sharded engine because its lookahead bound tightens by
+                // the script's *minimum* scale (see `crate::par`).
+                if self.dynamics.latency_scale != 1.0 {
+                    link = link.mul_f64(self.dynamics.latency_scale);
+                }
+                if self.dynamics.bandwidth_scale != 1.0 {
+                    xfer = xfer.mul_f64(1.0 / self.dynamics.bandwidth_scale);
+                }
+            }
+            let delay = self.net.proc_overhead + link + xfer;
             self.stats.bytes += size.as_bytes();
             if let Some(ctx) = self.shard.as_mut() {
                 if !ctx.map.owns(ctx.me as usize, send.to) {
@@ -1279,6 +1406,242 @@ impl SimWorld {
         self.send_scratch = sends;
     }
 
+    // ---- Runtime dynamics (scripted churn, partitions, attacks) ----
+
+    /// Executes one scheduled script entry. Replicated: every shard runs
+    /// every entry (topology and degradation scalars are part of the
+    /// replicated world), so no draw or mutation here may depend on
+    /// ownership — only flood *injection* (inside [`Self::on_flood_tick`])
+    /// is ownership-gated.
+    fn on_dynamics(&mut self, entry: u32, sched: &mut Scheduler<Event>) {
+        self.dynamics.fired += 1;
+        let (_, ev) = self.dyn_script[entry as usize];
+        match ev {
+            DynamicsEvent::NodeDown(n) => self.node_down(n),
+            DynamicsEvent::NodeUp(n) => self.node_up(n),
+            DynamicsEvent::LinkDown(a, b) => {
+                // Only a live link can fail; severing a parked or absent
+                // link is a no-op (the script may race node churn).
+                if self.nodes[a.index()].is_peer(b) {
+                    self.sever(a, b);
+                    self.dynamics.severed.push((a, b));
+                }
+            }
+            DynamicsEvent::LinkUp(a, b) => {
+                self.unsever(a, b);
+                self.reconnect_or_defer(a, b);
+            }
+            DynamicsEvent::Partition { a, b } => self.partition(a, b),
+            DynamicsEvent::Heal { a, b } => self.heal_regions(a, b),
+            DynamicsEvent::LatencyScale(f) => self.dynamics.latency_scale = f,
+            DynamicsEvent::BandwidthScale(f) => self.dynamics.bandwidth_scale = f,
+            DynamicsEvent::EclipsePool(p) => {
+                let gws = self.pool_states[p.index()].gateways.clone();
+                for g in gws {
+                    self.node_down(g);
+                }
+            }
+            DynamicsEvent::ReleasePool(p) => {
+                let gws = self.pool_states[p.index()].gateways.clone();
+                for g in gws {
+                    self.node_up(g);
+                }
+            }
+            DynamicsEvent::FloodStart { rate_per_sec } => {
+                // A start during an active window just retunes the rate;
+                // the existing tick chain carries on (exactly one chain
+                // is ever live).
+                let chain_live = self.dynamics.flood_rate.is_some();
+                self.dynamics.flood_rate = Some(rate_per_sec);
+                if !chain_live {
+                    self.schedule_flood_tick(rate_per_sec, sched);
+                }
+            }
+            DynamicsEvent::FloodStop => self.dynamics.flood_rate = None,
+        }
+    }
+
+    /// Injects one spam transaction of the active flood window and
+    /// schedules the next tick. Replicated: every shard draws the same
+    /// origin and gap and interns the same transaction; only the origin's
+    /// owner injects (mirror of [`Self::on_next_submission`]).
+    fn on_flood_tick(&mut self, now: SimTime, sched: &mut Scheduler<Event>) {
+        self.dynamics.fired += 1;
+        let Some(rate) = self.dynamics.flood_rate else {
+            // The window closed while this tick was in flight; the chain
+            // dies here (a later FloodStart spawns a fresh one).
+            return;
+        };
+        let origin = NodeId(self.rng_dynamics.index(self.nodes.len()) as u32);
+        // Spam senders get one-shot account ids from the top of the u32
+        // range, far above any workload account, so every spam tx is
+        // nonce-0 of its own account and immediately includable.
+        let sender = AccountId(u32::MAX - self.dynamics.spam_seq);
+        self.dynamics.spam_seq = self.dynamics.spam_seq.wrapping_add(1);
+        let id = TxId(self.txs.len() as u64 + 1);
+        let idx = self.txs.insert(Transaction {
+            id,
+            sender,
+            nonce: 0,
+            gas_price: 1,
+            gas: ethmeter_chain::tx::SIMPLE_TX_GAS,
+            size: ByteSize::from_bytes(180),
+            submitted_at: now,
+            origin,
+        });
+        if self.owns_node(origin) {
+            self.stats.txs_submitted += 1;
+            self.on_inject_tx(idx, sched);
+        }
+        self.schedule_flood_tick(rate, sched);
+    }
+
+    /// Draws the next flood inter-arrival gap and schedules the tick,
+    /// unless it would land past the campaign horizon. The draw happens
+    /// unconditionally (every shard consumes the same stream).
+    fn schedule_flood_tick(&mut self, rate: f64, sched: &mut Scheduler<Event>) {
+        let gap = Exp::with_mean(1.0 / rate).sample_duration(&mut self.rng_dynamics);
+        if sched.now() + gap <= SimTime::ZERO + self.duration {
+            sched.after(gap, Event::FloodTick);
+        }
+    }
+
+    /// Whether `n` is currently scripted down.
+    fn is_down(&self, n: NodeId) -> bool {
+        self.dynamics.down.iter().any(|&(d, _)| d == n)
+    }
+
+    /// Tears down the `a`↔`b` link on both endpoints.
+    fn sever(&mut self, a: NodeId, b: NodeId) {
+        let da = self.nodes[a.index()].disconnect(b);
+        let db = self.nodes[b.index()].disconnect(a);
+        debug_assert_eq!(da, db, "asymmetric link {a}<->{b}");
+    }
+
+    /// Re-establishes the `a`↔`b` link on both endpoints. Idempotent: a
+    /// heal of an already-live link is a no-op (`Duplicate` is the
+    /// expected answer when scripts overlap), and a malformed runtime
+    /// join surfaces as a structured [`ethmeter_net::LinkError`] instead
+    /// of a panic inside a shard worker.
+    fn redial(&mut self, a: NodeId, b: NodeId) {
+        let _ = self.nodes[a.index()].try_add_link(b, &self.net);
+        let _ = self.nodes[b.index()].try_add_link(a, &self.net);
+    }
+
+    /// Drops the `(a, b)` pair (either orientation) from the severed
+    /// list, if present.
+    fn unsever(&mut self, a: NodeId, b: NodeId) {
+        if let Some(pos) = self
+            .dynamics
+            .severed
+            .iter()
+            .position(|&(x, y)| (x, y) == (a, b) || (x, y) == (b, a))
+        {
+            self.dynamics.severed.remove(pos);
+        }
+    }
+
+    /// Heals the `a`↔`b` link now, or — when an endpoint is itself down —
+    /// parks the link on that endpoint's churn record so it comes back
+    /// with the node's rejoin.
+    fn reconnect_or_defer(&mut self, a: NodeId, b: NodeId) {
+        let park_on = if self.is_down(a) {
+            Some((a, b))
+        } else if self.is_down(b) {
+            Some((b, a))
+        } else {
+            None
+        };
+        match park_on {
+            Some((down, other)) => {
+                let rec = self
+                    .dynamics
+                    .down
+                    .iter_mut()
+                    .find(|(d, _)| *d == down)
+                    .expect("is_down implies a record");
+                if !rec.1.contains(&other) {
+                    rec.1.push(other);
+                }
+            }
+            None => self.redial(a, b),
+        }
+    }
+
+    /// Takes `n` offline: every live link is torn down and parked on the
+    /// node's churn record. Idempotent while already down.
+    fn node_down(&mut self, n: NodeId) {
+        if self.is_down(n) {
+            return;
+        }
+        let peers: Vec<NodeId> = self.nodes[n.index()].peers().to_vec();
+        for &p in &peers {
+            self.sever(n, p);
+        }
+        self.dynamics.down.push((n, peers));
+    }
+
+    /// Brings `n` back: every parked link is re-dialed — or re-parked on
+    /// the *other* endpoint when that endpoint is itself still down. A
+    /// rejoin deliberately restores recorded links even across an active
+    /// partition (rejoining nodes re-dial their old peer set; the
+    /// deterministic, documented semantics).
+    fn node_up(&mut self, n: NodeId) {
+        let Some(pos) = self.dynamics.down.iter().position(|&(d, _)| d == n) else {
+            return;
+        };
+        let (_, links) = self.dynamics.down.remove(pos);
+        for p in links {
+            self.reconnect_or_defer(n, p);
+        }
+    }
+
+    /// Severs every live link between a node in region set `a` and a node
+    /// in region set `b`, recording each for a later heal. Sweeps nodes
+    /// in id order and handles each unordered pair once.
+    fn partition(&mut self, a: RegionMask, b: RegionMask) {
+        for i in 0..self.nodes.len() {
+            let ri = self.node_meta[i].0;
+            let (in_a, in_b) = (a.contains(ri), b.contains(ri));
+            if !in_a && !in_b {
+                continue;
+            }
+            let peers: Vec<NodeId> = self.nodes[i].peers().to_vec();
+            for p in peers {
+                if p.index() < i {
+                    continue; // pair already visited from the lower id
+                }
+                let rp = self.node_meta[p.index()].0;
+                if (in_a && b.contains(rp)) || (in_b && a.contains(rp)) {
+                    let n = NodeId(i as u32);
+                    self.sever(n, p);
+                    self.dynamics.severed.push((n, p));
+                }
+            }
+        }
+    }
+
+    /// Heals every severed link whose endpoints straddle region sets `a`
+    /// and `b`, in severance order.
+    fn heal_regions(&mut self, a: RegionMask, b: RegionMask) {
+        let mut to_heal = Vec::new();
+        let mut i = 0;
+        while i < self.dynamics.severed.len() {
+            let (x, y) = self.dynamics.severed[i];
+            let rx = self.node_meta[x.index()].0;
+            let ry = self.node_meta[y.index()].0;
+            if (a.contains(rx) && b.contains(ry)) || (a.contains(ry) && b.contains(rx)) {
+                self.dynamics.severed.remove(i);
+                to_heal.push((x, y));
+            } else {
+                i += 1;
+            }
+        }
+        for (x, y) in to_heal {
+            self.reconnect_or_defer(x, y);
+        }
+    }
+
     // ---- Sharded-execution plumbing (driven by `crate::par`) ----
 
     /// True when this world (or this shard of it) owns `node`.
@@ -1420,6 +1783,18 @@ impl SimWorld {
         self.submissions
     }
 
+    /// `Dynamics` + `FloodTick` events processed by this world (replicated
+    /// on every shard, like submissions).
+    pub(crate) fn dynamics_events(&self) -> u64 {
+        self.dynamics.fired
+    }
+
+    /// The current peer list of `node`, in slab order. Exposed for
+    /// topology assertions (e.g. reachability after a partition heals).
+    pub fn peers_of(&self, node: NodeId) -> &[NodeId] {
+        self.nodes[node.index()].peers()
+    }
+
     /// Pool names by id (replicated, identical on every shard).
     pub(crate) fn pool_names(&self) -> Vec<String> {
         self.pools.iter().map(|p| p.name.clone()).collect()
@@ -1457,6 +1832,8 @@ impl World for SimWorld {
             Event::InjectBlock { node, idx } => self.inject_block_at(node, idx, sched),
             Event::NextSubmission => self.on_next_submission(now, sched),
             Event::InjectTx { idx } => self.on_inject_tx(idx, sched),
+            Event::Dynamics { entry } => self.on_dynamics(entry, sched),
+            Event::FloodTick => self.on_flood_tick(now, sched),
         }
     }
 }

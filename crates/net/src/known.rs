@@ -421,6 +421,58 @@ impl PeerKnownSet {
         page.live += 1;
     }
 
+    /// Unregisters peer position `pos`, forgetting its keys and
+    /// compacting the slab by moving the *last* position into `pos`
+    /// (swap-remove, mirroring `Vec::swap_remove` so callers can keep
+    /// their own peer slabs in lockstep).
+    ///
+    /// The row width (`words`) never shrinks: a position re-registered
+    /// later lands at an index at or below the historical maximum, so
+    /// runtime rejoin/heal paths can never trip the widen-after-insert
+    /// assertion in [`PeerKnownSet::add_peer`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is not a registered position.
+    pub fn remove_peer(&mut self, pos: usize) {
+        let last = self.caps.len() - 1;
+        let mut dead = std::mem::take(&mut self.order[pos]);
+        while let Some(key) = dead.pop_front() {
+            self.clear_bit(pos, key);
+        }
+        self.spare.push(dead);
+        if pos != last {
+            // Relocate the last position's bits down to `pos`, key by
+            // key. Set before clear: both bits share the key's page, so
+            // this keeps its live count above zero throughout and the
+            // page is never freed mid-move.
+            for i in 0..self.order[last].len() {
+                let key = self.order[last][i];
+                self.set_bit(pos, key);
+                self.clear_bit(last, key);
+            }
+        }
+        self.order.swap_remove(pos);
+        self.caps.swap_remove(pos);
+    }
+
+    /// Sets peer `pos`'s bit for `key`; the caller guarantees the bit is
+    /// currently clear. Allocates the page if the key row has none.
+    fn set_bit(&mut self, pos: usize, key: u32) {
+        let row = key as usize;
+        let page_idx = row / PAGE_ROWS;
+        let at = (row % PAGE_ROWS) * self.words + pos / 64;
+        let mask = 1u64 << (pos % 64);
+        match self.pages.get_mut(page_idx) {
+            Some(Some(page)) => {
+                debug_assert_eq!(page.bits[at] & mask, 0, "set_bit of a live bit");
+                page.bits[at] |= mask;
+                page.live += 1;
+            }
+            _ => self.insert_cold(page_idx, at, mask),
+        }
+    }
+
     /// Clears peer `pos`'s bit for `key`, freeing the page if it was the
     /// last live bit.
     fn clear_bit(&mut self, pos: usize, key: u32) {
@@ -666,6 +718,56 @@ mod peer_family_tests {
     }
 
     #[test]
+    fn remove_peer_swap_removes_and_keeps_survivors_intact() {
+        let mut fam = PeerKnownSet::new();
+        for _ in 0..3 {
+            fam.add_peer(4);
+        }
+        fam.insert(0, 1);
+        fam.insert(1, 2);
+        fam.insert(1, 3);
+        fam.insert(2, 4);
+        // Removing the middle position moves position 2 down into it.
+        fam.remove_peer(1);
+        assert_eq!(fam.peers(), 2);
+        assert!(fam.contains(0, 1), "untouched peer keeps its keys");
+        assert!(fam.contains(1, 4), "last peer's keys moved to the hole");
+        assert!(
+            !fam.contains(1, 2) && !fam.contains(1, 3),
+            "removed peer forgotten"
+        );
+        assert_eq!(fam.len_of(1), 1);
+        // Re-registering lands at the vacated dense position.
+        assert_eq!(fam.add_peer(4), 2);
+        assert!(!fam.contains(2, 4), "re-registered position starts empty");
+        assert!(fam.insert(2, 4));
+    }
+
+    #[test]
+    fn remove_peer_never_narrows_rows() {
+        let mut fam = PeerKnownSet::new();
+        for _ in 0..70 {
+            fam.add_peer(4);
+        }
+        fam.insert(69, 9); // second u64 word of row 9
+        for _ in 0..70 {
+            fam.remove_peer(0);
+        }
+        assert_eq!(fam.peers(), 0);
+        // Re-adding with live pages must not panic: `words` was kept at
+        // its historical width by `remove_peer`.
+        let mut fam2 = PeerKnownSet::new();
+        for _ in 0..70 {
+            fam2.add_peer(4);
+        }
+        fam2.insert(69, 9);
+        fam2.remove_peer(69);
+        assert_eq!(fam2.add_peer(4), 69);
+        assert!(!fam2.contains(69, 9));
+        assert!(fam2.insert(69, 9));
+    }
+
+    #[test]
     fn wide_positions_use_multiple_words() {
         let mut fam = PeerKnownSet::new();
         for _ in 0..130 {
@@ -716,6 +818,49 @@ mod peer_family_proptests {
             // Full membership sweep at the end, across page boundaries.
             for (pos, model) in models.iter().enumerate() {
                 for probe in (0..2_600).step_by(13) {
+                    prop_assert_eq!(
+                        fam.contains(pos, probe),
+                        model.contains(probe),
+                        "probe ({}, {})",
+                        pos,
+                        probe
+                    );
+                }
+            }
+        }
+
+        /// Under interleaved inserts, `remove_peer`, and re-registration,
+        /// the family stays observationally identical to a `Vec` of
+        /// independent [`KnownSet`]s maintained with `Vec::swap_remove`
+        /// — the exact lockstep contract the node's peer slabs rely on
+        /// for runtime churn.
+        #[test]
+        fn peer_family_equivalent_under_removal(
+            ops in proptest::collection::vec((0usize..8, 0u32..2_200, 0u8..10), 1..256),
+        ) {
+            let mut fam = PeerKnownSet::new();
+            let mut models: Vec<KnownSet<u32>> = Vec::new();
+            for &(pos, key, kind) in &ops {
+                if (kind == 0 && models.len() < 8) || models.is_empty() {
+                    // Register a peer (cap from the key operand). Bounded
+                    // to 8 concurrent peers: widening the row word-width
+                    // with live pages is outside the API contract.
+                    let cap = 1 + (key as usize) % 5;
+                    prop_assert_eq!(fam.add_peer(cap), models.len());
+                    models.push(KnownSet::with_capacity(cap));
+                } else if kind == 1 && !models.is_empty() {
+                    let pos = pos % models.len();
+                    fam.remove_peer(pos);
+                    models.swap_remove(pos);
+                } else {
+                    let pos = pos % models.len();
+                    prop_assert_eq!(fam.insert(pos, key), models[pos].insert(key));
+                }
+                prop_assert_eq!(fam.peers(), models.len());
+            }
+            for (pos, model) in models.iter().enumerate() {
+                prop_assert_eq!(fam.len_of(pos), model.len());
+                for probe in (0..2_200).step_by(11) {
                     prop_assert_eq!(
                         fam.contains(pos, probe),
                         model.contains(probe),

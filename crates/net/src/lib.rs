@@ -35,6 +35,6 @@ pub use config::{NetConfig, TxRelayPolicy};
 pub use headerview::HeaderView;
 pub use known::KnownSet;
 pub use message::{AnnounceList, Message, TxBatch};
-pub use node::{ImportAction, Node, Send};
+pub use node::{ImportAction, LinkError, Node, Send};
 pub use shard::{RemoteEvent, RemoteEventKind, ShardMap};
 pub use topology::Topology;

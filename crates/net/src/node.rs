@@ -63,6 +63,26 @@ struct FetchState {
 /// Sentinel in the `NodeId → peer position` table for non-peers.
 const NO_PEER: u32 = u32::MAX;
 
+/// Why a runtime link add was rejected (see [`Node::try_add_link`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// Both endpoints are the same node.
+    SelfLink,
+    /// The link already exists.
+    Duplicate,
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::SelfLink => write!(f, "self-link"),
+            LinkError::Duplicate => write!(f, "duplicate link"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
 /// A network node: peer links, chain view, gossip state, and (for miner
 /// gateways) a mempool.
 #[derive(Debug)]
@@ -246,6 +266,53 @@ impl Node {
         }
         let tx_pos = self.peer_known_txs.add_peer(cfg.known_txs_cap);
         debug_assert_eq!(tx_pos, pos, "peer slabs advance in lockstep");
+    }
+
+    /// Checked [`Node::connect`] for the runtime join/heal path: a
+    /// malformed dynamics script surfaces a structured [`LinkError`]
+    /// instead of panicking inside a shard worker.
+    pub fn try_add_link(&mut self, peer: NodeId, cfg: &NetConfig) -> Result<(), LinkError> {
+        if peer == self.id {
+            return Err(LinkError::SelfLink);
+        }
+        if self.pos_of(peer).is_some() {
+            return Err(LinkError::Duplicate);
+        }
+        self.connect(peer, cfg);
+        Ok(())
+    }
+
+    /// True if `peer` is currently linked.
+    #[inline]
+    pub fn is_peer(&self, peer: NodeId) -> bool {
+        self.pos_of(peer).is_some()
+    }
+
+    /// Tears down the link to `peer`, dropping its per-link gossip state
+    /// (known-blocks set, known-txs bits) without disturbing any other
+    /// link's state. Returns `false` if no such link exists.
+    ///
+    /// In-flight fetch/announce bookkeeping may still name the departed
+    /// peer; the driver drops sends addressed to non-peers, and arrivals
+    /// from non-peers are already tolerated as no-ops.
+    pub fn disconnect(&mut self, peer: NodeId) -> bool {
+        let Some(pos) = self.pos_of(peer) else {
+            return false;
+        };
+        let last = self.peers.len() - 1;
+        self.peer_pos[peer.index()] = NO_PEER;
+        self.peers.swap_remove(pos);
+        if pos != last {
+            let moved = self.peers[pos];
+            self.peer_pos[moved.index()] = pos as u32;
+        }
+        // Park the severed link's (now stale) block set at the slab tail
+        // for reuse by a future `connect` — the same reuse contract
+        // `reset` relies on; `connect` re-initializes slot `pos` before
+        // `peers` grows past it.
+        self.peer_known_blocks.swap(pos, last);
+        self.peer_known_txs.remove_peer(pos);
+        true
     }
 
     /// Degree of this node.
@@ -1084,6 +1151,73 @@ mod tests {
         assert_eq!(
             transactions(&mut used, Some(NodeId(3)), &[(TxIdx(5), &t9)], &c, &mut r1),
             transactions(&mut fresh, Some(NodeId(3)), &[(TxIdx(5), &t9)], &c, &mut r2),
+        );
+    }
+
+    #[test]
+    fn try_add_link_reports_structured_errors() {
+        let c = cfg();
+        let mut n = node(99, 3);
+        assert_eq!(n.try_add_link(NodeId(99), &c), Err(LinkError::SelfLink));
+        assert_eq!(n.try_add_link(NodeId(1), &c), Err(LinkError::Duplicate));
+        assert_eq!(n.try_add_link(NodeId(50), &c), Ok(()));
+        assert!(n.is_peer(NodeId(50)));
+        assert_eq!(n.degree(), 4);
+    }
+
+    #[test]
+    fn disconnect_removes_only_the_severed_link() {
+        let c = cfg();
+        let mut n = node(99, 5); // peers 0..=4
+        assert!(n.is_peer(NodeId(2)));
+        assert!(n.disconnect(NodeId(2)));
+        assert!(!n.is_peer(NodeId(2)));
+        assert!(!n.disconnect(NodeId(2)), "second disconnect is a no-op");
+        assert_eq!(n.degree(), 4);
+        for p in [0u32, 1, 3, 4] {
+            assert!(n.is_peer(NodeId(p)), "peer {p} untouched");
+        }
+        // Re-dial reuses the vacated slab slot cleanly.
+        assert_eq!(n.try_add_link(NodeId(2), &c), Ok(()));
+        assert_eq!(n.degree(), 5);
+    }
+
+    #[test]
+    fn disconnect_drops_per_link_gossip_state_without_disturbing_others() {
+        let c = cfg();
+        let mut rng_a = rng();
+        let mut reg = BlockRegistry::new();
+
+        // Drive a node with torn-and-redialed link 1 and a fresh twin
+        // that never had link 1's history; after the re-dial both must
+        // behave identically (per-link state fully forgotten).
+        let mut churned = node(99, 8);
+        let b = block1();
+        let idx = intern(&mut reg, &b);
+        arrive(&mut churned, Some(NodeId(1)), &b, idx, &c, &mut rng_a);
+        import(&mut churned, &b, idx, &[], &c);
+        let t1 = tx(1, 0);
+        transactions(
+            &mut churned,
+            Some(NodeId(1)),
+            &[(TxIdx(0), &t1)],
+            &c,
+            &mut rng_a,
+        );
+        assert!(churned.disconnect(NodeId(1)));
+        assert_eq!(churned.try_add_link(NodeId(1), &c), Ok(()));
+
+        // The re-dialed link no longer remembers what peer 1 knew: an
+        // announce of the same block goes back out to peer 1 too.
+        let mut sends = Vec::new();
+        churned.on_announce(NodeId(3), &[(b.hash(), idx)], &mut sends);
+        // (peer 3 announced; nothing for peer 1 here — the real probe is
+        // the tx relay below, which consults the known-txs family.)
+        let t2 = tx(2, 0);
+        let relays = transactions(&mut churned, None, &[(TxIdx(1), &t2)], &c, &mut rng_a);
+        assert!(
+            relays.iter().any(|s| s.to == NodeId(1)),
+            "re-dialed link must have forgotten nothing-known state"
         );
     }
 }
