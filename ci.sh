@@ -30,13 +30,19 @@
 #   repro-smoke  `repro table3`, the selfish-threshold grid, and the
 #                spilled decentralization scalars on tiny presets:
 #                non-empty, schema-valid output
+#   consensus-smoke  the pluggable fork choice: trait-conformance and
+#                engine-law tests (unit + integration, the latter pins
+#                the explicit-heaviest goldens in --release), plus
+#                `repro forkchoice --json` on a pinned tiny scenario —
+#                schema-valid ethmeter-forkchoice/v1 with distinct
+#                heads across engines
 #
 # Each stage is timed; a summary table is printed at the end (and on
 # failure, which names the failed stage instead of dumping trace noise).
 set -euo pipefail
 cd "$(dirname "$0")"
 
-STAGES=(build test golden par-smoke lint detlint bench-smoke dynamics-smoke repro-smoke)
+STAGES=(build test golden par-smoke lint detlint bench-smoke dynamics-smoke repro-smoke consensus-smoke)
 
 stage_build() {
     cargo build --release
@@ -265,6 +271,41 @@ stage_repro_smoke() {
          rm -rf "$dec_json" "$spill_dir"
          return 1; }
     rm -rf "$dec_json" "$spill_dir"
+}
+
+stage_consensus_smoke() {
+    # The consensus trait's laws: engine conformance at the unit level,
+    # then the integration suite — explicit-heaviest campaigns must land
+    # on the pinned goldens (sequential and 2/4/8 shards) and the
+    # hash-ordered engines must be arrival-order independent. Release
+    # profile: the debug run is covered by the workspace suite.
+    cargo test -q -p ethmeter-chain consensus
+    cargo test -q -p ethmeter-chain forkchoice
+    cargo test --release --test consensus -q
+    # The fork-choice comparison CLI on a pinned scenario: heaviest,
+    # longest, and uncle-weighted GHOST must each report a head, and at
+    # least two engines must disagree (tiny seed 11 splits all three).
+    cargo build --release -p ethmeter-bench --bin repro
+    local fc_json
+    fc_json="$(mktemp)"
+    ./target/release/repro forkchoice --preset tiny --seed 11 --json \
+        > "$fc_json" 2> /dev/null
+    jq -e '
+        .schema == "ethmeter-forkchoice/v1"
+        and .preset == "tiny" and .seed == 11
+        and (.engines | length == 3)
+        and ([.engines[].name] == ["heaviest", "longest", "uncle-ghost"])
+        and ([.engines[] | .head_number > 0
+              and (.head | startswith("0x"))
+              and (.safe | startswith("0x"))
+              and (.finalized | startswith("0x"))] | all)
+        and .distinct_heads == true' \
+        "$fc_json" > /dev/null \
+    || { echo "forkchoice JSON failed schema validation:" >&2
+         cat "$fc_json" >&2
+         rm -f "$fc_json"
+         return 1; }
+    rm -f "$fc_json"
 }
 
 # --- driver -----------------------------------------------------------------

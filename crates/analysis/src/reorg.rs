@@ -69,6 +69,12 @@ pub struct ReorgReport {
     pub abandoned_blocks: u64,
     /// The deepest revert observed (clamped at [`MAX_K`] `+ 1`).
     pub max_depth: u32,
+    /// The engine's safe-confirmation depth (max across merged
+    /// campaigns) — the `k` row a "safe" client reads.
+    pub safe_depth: u64,
+    /// The engine's finalized-confirmation depth (max across merged
+    /// campaigns).
+    pub finalized_depth: u64,
 }
 
 impl ReorgReport {
@@ -95,8 +101,12 @@ impl ReorgReport {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"schema\":\"ethmeter-reorg/v1\",\"canonical_blocks\":{},\"abandoned_blocks\":{},\"max_depth\":{},\"rows\":[{rows}]}}",
-            self.canonical_blocks, self.abandoned_blocks, self.max_depth
+            "{{\"schema\":\"ethmeter-reorg/v1\",\"canonical_blocks\":{},\"abandoned_blocks\":{},\"max_depth\":{},\"safe_depth\":{},\"finalized_depth\":{},\"rows\":[{rows}]}}",
+            self.canonical_blocks,
+            self.abandoned_blocks,
+            self.max_depth,
+            self.safe_depth,
+            self.finalized_depth
         )
     }
 }
@@ -145,6 +155,10 @@ pub struct Reorg {
     canonical: u64,
     abandoned: u64,
     max_depth: u32,
+    /// Confirmation depths read from each campaign's consensus engine
+    /// (merged by max; 0 until the first observe).
+    safe_depth: u64,
+    finalized_depth: u64,
 }
 
 impl Reorg {
@@ -156,6 +170,8 @@ impl Reorg {
             canonical: 0,
             abandoned: 0,
             max_depth: 0,
+            safe_depth: 0,
+            finalized_depth: 0,
         }
     }
 }
@@ -171,6 +187,10 @@ impl Reduce for Reorg {
 
     fn observe(&mut self, data: &CampaignData) {
         let tree = &data.truth.tree;
+        // Confirmation depths come from the campaign's consensus engine;
+        // heterogeneous merges keep the most conservative (deepest) rule.
+        self.safe_depth = self.safe_depth.max(tree.consensus().safe_depth());
+        self.finalized_depth = self.finalized_depth.max(tree.consensus().finalized_depth());
 
         // Revert depths: every descendant of a non-canonical block is
         // itself non-canonical, so one height-descending sweep propagates
@@ -217,6 +237,8 @@ impl Reduce for Reorg {
         self.canonical += other.canonical;
         self.abandoned += other.abandoned;
         self.max_depth = self.max_depth.max(other.max_depth);
+        self.safe_depth = self.safe_depth.max(other.safe_depth);
+        self.finalized_depth = self.finalized_depth.max(other.finalized_depth);
     }
 
     fn finish(self) -> ReorgReport {
@@ -241,6 +263,8 @@ impl Reduce for Reorg {
             canonical_blocks: self.canonical,
             abandoned_blocks: self.abandoned,
             max_depth: self.max_depth,
+            safe_depth: self.safe_depth,
+            finalized_depth: self.finalized_depth,
         }
     }
 }
@@ -337,5 +361,8 @@ mod tests {
         assert!(json.contains("\"k\":1"));
         assert!(json.contains(&format!("\"k\":{MAX_K}")));
         assert!(json.contains("\"abandoned_blocks\":3"));
+        // Confirmation depths of the default heaviest engine.
+        assert!(json.contains("\"safe_depth\":6"));
+        assert!(json.contains("\"finalized_depth\":12"));
     }
 }

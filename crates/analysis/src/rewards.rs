@@ -117,6 +117,10 @@ impl Reduce for Rewards {
             );
         }
         let tree = &data.truth.tree;
+        // The reward schedule is consensus-dependent: engines without
+        // uncle semantics (pure longest-chain) pay no nephew or uncle
+        // rewards — blocks and fees only.
+        let uncles_pay = tree.consensus().rewards_uncles();
         for block in tree.canonical_blocks() {
             if block.number() == 0 {
                 continue;
@@ -124,11 +128,17 @@ impl Reduce for Rewards {
             self.total_blocks += 1;
             let entry = self.pools.entry(block.miner()).or_default();
             entry.0 += 1;
-            let reward = BLOCK_REWARD
-                + NEPHEW_REWARD * block.uncles().len() as MilliEther
-                + tx_fees(block.txs().len());
+            let nephew = if uncles_pay {
+                NEPHEW_REWARD * block.uncles().len() as MilliEther
+            } else {
+                0
+            };
+            let reward = BLOCK_REWARD + nephew + tx_fees(block.txs().len());
             entry.2 += reward;
             self.total_reward += reward;
+            if !uncles_pay {
+                continue;
+            }
             // Uncle credits: only references from canonical blocks pay.
             for &u in block.uncles() {
                 let Some(uncle) = tree.get(u) else {

@@ -28,6 +28,10 @@
 //!              pool is eclipsed for a quarter of the campaign and the
 //!              P(revert ≥ k) table for k ∈ 1..=12 is printed (--json
 //!              emits the ethmeter-reorg/v1 document)
+//!   forkchoice the same campaign replayed under every consensus engine
+//!              (heaviest, longest, uncle-weighted GHOST) — head, reorg
+//!              count, and safe/finalized markers per engine (--json
+//!              emits the ethmeter-forkchoice/v1 document)
 //!
 //! The preset scales the campaign for campaign-backed experiments and the
 //! α × γ grid density for `selfish`. `--shards` runs the campaign on the
@@ -277,6 +281,21 @@ fn main() -> ExitCode {
                 start,
                 window,
             );
+            if args.json {
+                println!("{}", report.to_json());
+            } else {
+                println!("{report}");
+            }
+        }
+        "forkchoice" => {
+            let label = match args.preset {
+                Preset::Tiny => "tiny",
+                Preset::Small => "small",
+                Preset::Medium => "medium",
+                Preset::PaperScaled => "paper",
+                Preset::Planet => "planet",
+            };
+            let report = experiments::forkchoice_compare(&scenario, label);
             if args.json {
                 println!("{}", report.to_json());
             } else {

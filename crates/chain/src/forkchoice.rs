@@ -1,0 +1,270 @@
+//! Score-based fork choice with explicit `head`/`safe`/`finalized` markers.
+//!
+//! [`ForkChoiceTree`] is the part of chain selection that is pure
+//! fork-choice state: the score of every known block under a pluggable
+//! [`Consensus`] engine, the current head, and the trailing safe/finalized
+//! markers derived from the engine's confirmation depths. It deliberately
+//! holds no block bodies — [`crate::tree::BlockTree`] embeds one and keeps
+//! the bodies, children, and canonical index around it, and lighter
+//! consumers (header-only views, replay tools) can drive one directly.
+//!
+//! Inserts are `Result`-based: an unknown parent or a duplicate hash is an
+//! explicit [`ForkChoiceError`], never a silent no-op, so callers that
+//! replay known-good chains can `expect` and callers that ingest untrusted
+//! streams must handle the failure.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use ethmeter_types::{BlockHash, FxHashMap};
+
+use crate::consensus::{Consensus, Score};
+
+/// Why a block could not join the fork-choice tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForkChoiceError {
+    /// The block's parent is not in the tree (and is not the genesis the
+    /// tree was rooted at).
+    UnknownParent {
+        /// The rejected block.
+        hash: BlockHash,
+        /// The parent it referenced.
+        parent: BlockHash,
+    },
+    /// A block with this hash is already scored.
+    Duplicate(BlockHash),
+}
+
+impl fmt::Display for ForkChoiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ForkChoiceError::UnknownParent { hash, parent } => {
+                write!(f, "block {hash} references unknown parent {parent}")
+            }
+            ForkChoiceError::Duplicate(hash) => write!(f, "block {hash} already in fork choice"),
+        }
+    }
+}
+
+impl Error for ForkChoiceError {}
+
+/// Fork-choice state under a pluggable [`Consensus`] engine: per-block
+/// scores plus the `head`/`safe`/`finalized` markers.
+#[derive(Debug, Clone)]
+pub struct ForkChoiceTree {
+    engine: Arc<dyn Consensus>,
+    scores: FxHashMap<BlockHash, Score>,
+    head: BlockHash,
+    safe: BlockHash,
+    finalized: BlockHash,
+}
+
+impl ForkChoiceTree {
+    /// A tree rooted at `genesis` (score 0) under `engine`. All three
+    /// markers start at the genesis.
+    pub fn new(genesis: BlockHash, engine: Arc<dyn Consensus>) -> Self {
+        let mut scores = FxHashMap::default();
+        scores.insert(genesis, 0);
+        ForkChoiceTree {
+            engine,
+            scores,
+            head: genesis,
+            safe: genesis,
+            finalized: genesis,
+        }
+    }
+
+    /// Scores `hash` against its already-scored `parent` and runs head
+    /// selection. Returns `Ok(true)` iff the head moved to `hash`.
+    ///
+    /// The caller owns canonical-index maintenance on a head switch (and
+    /// should then call [`Self::update_markers`]); this keeps the tree
+    /// free of body/ancestry knowledge.
+    pub fn insert(
+        &mut self,
+        hash: BlockHash,
+        parent: BlockHash,
+        difficulty: u64,
+        uncle_count: usize,
+    ) -> Result<bool, ForkChoiceError> {
+        if self.scores.contains_key(&hash) {
+            return Err(ForkChoiceError::Duplicate(hash));
+        }
+        let Some(&parent_score) = self.scores.get(&parent) else {
+            return Err(ForkChoiceError::UnknownParent { hash, parent });
+        };
+        let score = self.engine.score(parent_score, difficulty, uncle_count);
+        self.scores.insert(hash, score);
+        let head_score = self.scores[&self.head];
+        if self.engine.prefer(score, hash, head_score, self.head) {
+            self.head = hash;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Recomputes the `safe`/`finalized` markers from the canonical chain
+    /// (genesis first, head last) using the engine's confirmation depths.
+    /// Markers saturate at the genesis on short chains.
+    pub fn update_markers(&mut self, canonical: &[BlockHash]) {
+        let Some(last) = canonical.len().checked_sub(1) else {
+            return;
+        };
+        let at = |depth: u64| {
+            let idx = last.saturating_sub(usize::try_from(depth).unwrap_or(usize::MAX));
+            canonical[idx]
+        };
+        self.safe = at(self.engine.safe_depth());
+        self.finalized = at(self.engine.finalized_depth());
+    }
+
+    /// The engine driving this tree.
+    pub fn consensus(&self) -> &Arc<dyn Consensus> {
+        &self.engine
+    }
+
+    /// The current head.
+    pub fn head(&self) -> BlockHash {
+        self.head
+    }
+
+    /// The newest block at least [`Consensus::safe_depth`] confirmations
+    /// behind the head (as of the last [`Self::update_markers`] call).
+    pub fn safe(&self) -> BlockHash {
+        self.safe
+    }
+
+    /// The newest block at least [`Consensus::finalized_depth`]
+    /// confirmations behind the head.
+    pub fn finalized(&self) -> BlockHash {
+        self.finalized
+    }
+
+    /// The score of `hash`, if it is in the tree.
+    pub fn score(&self, hash: BlockHash) -> Option<Score> {
+        self.scores.get(&hash).copied()
+    }
+
+    /// Whether `hash` has been scored.
+    pub fn contains(&self, hash: BlockHash) -> bool {
+        self.scores.contains_key(&hash)
+    }
+
+    /// Number of scored blocks, including the genesis.
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True only for a freshly rooted tree... never: genesis is always in.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consensus::ConsensusKind;
+
+    fn h(n: u64) -> BlockHash {
+        BlockHash::mix(n)
+    }
+
+    fn tree(kind: ConsensusKind) -> ForkChoiceTree {
+        ForkChoiceTree::new(h(0), kind.build())
+    }
+
+    #[test]
+    fn linear_inserts_move_the_head() {
+        let mut t = tree(ConsensusKind::Heaviest);
+        assert_eq!(t.head(), h(0));
+        assert!(t.insert(h(1), h(0), 1, 0).unwrap());
+        assert!(t.insert(h(2), h(1), 1, 0).unwrap());
+        assert_eq!(t.head(), h(2));
+        assert_eq!(t.score(h(2)), Some(2));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn unknown_parent_is_an_error() {
+        let mut t = tree(ConsensusKind::Heaviest);
+        assert_eq!(
+            t.insert(h(5), h(99), 1, 0),
+            Err(ForkChoiceError::UnknownParent {
+                hash: h(5),
+                parent: h(99)
+            })
+        );
+        assert!(!t.contains(h(5)));
+    }
+
+    #[test]
+    fn duplicate_is_an_error() {
+        let mut t = tree(ConsensusKind::Heaviest);
+        t.insert(h(1), h(0), 1, 0).unwrap();
+        assert_eq!(
+            t.insert(h(1), h(0), 1, 0),
+            Err(ForkChoiceError::Duplicate(h(1)))
+        );
+        // Errors render usefully for expect-style callers.
+        let msg = ForkChoiceError::Duplicate(h(1)).to_string();
+        assert!(msg.contains("already in fork choice"), "{msg}");
+    }
+
+    #[test]
+    fn heaviest_keeps_first_seen_on_ties() {
+        let mut t = tree(ConsensusKind::Heaviest);
+        assert!(t.insert(h(1), h(0), 1, 0).unwrap());
+        // Equal-score sibling does not displace the head.
+        assert!(!t.insert(h(2), h(0), 1, 0).unwrap());
+        assert_eq!(t.head(), h(1));
+    }
+
+    #[test]
+    fn hash_ordered_engines_are_insertion_order_independent() {
+        for kind in [ConsensusKind::Longest, ConsensusKind::UncleGhost] {
+            let mut a = tree(kind);
+            a.insert(h(1), h(0), 1, 0).unwrap();
+            a.insert(h(2), h(0), 1, 0).unwrap();
+            let mut b = tree(kind);
+            b.insert(h(2), h(0), 1, 0).unwrap();
+            b.insert(h(1), h(0), 1, 0).unwrap();
+            assert_eq!(a.head(), b.head(), "{kind}: head must not depend on order");
+            assert_eq!(a.head(), h(1).max(h(2)));
+        }
+    }
+
+    #[test]
+    fn ghost_prefers_uncle_heavy_branches() {
+        let mut t = tree(ConsensusKind::UncleGhost);
+        // Branch A: two plain blocks. Branch B: one block citing two uncles.
+        t.insert(h(1), h(0), 1, 0).unwrap();
+        t.insert(h(2), h(1), 1, 0).unwrap();
+        assert_eq!(t.head(), h(2));
+        assert!(t.insert(h(3), h(0), 1, 2).unwrap());
+        assert_eq!(t.head(), h(3));
+        assert_eq!(t.score(h(3)), Some(3));
+    }
+
+    #[test]
+    fn markers_trail_the_canonical_chain() {
+        let mut t = tree(ConsensusKind::Heaviest);
+        let chain: Vec<BlockHash> = (0..=14).map(h).collect();
+        for w in chain.windows(2) {
+            t.insert(w[1], w[0], 1, 0).unwrap();
+        }
+        // Short prefix: both markers saturate at genesis.
+        t.update_markers(&chain[..4]);
+        assert_eq!(t.safe(), h(0));
+        assert_eq!(t.finalized(), h(0));
+        // Full chain of height 14: safe = head-6, finalized = head-12.
+        t.update_markers(&chain);
+        assert_eq!(t.safe(), h(8));
+        assert_eq!(t.finalized(), h(2));
+        // Empty canonical slice is a no-op.
+        t.update_markers(&[]);
+        assert_eq!(t.safe(), h(8));
+    }
+}

@@ -7,7 +7,12 @@
 //!   small and fast);
 //! - [`tx`]: transactions with per-sender nonces (the mechanism behind
 //!   out-of-order commits, §III-C2);
-//! - [`tree`]: the block tree with total-difficulty fork choice, canonical
+//! - [`consensus`]: the pluggable [`Consensus`] engine trait (fork-choice
+//!   scoring, head selection, validation, uncle/reward policy) with
+//!   heaviest-chain, longest-chain, and uncle-weighted GHOST engines;
+//! - [`forkchoice`]: score-based fork choice with explicit
+//!   `head`/`safe`/`finalized` markers and `Result`-based inserts;
+//! - [`tree`]: the block tree with engine-driven fork choice, canonical
 //!   chain maintenance, and reorg tracking;
 //! - [`uncles`]: Ethereum's uncle-validity rules and reference policies,
 //!   including the paper's proposed mitigation (§V) that forbids uncles
@@ -40,6 +45,8 @@
 #![warn(missing_docs)]
 
 pub mod block;
+pub mod consensus;
+pub mod forkchoice;
 pub mod forks;
 pub mod registry;
 pub mod rewards;
@@ -48,6 +55,8 @@ pub mod tx;
 pub mod uncles;
 
 pub use block::{Block, BlockBuilder, BlockHeader};
+pub use consensus::{Consensus, ConsensusKind, HeaviestChain, LongestChain, Score, UncleGhost};
+pub use forkchoice::{ForkChoiceError, ForkChoiceTree};
 pub use registry::{BlockRegistry, TxRegistry};
 pub use tree::{BlockTree, InsertError, InsertOutcome};
 pub use tx::Transaction;

@@ -1,4 +1,4 @@
-//! The block tree: every observed block, with total-difficulty fork choice.
+//! The block tree: every observed block, with engine-driven fork choice.
 //!
 //! Matches the Ethereum yellow paper's view of a "block tree" over which a
 //! fork is "a disagreement between nodes as to which root-to-leaf path down
@@ -6,15 +6,20 @@
 //! simulated network owns one `BlockTree`; the measurement pipeline also
 //! builds a global one from ground truth.
 //!
-//! Fork choice: the chain with the greatest total difficulty wins; ties
-//! keep the incumbent (first-seen), which is Geth's behavior under constant
-//! difficulty.
+//! Fork choice is delegated to a pluggable [`Consensus`] engine via an
+//! embedded [`ForkChoiceTree`]. The default ([`HeaviestChain`]) is the
+//! historical rule: the chain with the greatest total difficulty wins;
+//! ties keep the incumbent (first-seen), which is Geth's behavior under
+//! constant difficulty.
 
 use std::fmt;
+use std::sync::Arc;
 
 use ethmeter_types::{BlockHash, BlockNumber, FxHashMap, PoolId};
 
 use crate::block::{Block, BlockBuilder};
+use crate::consensus::{Consensus, HeaviestChain, Score};
+use crate::forkchoice::ForkChoiceTree;
 
 /// Miner id used for the synthetic genesis block.
 pub const GENESIS_MINER: PoolId = PoolId(u16::MAX);
@@ -76,10 +81,10 @@ impl std::error::Error for InsertError {}
 pub struct BlockTree {
     blocks: FxHashMap<BlockHash, Block>,
     children: FxHashMap<BlockHash, Vec<BlockHash>>,
-    total_difficulty: FxHashMap<BlockHash, u128>,
+    /// Per-block scores, head selection, and safe/finalized markers.
+    forkchoice: ForkChoiceTree,
     /// canonical[n] = hash of the canonical block at height n.
     canonical: Vec<BlockHash>,
-    head: BlockHash,
     genesis: BlockHash,
     /// uncle hash -> the canonical-chain block that referenced it first.
     included_uncles: FxHashMap<BlockHash, BlockHash>,
@@ -89,25 +94,33 @@ pub struct BlockTree {
 }
 
 impl BlockTree {
-    /// Creates a tree containing only the genesis block.
+    /// Creates a tree containing only the genesis block, under the default
+    /// [`HeaviestChain`] engine (bit-identical to the historical rule).
     pub fn new() -> Self {
+        Self::with_consensus(Arc::new(HeaviestChain))
+    }
+
+    /// Creates a genesis-only tree driven by `engine`.
+    pub fn with_consensus(engine: Arc<dyn Consensus>) -> Self {
         let genesis = BlockBuilder::new(BlockHash::ZERO, 0, GENESIS_MINER).build();
         let gh = genesis.hash();
         let mut blocks = FxHashMap::default();
         blocks.insert(gh, genesis);
-        let mut total_difficulty = FxHashMap::default();
-        total_difficulty.insert(gh, 0u128);
         BlockTree {
             blocks,
             children: FxHashMap::default(),
-            total_difficulty,
+            forkchoice: ForkChoiceTree::new(gh, engine),
             canonical: vec![gh],
-            head: gh,
             genesis: gh,
             included_uncles: FxHashMap::default(),
             orphans: FxHashMap::default(),
             reorg_count: 0,
         }
+    }
+
+    /// The consensus engine driving this tree's fork choice.
+    pub fn consensus(&self) -> &Arc<dyn Consensus> {
+        self.forkchoice.consensus()
     }
 
     /// The genesis hash (same for every tree: all nodes share one genesis).
@@ -126,7 +139,19 @@ impl BlockTree {
 
     /// The current best block.
     pub fn head(&self) -> BlockHash {
-        self.head
+        self.forkchoice.head()
+    }
+
+    /// The newest canonical block at least [`Consensus::safe_depth`]
+    /// confirmations behind the head (genesis on short chains).
+    pub fn safe(&self) -> BlockHash {
+        self.forkchoice.safe()
+    }
+
+    /// The newest canonical block at least [`Consensus::finalized_depth`]
+    /// confirmations behind the head (genesis on short chains).
+    pub fn finalized(&self) -> BlockHash {
+        self.forkchoice.finalized()
     }
 
     /// The height of the current best block.
@@ -165,9 +190,16 @@ impl BlockTree {
         self.blocks.contains_key(&hash)
     }
 
-    /// Total difficulty of an attached block.
+    /// Fork-choice score of an attached block under this tree's engine.
+    pub fn score(&self, hash: BlockHash) -> Option<Score> {
+        self.forkchoice.score(hash)
+    }
+
+    /// Total difficulty of an attached block. Under the default
+    /// [`HeaviestChain`] engine this is the historical total-difficulty
+    /// value; under other engines it is that engine's score.
     pub fn total_difficulty(&self, hash: BlockHash) -> Option<u128> {
-        self.total_difficulty.get(&hash).copied()
+        self.forkchoice.score(hash)
     }
 
     /// The canonical hash at `number`, if the chain reaches that height.
@@ -260,8 +292,9 @@ impl BlockTree {
     /// # Errors
     ///
     /// [`InsertError::Duplicate`] if the hash is already attached or
-    /// buffered; [`InsertError::HeightMismatch`] if `number` disagrees with
-    /// the parent.
+    /// buffered; any error from the engine's [`Consensus::validate`] hook
+    /// (by default [`InsertError::HeightMismatch`] if `number` disagrees
+    /// with the parent).
     pub fn insert(&mut self, block: Block) -> Result<InsertOutcome, InsertError> {
         let hash = block.hash();
         if self.blocks.contains_key(&hash)
@@ -277,14 +310,7 @@ impl BlockTree {
             self.orphans.entry(parent_hash).or_default().push(block);
             return Ok(InsertOutcome::Orphaned);
         };
-        let expected = parent.number() + 1;
-        if block.number() != expected {
-            return Err(InsertError::HeightMismatch {
-                hash,
-                expected,
-                got: block.number(),
-            });
-        }
+        self.forkchoice.consensus().validate(&block, parent)?;
 
         let mut new_head = false;
         let mut reorg_depth = 0u64;
@@ -299,10 +325,15 @@ impl BlockTree {
             };
             for orphan in waiting {
                 let oh = orphan.hash();
-                // Height mismatches among orphans are discarded silently:
-                // they can only come from a corrupted producer, which the
-                // simulator never creates.
-                if orphan.number() == self.blocks[&parent].number() + 1 {
+                // Invalid orphans are discarded silently: they can only
+                // come from a corrupted producer, which the simulator
+                // never creates.
+                let valid = self
+                    .forkchoice
+                    .consensus()
+                    .validate(&orphan, &self.blocks[&parent])
+                    .is_ok();
+                if valid {
                     self.attach(orphan, &mut new_head, &mut reorg_depth);
                     connected.push(oh);
                     frontier.push(oh);
@@ -321,17 +352,24 @@ impl BlockTree {
     fn attach(&mut self, block: Block, new_head: &mut bool, reorg_depth: &mut u64) {
         let hash = block.hash();
         let parent_hash = block.parent();
-        let td = self.total_difficulty[&parent_hash] + u128::from(block.header().difficulty());
         for &u in block.uncles() {
             self.included_uncles.entry(u).or_insert(hash);
         }
         self.children.entry(parent_hash).or_default().push(hash);
-        self.total_difficulty.insert(hash, td);
+        let moved = self
+            .forkchoice
+            .insert(
+                hash,
+                parent_hash,
+                block.header().difficulty(),
+                block.uncles().len(),
+            )
+            .expect("attach precondition: parent scored, hash fresh");
         self.blocks.insert(hash, block);
 
-        // Strictly-greater total difficulty wins; ties keep the incumbent.
-        if td > self.total_difficulty[&self.head] {
+        if moved {
             let depth = self.switch_head(hash);
+            self.forkchoice.update_markers(&self.canonical);
             *new_head = true;
             if depth > 0 {
                 *reorg_depth = (*reorg_depth).max(depth);
@@ -340,8 +378,9 @@ impl BlockTree {
         }
     }
 
-    /// Makes `new_head` canonical; returns how many previously canonical
-    /// blocks were replaced.
+    /// Rebuilds the canonical index for `new_head` (the fork choice has
+    /// already moved the head marker); returns how many previously
+    /// canonical blocks were replaced.
     fn switch_head(&mut self, new_head: BlockHash) -> u64 {
         // Collect the non-canonical suffix of the new head's chain.
         let mut path = Vec::new();
@@ -360,7 +399,6 @@ impl BlockTree {
         let replaced = old_len.saturating_sub(fork_height + 1);
         self.canonical.truncate(fork_height as usize + 1);
         self.canonical.extend(path.iter().rev());
-        self.head = new_head;
         replaced
     }
 }

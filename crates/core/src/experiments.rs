@@ -15,6 +15,7 @@ use ethmeter_analysis::{
     commit, decentralization, empty_blocks, first_observation, forks, propagation, redundancy,
     sequences,
 };
+use ethmeter_chain::consensus::ConsensusKind;
 use ethmeter_chain::rewards::{uncle_reward, MilliEther};
 use ethmeter_chain::uncles::UnclePolicy;
 use ethmeter_measure::CampaignData;
@@ -24,7 +25,7 @@ use ethmeter_analysis::reorg::{self, ReorgReport};
 use ethmeter_analysis::rewards;
 use ethmeter_dynamics::{DynamicsScript, RegionMask};
 use ethmeter_mining::{PoolBehavior, PoolConfig, PoolDirectory, SelfishConfig, Strategy};
-use ethmeter_types::{PoolId, Region, SimDuration, SimTime};
+use ethmeter_types::{BlockHash, PoolId, Region, SimDuration, SimTime};
 
 use crate::chainonly::{run_chain_only, ChainOnlyConfig};
 use crate::grid::Grid;
@@ -569,6 +570,158 @@ pub fn selfish_sim_grid(
         .output
 }
 
+// ---- Protocol design: pluggable fork choice (EXPERIMENTS.md §protocol) ----
+
+/// One consensus engine's verdict on a shared campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForkChoiceArm {
+    /// Engine name (`Consensus::name`).
+    pub engine: String,
+    /// Canonical head after replaying every minted block.
+    pub head: BlockHash,
+    /// Height of that head.
+    pub head_number: u64,
+    /// Reorgs the ground-truth replay performed under this engine.
+    pub reorgs: u64,
+    /// Safe marker (head minus the engine's safe depth).
+    pub safe: BlockHash,
+    /// Finalized marker (head minus the engine's finalized depth).
+    pub finalized: BlockHash,
+}
+
+/// The same scenario re-run under every [`ConsensusKind`]: identical
+/// mining and gossip randomness per arm (same seed), so any divergence
+/// in the canonical head is attributable to the fork-choice rule alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForkChoiceReport {
+    /// Label of the scenario preset the arms share.
+    pub preset: String,
+    /// The shared seed.
+    pub seed: u64,
+    /// One row per engine, in [`ConsensusKind::ALL`] order.
+    pub arms: Vec<ForkChoiceArm>,
+}
+
+impl ForkChoiceReport {
+    /// `true` when at least two engines disagree on the canonical head —
+    /// the observable payoff of a pluggable fork choice.
+    pub fn distinct_heads(&self) -> bool {
+        self.arms.iter().any(|a| a.head != self.arms[0].head)
+    }
+
+    /// Machine-readable export (`ethmeter-forkchoice/v1`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\"schema\":\"ethmeter-forkchoice/v1\"");
+        s.push_str(&format!(",\"preset\":\"{}\"", self.preset));
+        s.push_str(&format!(",\"seed\":{}", self.seed));
+        s.push_str(",\"engines\":[");
+        for (i, a) in self.arms.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"name\":\"{}\",\"head\":\"{}\",\"head_number\":{},\
+                 \"reorgs\":{},\"safe\":\"{}\",\"finalized\":\"{}\"}}",
+                a.engine, a.head, a.head_number, a.reorgs, a.safe, a.finalized
+            ));
+        }
+        s.push_str(&format!("],\"distinct_heads\":{}}}", self.distinct_heads()));
+        s
+    }
+}
+
+impl fmt::Display for ForkChoiceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Fork-choice comparison — preset {}, seed {}",
+            self.preset, self.seed
+        )?;
+        let mut t = Table::new(vec![
+            "Engine",
+            "Head",
+            "Height",
+            "Reorgs",
+            "Safe",
+            "Finalized",
+        ]);
+        for a in &self.arms {
+            t.row(vec![
+                a.engine.clone(),
+                a.head.to_string(),
+                a.head_number.to_string(),
+                a.reorgs.to_string(),
+                a.safe.to_string(),
+                a.finalized.to_string(),
+            ]);
+        }
+        write!(f, "{t}")?;
+        writeln!(
+            f,
+            "\ndistinct heads: {}",
+            if self.distinct_heads() { "yes" } else { "no" }
+        )
+    }
+}
+
+/// Runs `base` once per [`ConsensusKind`] (same seed, same physics) and
+/// reports each engine's canonical head, reorg count, and safety
+/// markers. With a fork-heavy scenario the uncle-weighted GHOST engine
+/// picks a different head than the heaviest/longest pair, because
+/// sibling uncles vote for the branch that references them.
+pub fn forkchoice_compare(base: &Scenario, preset: &str) -> ForkChoiceReport {
+    let arms = ConsensusKind::ALL
+        .iter()
+        .map(|&kind| {
+            let mut s = base.clone();
+            s.consensus = kind;
+            let outcome = run_campaign(&s);
+            let tree = &outcome.campaign.truth.tree;
+            ForkChoiceArm {
+                engine: kind.to_string(),
+                head: tree.head(),
+                head_number: tree.head_number(),
+                reorgs: tree.reorg_count(),
+                safe: tree.safe(),
+                finalized: tree.finalized(),
+            }
+        })
+        .collect();
+    ForkChoiceReport {
+        preset: preset.to_string(),
+        seed: base.seed,
+        arms,
+    }
+}
+
+/// The selfish-gain × fork-choice surface: relative revenue of the
+/// attacker (pool 0) across hash shares `alphas` under each consensus
+/// engine in `kinds`. Uncle-aware engines blunt the attack — withheld
+/// blocks that lose the race still earn as uncles under the default
+/// schedule, while pure longest-chain pays them nothing.
+pub fn selfish_forkchoice_grid(
+    base: &Scenario,
+    alphas: &[f64],
+    kinds: &[ConsensusKind],
+    first_seed: u64,
+    seeds: usize,
+    threads: usize,
+) -> GridReport {
+    Grid::new(base.clone())
+        .seed_range(first_seed, seeds)
+        .axis("alpha", alphas.to_vec(), |s, &alpha| {
+            let (gw, cfg) = attacker_knobs(&s.pools);
+            s.pools = PoolDirectory::attacker_vs_honest(alpha, gw, cfg);
+        })
+        .axis("consensus", kinds.to_vec(), |s, &kind| {
+            s.consensus = kind;
+        })
+        .threads(threads)
+        .run(revenue_scalars(PoolId(0)))
+        .output
+}
+
 // ---- Network dynamics & attacks (EXPERIMENTS.md §dynamics) ----
 
 /// The east/rest region split used by the canonical partition scenarios:
@@ -932,6 +1085,61 @@ mod tests {
         assert!(col("rev_share") > 0.0);
         assert!(col("withheld") > 0.0, "the attacker must have withheld");
         assert!(col("released") > 0.0, "withheld blocks must be released");
+    }
+
+    #[test]
+    fn forkchoice_compare_runs_every_engine() {
+        let base = Scenario::builder()
+            .preset(Preset::Tiny)
+            .seed(7)
+            .duration(SimDuration::from_mins(10))
+            .build();
+        let report = forkchoice_compare(&base, "tiny");
+        assert_eq!(report.arms.len(), ConsensusKind::ALL.len());
+        assert_eq!(report.arms[0].engine, "heaviest");
+        for arm in &report.arms {
+            assert!(arm.head_number > 0, "{} mined nothing", arm.engine);
+        }
+        // Difficulty is constant in-sim, so heaviest and longest agree.
+        assert_eq!(report.arms[0].head_number, report.arms[1].head_number);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\":\"ethmeter-forkchoice/v1\""));
+        assert!(json.contains("\"preset\":\"tiny\""));
+        assert!(json.contains("\"distinct_heads\":"), "json: {json}");
+        let shown = report.to_string();
+        assert!(shown.contains("Fork-choice comparison"));
+        assert!(shown.contains("uncle-ghost"));
+    }
+
+    #[test]
+    fn selfish_forkchoice_grid_spans_both_axes() {
+        let base = Scenario::builder()
+            .preset(Preset::Tiny)
+            .duration(SimDuration::from_mins(8))
+            .pools(PoolDirectory::attacker_vs_honest(
+                0.3,
+                2,
+                SelfishConfig::classic(),
+            ))
+            .build();
+        let kinds = [ConsensusKind::Heaviest, ConsensusKind::Longest];
+        let report = selfish_forkchoice_grid(&base, &[0.35], &kinds, 3, 1, 1);
+        assert_eq!(report.rows.len(), 2, "one alpha × two engines");
+        let engines: Vec<_> = report
+            .rows
+            .iter()
+            .map(|r| r.point.get("consensus").expect("axis"))
+            .collect();
+        assert_eq!(engines, vec!["heaviest", "longest"]);
+        for row in &report.rows {
+            assert_eq!(row.point.get("alpha"), Some("0.35"));
+            let i = report
+                .columns
+                .iter()
+                .position(|c| c == "rev_share")
+                .expect("col");
+            assert!(row.cells[i].mean > 0.0);
+        }
     }
 
     #[test]

@@ -120,6 +120,7 @@ pub mod prelude {
         analysis, chain, dynamics, geo, measure, mining, net, sim, stats, types, workload,
     };
     pub use ethmeter_analysis::Reduce;
+    pub use ethmeter_chain::consensus::ConsensusKind;
     pub use ethmeter_dynamics::{DynamicsEvent, DynamicsScript, RegionMask};
     pub use ethmeter_measure::CampaignData;
     pub use ethmeter_stats::Aggregate;

@@ -420,7 +420,7 @@ fn merge(scenario: &Scenario, map: &ShardMap, mut worlds: Vec<(SimWorld, u64)>) 
         blocks.append(&mut world.take_local_blocks());
     }
     blocks.sort_by_key(|b| (b.mined_at(), b.miner().raw()));
-    let tree = SimWorld::build_truth_tree(blocks);
+    let tree = SimWorld::build_truth_tree(scenario.consensus.build(), blocks);
 
     // Observer logs: each observer records only on its home shard; all
     // other shards hold an untouched empty log in that vantage slot.

@@ -5,6 +5,7 @@
 
 use std::path::PathBuf;
 
+use ethmeter_chain::consensus::ConsensusKind;
 use ethmeter_dynamics::{DynamicsError, DynamicsScript};
 use ethmeter_geo::{ClockModel, LatencyModel};
 use ethmeter_measure::VantagePoint;
@@ -95,6 +96,10 @@ pub struct Scenario {
     /// Empty by default: the static world, bit-identical to scenarios
     /// built before the dynamics layer existed (pinned by the goldens).
     pub dynamics: DynamicsScript,
+    /// Consensus engine every node (and the ground-truth tree) runs.
+    /// [`ConsensusKind::Heaviest`] by default — the historical
+    /// total-difficulty rule, pinned by the goldens.
+    pub consensus: ConsensusKind,
 }
 
 impl Scenario {
@@ -211,6 +216,7 @@ pub struct ScenarioBuilder {
     spill_dir: Option<PathBuf>,
     measure_budget_bytes: Option<usize>,
     dynamics: DynamicsScript,
+    consensus: ConsensusKind,
 }
 
 impl ScenarioBuilder {
@@ -231,6 +237,7 @@ impl ScenarioBuilder {
             spill_dir: None,
             measure_budget_bytes: None,
             dynamics: DynamicsScript::new(),
+            consensus: ConsensusKind::Heaviest,
         }
     }
 
@@ -344,6 +351,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Selects the consensus engine every node (and the ground-truth tree)
+    /// runs. Defaults to [`ConsensusKind::Heaviest`], the historical
+    /// total-difficulty rule pinned by the goldens.
+    #[must_use]
+    pub fn consensus(mut self, kind: ConsensusKind) -> Self {
+        self.consensus = kind;
+        self
+    }
+
     /// Finalizes the scenario.
     ///
     /// # Panics
@@ -454,6 +470,7 @@ impl ScenarioBuilder {
             spill_dir: self.spill_dir,
             measure_budget_bytes,
             dynamics: self.dynamics,
+            consensus: self.consensus,
         })
     }
 }
@@ -497,6 +514,18 @@ mod tests {
         assert_eq!(s.ordinary_nodes, 80);
         assert_eq!(s.duration, SimDuration::from_mins(5));
         assert!((s.workload.tx_rate - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consensus_defaults_to_heaviest_and_is_selectable() {
+        let s = Scenario::builder().preset(Preset::Tiny).build();
+        assert_eq!(s.consensus, ConsensusKind::Heaviest);
+        let s = Scenario::builder()
+            .preset(Preset::Tiny)
+            .consensus(ConsensusKind::UncleGhost)
+            .build();
+        assert_eq!(s.consensus, ConsensusKind::UncleGhost);
+        assert_eq!(s.consensus.build().name(), "uncle-ghost");
     }
 
     #[test]

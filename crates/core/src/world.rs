@@ -36,8 +36,10 @@
 //! (the stale-mining window behind the fork rate).
 
 use ethmeter_chain::block::{Block, BlockBuilder};
+use ethmeter_chain::consensus::{Consensus, ConsensusKind};
 use ethmeter_chain::tree::BlockTree;
 use ethmeter_chain::tx::Transaction;
+use ethmeter_chain::uncles::UnclePolicy;
 use ethmeter_chain::{BlockRegistry, TxRegistry};
 use ethmeter_dynamics::{DynamicsEvent, RegionMask};
 use ethmeter_geo::{BandwidthClass, ClockSkew};
@@ -295,6 +297,9 @@ pub struct SimWorld {
     blocks: BlockRegistry,
     txs: TxRegistry,
     genesis: BlockHash,
+    /// Consensus engine shared by every node's chain view and the
+    /// ground-truth tree (from [`Scenario::consensus`]).
+    consensus: Arc<dyn Consensus>,
 
     // Mining (Vec-indexed by raw PoolId).
     pools: PoolDirectory,
@@ -415,6 +420,7 @@ impl SimWorld {
             blocks: BlockRegistry::new(),
             txs: TxRegistry::new(),
             genesis,
+            consensus: ConsensusKind::Heaviest.build(),
             pools: scenario.pools.clone(),
             pool_states: Vec::new(),
             generator: ethmeter_workload::TxGenerator::new(scenario.workload.clone()),
@@ -589,6 +595,8 @@ impl SimWorld {
         );
 
         self.genesis = BlockTree::shared_genesis_hash();
+        self.consensus = scenario.consensus.build();
+        let consensus = Arc::clone(&self.consensus);
         for i in 0..self.node_meta.len() {
             let (region, bandwidth) = self.node_meta[i];
             match self.nodes.get_mut(i) {
@@ -598,6 +606,7 @@ impl SimWorld {
                     bandwidth,
                     self.genesis,
                     &scenario.net,
+                    Arc::clone(&consensus),
                 ),
                 None => self.nodes.push(Node::new(
                     NodeId(i as u32),
@@ -605,6 +614,7 @@ impl SimWorld {
                     bandwidth,
                     self.genesis,
                     &scenario.net,
+                    Arc::clone(&consensus),
                 )),
             }
         }
@@ -612,8 +622,12 @@ impl SimWorld {
         for i in 0..self.node_meta.len() {
             for &j in topo.neighbors(NodeId(i as u32)) {
                 if j.index() > i {
-                    self.nodes[i].connect(j, &scenario.net);
-                    self.nodes[j.index()].connect(NodeId(i as u32), &scenario.net);
+                    self.nodes[i]
+                        .try_add_link(j, &scenario.net)
+                        .expect("topology produces well-formed links");
+                    self.nodes[j.index()]
+                        .try_add_link(NodeId(i as u32), &scenario.net)
+                        .expect("topology produces well-formed links");
                 }
             }
         }
@@ -697,12 +711,16 @@ impl SimWorld {
     /// replaying every block in creation order — identical to the tree an
     /// incremental builder would have produced, because parents are always
     /// registered before children.
-    pub(crate) fn build_truth_tree(blocks: impl IntoIterator<Item = Block>) -> BlockTree {
-        let mut tree = BlockTree::new();
+    pub(crate) fn build_truth_tree(
+        engine: Arc<dyn Consensus>,
+        blocks: impl IntoIterator<Item = Block>,
+    ) -> BlockTree {
+        let mut tree = BlockTree::with_consensus(engine);
         for block in blocks {
             // Duplicate hashes cannot occur (the registry deduplicates at
             // interning time); orphans cannot occur (creation order).
-            let _ = tree.insert(block);
+            tree.insert(block)
+                .expect("truth replay cannot orphan or duplicate");
         }
         tree
     }
@@ -713,7 +731,7 @@ impl SimWorld {
     /// blocks are *moved* out of the registry — the world must be reset
     /// before it runs again.
     pub fn take_campaign(&mut self, duration: SimDuration) -> ethmeter_measure::CampaignData {
-        let tree = Self::build_truth_tree(self.blocks.take_blocks());
+        let tree = Self::build_truth_tree(Arc::clone(&self.consensus), self.blocks.take_blocks());
         ethmeter_measure::CampaignData {
             observers: self
                 .vantages
@@ -737,7 +755,7 @@ impl SimWorld {
     /// *moves* the logs and the transaction table into the dataset — the
     /// one-shot path pays no clone of the campaign's largest structures.
     pub fn into_campaign(mut self, duration: SimDuration) -> ethmeter_measure::CampaignData {
-        let tree = Self::build_truth_tree(self.blocks.take_blocks());
+        let tree = Self::build_truth_tree(Arc::clone(&self.consensus), self.blocks.take_blocks());
         ethmeter_measure::CampaignData {
             observers: self.vantages.into_iter().zip(self.logs).collect(),
             truth: ethmeter_measure::GroundTruth {
@@ -760,7 +778,10 @@ impl SimWorld {
     /// or post-run inspection; the campaign boundary builds the same tree
     /// without cloning).
     pub fn truth(&self) -> BlockTree {
-        Self::build_truth_tree(self.blocks.blocks().iter().cloned())
+        Self::build_truth_tree(
+            Arc::clone(&self.consensus),
+            self.blocks.blocks().iter().cloned(),
+        )
     }
 
     /// Gateway placement per pool: `(pool name, regions of its gateways)`.
@@ -912,8 +933,28 @@ impl SimWorld {
     /// boundary. On a shard, the slot is also recorded as locally minted
     /// so the window barrier can replicate it and the merge can rebuild
     /// global creation order.
+    /// The uncle-reference policy in force for a minting pool: the
+    /// engine's policy when it imposes one, otherwise the pool's
+    /// configured strategy. The shipped engines impose
+    /// [`UnclePolicy::Standard`] — defer to the pool — preserving the
+    /// historical per-pool ablation behavior bit for bit.
+    fn effective_uncle_policy(&self, pool_policy: UnclePolicy) -> UnclePolicy {
+        match self.consensus.uncle_policy() {
+            UnclePolicy::Standard => pool_policy,
+            stricter => stricter,
+        }
+    }
+
     fn register_block(&mut self, block: Block) -> BlockIdx {
         self.stats.blocks_produced += 1;
+        // Mint-time consensus validation. The parent is absent only for
+        // children of the (unregistered) genesis, which have nothing to
+        // validate against.
+        if let Some(parent) = self.blocks.get(block.parent()) {
+            self.consensus
+                .validate(&block, parent)
+                .expect("minted block must satisfy the consensus engine");
+        }
         let idx = self.blocks.insert(block);
         if let Some(ctx) = self.shard.as_mut() {
             ctx.local_created.push(idx.index());
@@ -989,9 +1030,8 @@ impl SimWorld {
         let plan = BlockPlan::decide(&cfg, &mut self.lanes_pool[pool.index()]);
         let (parent, number) = self.pool_states[pool.index()].target;
         let gw = self.primary_gateway(pool);
-        let uncles = self.nodes[gw.index()]
-            .chain()
-            .select_uncles(parent, cfg.strategy.uncle_policy);
+        let policy = self.effective_uncle_policy(cfg.strategy.uncle_policy);
+        let uncles = self.nodes[gw.index()].chain().select_uncles(parent, policy);
         let txs = if plan.empty {
             Vec::new()
         } else {
@@ -1070,7 +1110,7 @@ impl SimWorld {
         // uncles (the Niu–Feng revenue channel). Deeper private parents
         // are invisible to the view, so deeper blocks reference none.
         let uncles = if self.nodes[gw.index()].chain().contains(parent) {
-            let policy = self.pools.pool(pool).strategy.uncle_policy;
+            let policy = self.effective_uncle_policy(self.pools.pool(pool).strategy.uncle_policy);
             self.nodes[gw.index()].chain().select_uncles(parent, policy)
         } else {
             Vec::new()
@@ -1710,6 +1750,15 @@ impl SimWorld {
     pub(crate) fn ingest_replica_blocks(&mut self, blocks: &mut Vec<Block>) {
         blocks.sort_by_key(|b| (b.mined_at(), b.miner().raw(), b.hash().raw()));
         for b in blocks.drain(..) {
+            // Same mint-time consensus check as `register_block`. A
+            // replica's parent may be a genesis child (no registered
+            // parent) or may itself arrive later in this sorted batch;
+            // only parent-present blocks can be validated here.
+            if let Some(parent) = self.blocks.get(b.parent()) {
+                self.consensus
+                    .validate(&b, parent)
+                    .expect("replica block must satisfy the consensus engine");
+            }
             self.blocks.insert(b);
         }
         if let Some(ctx) = self.shard.as_mut() {

@@ -3,11 +3,15 @@
 //! Ordinary peers do not need full block bodies to participate in gossip
 //! and fork choice — headers suffice. `HeaderView` keeps a sliding window
 //! of recent headers (parent links, heights, miners, uncle references),
-//! performs total-difficulty fork choice with first-seen tie-breaking, and
-//! supports uncle selection for miner gateways. Entries older than the
-//! window are pruned, so per-node memory stays constant no matter how long
-//! the simulation runs.
+//! delegates fork choice to a pluggable [`Consensus`] engine (the default
+//! [`HeaviestChain`] reproduces total-difficulty with first-seen
+//! tie-breaking), and supports uncle selection for miner gateways. Entries
+//! older than the window are pruned, so per-node memory stays constant no
+//! matter how long the simulation runs.
 
+use std::sync::Arc;
+
+use ethmeter_chain::consensus::{Consensus, HeaviestChain, Score};
 use ethmeter_chain::uncles::{UnclePolicy, MAX_UNCLES, MAX_UNCLE_DEPTH};
 use ethmeter_types::{BlockHash, BlockNumber, FxHashMap, FxHashSet, PoolId};
 
@@ -34,18 +38,23 @@ struct Entry {
     parent: BlockHash,
     number: BlockNumber,
     miner: PoolId,
-    td: u64,
+    /// Header difficulty — kept so orphan-buffered headers can be scored
+    /// once their parent attaches.
+    difficulty: u64,
+    /// Fork-choice score under the view's engine (0 while orphan-buffered).
+    score: Score,
 }
 
 /// A pruned, header-only block tree.
 #[derive(Debug, Clone)]
 pub struct HeaderView {
+    engine: Arc<dyn Consensus>,
     entries: FxHashMap<BlockHash, Entry>,
     /// canonical hash per height, within the window.
     canonical: FxHashMap<BlockNumber, BlockHash>,
     head: BlockHash,
     head_number: BlockNumber,
-    head_td: u64,
+    head_score: Score,
     genesis: BlockHash,
     /// Uncles referenced by any block seen (windowed).
     referenced: FxHashSet<BlockHash>,
@@ -63,6 +72,16 @@ impl HeaderView {
     /// Panics if `window` is smaller than the uncle depth (pruning would
     /// break uncle selection).
     pub fn new(genesis: BlockHash, window: u64) -> Self {
+        Self::with_consensus(genesis, window, Arc::new(HeaviestChain))
+    }
+
+    /// Creates a view rooted at `genesis` whose fork choice is driven by
+    /// `engine`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is smaller than the uncle depth.
+    pub fn with_consensus(genesis: BlockHash, window: u64, engine: Arc<dyn Consensus>) -> Self {
         assert!(
             window > MAX_UNCLE_DEPTH + 1,
             "window must exceed the uncle depth"
@@ -74,17 +93,19 @@ impl HeaderView {
                 parent: BlockHash::ZERO,
                 number: 0,
                 miner: PoolId(u16::MAX),
-                td: 0,
+                difficulty: 0,
+                score: 0,
             },
         );
         let mut canonical = FxHashMap::default();
         canonical.insert(0, genesis);
         HeaderView {
+            engine,
             entries,
             canonical,
             head: genesis,
             head_number: 0,
-            head_td: 0,
+            head_score: 0,
             genesis,
             referenced: FxHashSet::default(),
             orphans: FxHashMap::default(),
@@ -92,17 +113,30 @@ impl HeaderView {
         }
     }
 
-    /// Rewinds the view to a fresh root, keeping every map's allocation.
-    /// Behaviorally identical to `HeaderView::new(genesis, window)`.
+    /// Rewinds the view to a fresh root, keeping every map's allocation
+    /// and restoring the default [`HeaviestChain`] engine. Behaviorally
+    /// identical to `HeaderView::new(genesis, window)`.
     ///
     /// # Panics
     ///
     /// Panics if `window` is smaller than the uncle depth.
     pub fn reset(&mut self, genesis: BlockHash, window: u64) {
+        self.reset_with(genesis, window, Arc::new(HeaviestChain));
+    }
+
+    /// Rewinds the view to a fresh root under `engine`, keeping every
+    /// map's allocation. Behaviorally identical to
+    /// [`HeaderView::with_consensus`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is smaller than the uncle depth.
+    pub fn reset_with(&mut self, genesis: BlockHash, window: u64, engine: Arc<dyn Consensus>) {
         assert!(
             window > MAX_UNCLE_DEPTH + 1,
             "window must exceed the uncle depth"
         );
+        self.engine = engine;
         self.entries.clear();
         self.entries.insert(
             genesis,
@@ -110,18 +144,24 @@ impl HeaderView {
                 parent: BlockHash::ZERO,
                 number: 0,
                 miner: PoolId(u16::MAX),
-                td: 0,
+                difficulty: 0,
+                score: 0,
             },
         );
         self.canonical.clear();
         self.canonical.insert(0, genesis);
         self.head = genesis;
         self.head_number = 0;
-        self.head_td = 0;
+        self.head_score = 0;
         self.genesis = genesis;
         self.referenced.clear();
         self.orphans.clear();
         self.window = window;
+    }
+
+    /// The consensus engine driving this view's fork choice.
+    pub fn consensus(&self) -> &Arc<dyn Consensus> {
+        &self.engine
     }
 
     /// The current best block.
@@ -176,14 +216,17 @@ impl HeaderView {
         self.entries.get(&hash).map(|e| e.number)
     }
 
-    /// Offers a header. `uncles` are the hashes the block references (they
-    /// are recorded as globally referenced to prevent double inclusion).
+    /// Offers a header. `difficulty` is the header's own difficulty (fed
+    /// to the engine's scoring); `uncles` are the hashes the block
+    /// references (they are recorded as globally referenced to prevent
+    /// double inclusion).
     pub fn insert(
         &mut self,
         hash: BlockHash,
         parent: BlockHash,
         number: BlockNumber,
         miner: PoolId,
+        difficulty: u64,
         uncles: &[BlockHash],
     ) -> HeaderInsert {
         if self.entries.contains_key(&hash) {
@@ -206,7 +249,8 @@ impl HeaderView {
                     parent,
                     number,
                     miner,
-                    td: 0,
+                    difficulty,
+                    score: 0,
                 },
                 uncles.to_vec(),
             ));
@@ -217,7 +261,7 @@ impl HeaderView {
             // defensive view simply drops them.
             return HeaderInsert::Duplicate;
         }
-        let result = self.attach(hash, parent, parent_entry, miner, uncles);
+        let result = self.attach(hash, parent, parent_entry, miner, difficulty, uncles);
         // Connect orphans reachable from here (cascade).
         let mut frontier = vec![hash];
         let mut promoted_head = matches!(result, HeaderInsert::NewHead { .. });
@@ -229,7 +273,7 @@ impl HeaderView {
             let parent_entry = self.entries[&p];
             for (h, e, uncles) in waiting {
                 if e.number == parent_entry.number + 1 && !self.entries.contains_key(&h) {
-                    let r = self.attach(h, p, parent_entry, e.miner, &uncles);
+                    let r = self.attach(h, p, parent_entry, e.miner, e.difficulty, &uncles);
                     if let HeaderInsert::NewHead { reorged: r2 } = r {
                         promoted_head = true;
                         reorged |= r2;
@@ -251,24 +295,28 @@ impl HeaderView {
         parent: BlockHash,
         parent_entry: Entry,
         miner: PoolId,
+        difficulty: u64,
         uncles: &[BlockHash],
     ) -> HeaderInsert {
         let number = parent_entry.number + 1;
-        let td = parent_entry.td + 1;
+        let score = self
+            .engine
+            .score(parent_entry.score, difficulty, uncles.len());
         self.entries.insert(
             hash,
             Entry {
                 parent,
                 number,
                 miner,
-                td,
+                difficulty,
+                score,
             },
         );
         for &u in uncles {
             self.referenced.insert(u);
         }
-        if td > self.head_td {
-            let reorged = self.switch_head(hash, number, td);
+        if self.engine.prefer(score, hash, self.head_score, self.head) {
+            let reorged = self.switch_head(hash, number, score);
             self.prune();
             HeaderInsert::NewHead { reorged }
         } else {
@@ -276,7 +324,7 @@ impl HeaderView {
         }
     }
 
-    fn switch_head(&mut self, new_head: BlockHash, number: BlockNumber, td: u64) -> bool {
+    fn switch_head(&mut self, new_head: BlockHash, number: BlockNumber, score: Score) -> bool {
         let mut reorged = false;
         // Update the canonical map along the new head's path until we meet
         // an already-canonical ancestor.
@@ -303,7 +351,7 @@ impl HeaderView {
         }
         self.head = new_head;
         self.head_number = number;
-        self.head_td = td;
+        self.head_score = score;
         reorged
     }
 
@@ -400,7 +448,7 @@ mod tests {
         let mut parent = from;
         for i in 0..n {
             let hash = h(1000 + start + i);
-            let r = view.insert(hash, parent, start + i, PoolId(0), &[]);
+            let r = view.insert(hash, parent, start + i, PoolId(0), 1, &[]);
             assert!(matches!(r, HeaderInsert::NewHead { .. }), "{r:?}");
             out.push(hash);
             parent = hash;
@@ -427,12 +475,18 @@ mod tests {
         let a = linear(&mut v, g, 1, 2);
         // Fork from genesis.
         let b1 = h(501);
-        assert_eq!(v.insert(b1, g, 1, PoolId(1), &[]), HeaderInsert::SideChain);
+        assert_eq!(
+            v.insert(b1, g, 1, PoolId(1), 1, &[]),
+            HeaderInsert::SideChain
+        );
         let b2 = h(502);
-        assert_eq!(v.insert(b2, b1, 2, PoolId(1), &[]), HeaderInsert::SideChain);
+        assert_eq!(
+            v.insert(b2, b1, 2, PoolId(1), 1, &[]),
+            HeaderInsert::SideChain
+        );
         let b3 = h(503);
         assert_eq!(
-            v.insert(b3, b2, 3, PoolId(1), &[]),
+            v.insert(b3, b2, 3, PoolId(1), 1, &[]),
             HeaderInsert::NewHead { reorged: true }
         );
         assert_eq!(v.head(), b3);
@@ -446,9 +500,15 @@ mod tests {
         let mut v = HeaderView::new(g, 64);
         let c1 = h(1);
         let c2 = h(2);
-        assert_eq!(v.insert(c2, c1, 2, PoolId(0), &[]), HeaderInsert::Orphaned);
-        assert_eq!(v.insert(c2, c1, 2, PoolId(0), &[]), HeaderInsert::Duplicate);
-        let r = v.insert(c1, g, 1, PoolId(0), &[]);
+        assert_eq!(
+            v.insert(c2, c1, 2, PoolId(0), 1, &[]),
+            HeaderInsert::Orphaned
+        );
+        assert_eq!(
+            v.insert(c2, c1, 2, PoolId(0), 1, &[]),
+            HeaderInsert::Duplicate
+        );
+        let r = v.insert(c1, g, 1, PoolId(0), 1, &[]);
         assert_eq!(r, HeaderInsert::NewHead { reorged: false });
         assert_eq!(v.head(), c2);
         assert_eq!(v.head_number(), 2);
@@ -463,7 +523,7 @@ mod tests {
         assert_eq!(v.head_number(), 200);
         // Ancient inserts are refused.
         assert_eq!(
-            v.insert(h(9999), g, 1, PoolId(0), &[]),
+            v.insert(h(9999), g, 1, PoolId(0), 1, &[]),
             HeaderInsert::TooOld
         );
     }
@@ -475,12 +535,12 @@ mod tests {
         let main = linear(&mut v, g, 1, 3);
         // A competing block at height 1 by another miner.
         let f1 = h(700);
-        v.insert(f1, g, 1, PoolId(1), &[]);
+        v.insert(f1, g, 1, PoolId(1), 1, &[]);
         let picked = v.select_uncles(v.head(), UnclePolicy::Standard);
         assert_eq!(picked, vec![f1]);
         // Once referenced, it is no longer a candidate.
         let n4 = h(800);
-        v.insert(n4, main[2], 4, PoolId(0), &[f1]);
+        v.insert(n4, main[2], 4, PoolId(0), 1, &[f1]);
         assert!(v.select_uncles(v.head(), UnclePolicy::Standard).is_empty());
     }
 
@@ -490,7 +550,7 @@ mod tests {
         let mut v = HeaderView::new(g, 64);
         let f1 = h(700);
         let main = linear(&mut v, g, 1, 7);
-        v.insert(f1, g, 1, PoolId(1), &[]);
+        v.insert(f1, g, 1, PoolId(1), 1, &[]);
         // From head at 7, a new block at 8 has gap 7 to f1: too deep.
         assert!(v.select_uncles(main[6], UnclePolicy::Standard).is_empty());
         // From the block at height 6 (new number 7, gap 6): valid.
@@ -503,7 +563,7 @@ mod tests {
         let mut v = HeaderView::new(g, 64);
         let main = linear(&mut v, g, 1, 1); // miner 0 at height 1
         let dup = h(700);
-        v.insert(dup, g, 1, PoolId(0), &[]); // same miner duplicate
+        v.insert(dup, g, 1, PoolId(0), 1, &[]); // same miner duplicate
         assert_eq!(v.select_uncles(main[0], UnclePolicy::Standard), vec![dup]);
         assert!(v
             .select_uncles(main[0], UnclePolicy::ForbidSameMinerHeight)
@@ -517,8 +577,8 @@ mod tests {
         let main = linear(&mut v, g, 1, 4);
         let f1 = h(700);
         let f2 = h(701);
-        v.insert(f1, g, 1, PoolId(1), &[]);
-        v.insert(f2, f1, 2, PoolId(1), &[]);
+        v.insert(f1, g, 1, PoolId(1), 1, &[]);
+        v.insert(f2, f1, 2, PoolId(1), 1, &[]);
         let picked = v.select_uncles(main[3], UnclePolicy::Standard);
         assert_eq!(picked, vec![f1], "f2's parent is off-chain");
     }

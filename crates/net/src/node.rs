@@ -23,7 +23,10 @@
 //! ([`crate::message::AnnounceList`]/[`crate::message::TxBatch`]), and
 //! all intermediate candidate lists live in per-node scratch buffers.
 
+use std::sync::Arc;
+
 use ethmeter_chain::block::Block;
+use ethmeter_chain::consensus::Consensus;
 use ethmeter_chain::tx::Transaction;
 use ethmeter_chain::uncles::UnclePolicy;
 use ethmeter_geo::BandwidthClass;
@@ -132,13 +135,15 @@ pub struct Node {
 }
 
 impl Node {
-    /// Creates a node rooted at `genesis`.
+    /// Creates a node rooted at `genesis`, with fork choice driven by
+    /// `consensus`.
     pub fn new(
         id: NodeId,
         region: Region,
         bandwidth: BandwidthClass,
         genesis: BlockHash,
         cfg: &NetConfig,
+        consensus: Arc<dyn Consensus>,
     ) -> Self {
         Node {
             id,
@@ -148,7 +153,7 @@ impl Node {
             peer_pos: Vec::new(),
             peer_known_blocks: Vec::new(),
             peer_known_txs: PeerKnownSet::new(),
-            chain: HeaderView::new(genesis, cfg.header_window),
+            chain: HeaderView::with_consensus(genesis, cfg.header_window, consensus),
             seen_txs: {
                 let mut seen = PeerKnownSet::new();
                 seen.add_peer(cfg.known_txs_cap);
@@ -167,10 +172,11 @@ impl Node {
     }
 
     /// Rewinds the node to the state `Node::new(id, region, bandwidth,
-    /// genesis, cfg)` would build, keeping every allocation: peer slabs,
-    /// per-peer known-set tables (reused by the next [`Node::connect`]
-    /// calls), the header view's maps, and the mempool (if re-enabled).
-    /// Campaign-over-campaign behavior is identical to a fresh node.
+    /// genesis, cfg, consensus)` would build, keeping every allocation:
+    /// peer slabs, per-peer known-set tables (reused by the next
+    /// [`Node::try_add_link`] calls), the header view's maps, and the
+    /// mempool (if re-enabled). Campaign-over-campaign behavior is
+    /// identical to a fresh node.
     pub fn reset(
         &mut self,
         id: NodeId,
@@ -178,6 +184,7 @@ impl Node {
         bandwidth: BandwidthClass,
         genesis: BlockHash,
         cfg: &NetConfig,
+        consensus: Arc<dyn Consensus>,
     ) {
         self.id = id;
         self.region = region;
@@ -185,10 +192,10 @@ impl Node {
         self.peers.clear();
         self.peer_pos.clear();
         // peer_known_blocks intentionally keeps its (stale) sets;
-        // `connect` re-initializes slot `pos` before `peers` grows past
-        // it, so stale state is never reachable.
+        // `try_add_link` re-initializes slot `pos` before `peers` grows
+        // past it, so stale state is never reachable.
         self.peer_known_txs.clear();
-        self.chain.reset(genesis, cfg.header_window);
+        self.chain.reset_with(genesis, cfg.header_window, consensus);
         self.seen_txs.clear();
         self.seen_txs.add_peer(cfg.known_txs_cap);
         self.have_body.reset(4 * cfg.header_window as usize);
@@ -242,14 +249,18 @@ impl Node {
         self.mempool.as_ref()
     }
 
-    /// Registers a bidirectional link (the driver calls this on both ends).
-    ///
-    /// # Panics
-    ///
-    /// Panics on self-links or duplicate links.
-    pub fn connect(&mut self, peer: NodeId, cfg: &NetConfig) {
-        assert_ne!(peer, self.id, "self-link");
-        assert!(self.pos_of(peer).is_none(), "duplicate link to {peer}");
+    /// Registers a bidirectional link (the driver calls this on both
+    /// ends). This is the only link-add path: a malformed link — self-link
+    /// or duplicate — surfaces a structured [`LinkError`] instead of
+    /// panicking, whether it comes from topology construction or from the
+    /// runtime join/heal path inside a shard worker.
+    pub fn try_add_link(&mut self, peer: NodeId, cfg: &NetConfig) -> Result<(), LinkError> {
+        if peer == self.id {
+            return Err(LinkError::SelfLink);
+        }
+        if self.pos_of(peer).is_some() {
+            return Err(LinkError::Duplicate);
+        }
         if self.peer_pos.len() <= peer.index() {
             self.peer_pos.resize(peer.index() + 1, NO_PEER);
         }
@@ -266,20 +277,22 @@ impl Node {
         }
         let tx_pos = self.peer_known_txs.add_peer(cfg.known_txs_cap);
         debug_assert_eq!(tx_pos, pos, "peer slabs advance in lockstep");
+        Ok(())
     }
 
-    /// Checked [`Node::connect`] for the runtime join/heal path: a
-    /// malformed dynamics script surfaces a structured [`LinkError`]
-    /// instead of panicking inside a shard worker.
-    pub fn try_add_link(&mut self, peer: NodeId, cfg: &NetConfig) -> Result<(), LinkError> {
-        if peer == self.id {
-            return Err(LinkError::SelfLink);
+    /// Assert-based [`Node::try_add_link`], kept for drivers built before
+    /// the checked path existed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-links or duplicate links.
+    #[deprecated(note = "use `try_add_link`, which reports malformed links as a `LinkError`")]
+    pub fn connect(&mut self, peer: NodeId, cfg: &NetConfig) {
+        match self.try_add_link(peer, cfg) {
+            Ok(()) => {}
+            Err(LinkError::SelfLink) => panic!("self-link"),
+            Err(LinkError::Duplicate) => panic!("duplicate link to {peer}"),
         }
-        if self.pos_of(peer).is_some() {
-            return Err(LinkError::Duplicate);
-        }
-        self.connect(peer, cfg);
-        Ok(())
     }
 
     /// True if `peer` is currently linked.
@@ -532,6 +545,7 @@ impl Node {
             block.parent(),
             block.number(),
             block.miner(),
+            block.header().difficulty(),
             block.uncles(),
         );
         let new_head = matches!(outcome, HeaderInsert::NewHead { .. });
@@ -710,6 +724,7 @@ impl Node {
 mod tests {
     use super::*;
     use ethmeter_chain::block::BlockBuilder;
+    use ethmeter_chain::consensus::ConsensusKind;
     use ethmeter_chain::BlockRegistry;
     use ethmeter_types::{AccountId, ByteSize, PoolId, SimTime};
     use std::collections::HashSet;
@@ -734,10 +749,12 @@ mod tests {
             BandwidthClass::Datacenter,
             genesis(),
             &c,
+            ConsensusKind::Heaviest.build(),
         );
         for p in 0..n_peers {
             if p != id {
-                n.connect(NodeId(p), &c);
+                n.try_add_link(NodeId(p), &c)
+                    .expect("well-formed test link");
             }
         }
         n
@@ -1125,9 +1142,11 @@ mod tests {
             BandwidthClass::Datacenter,
             genesis(),
             &c,
+            ConsensusKind::Heaviest.build(),
         );
         for p in 0..8 {
-            used.connect(NodeId(p), &c);
+            used.try_add_link(NodeId(p), &c)
+                .expect("well-formed test link");
         }
         used.enable_mempool();
         let mut fresh = node(99, 8);

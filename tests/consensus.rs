@@ -1,0 +1,185 @@
+//! Consensus-engine integration properties.
+//!
+//! Two layers of assurance for the pluggable fork choice:
+//!
+//! 1. **Golden byte-identity** — a campaign that *explicitly* selects the
+//!    default heaviest-chain engine (sequential and sharded) lands on the
+//!    exact fingerprints pinned before the `Consensus` trait existed, so
+//!    the extraction is proven behavior-preserving, not merely plausible.
+//! 2. **Engine laws** — property tests over random block DAGs: every
+//!    engine's head is an attached block, the hash-ordered engines
+//!    (longest-chain, uncle-weighted GHOST) pick the global
+//!    `(score, hash)` argmax and are therefore insertion-order
+//!    independent, and longest-chain head height never decreases.
+
+use ethmeter::chain::block::{Block, BlockBuilder};
+use ethmeter::chain::tree::BlockTree;
+use ethmeter::prelude::*;
+use ethmeter::types::{BlockHash, PoolId};
+use proptest::prelude::*;
+
+mod common;
+use common::GOLDENS;
+
+fn golden_scenario(preset: Preset, seed: u64, mins: u64, shards: usize) -> Scenario {
+    Scenario::builder()
+        .preset(preset)
+        .seed(seed)
+        .duration(SimDuration::from_mins(mins))
+        .shards(shards)
+        .consensus(ConsensusKind::Heaviest)
+        .build()
+}
+
+#[test]
+fn explicit_heaviest_engine_matches_the_pinned_goldens() {
+    for &(label, preset, seed, mins, expected) in &GOLDENS {
+        let got = run_campaign(&golden_scenario(preset, seed, mins, 1))
+            .campaign
+            .fingerprint();
+        assert_eq!(
+            got, expected,
+            "{label}: explicit ConsensusKind::Heaviest diverged from the pinned digest \
+             ({got:#018x} vs {expected:#018x})"
+        );
+    }
+}
+
+#[test]
+fn sharded_heaviest_engine_matches_the_pinned_goldens() {
+    for &(label, preset, seed, mins, expected) in &GOLDENS {
+        for shards in [2, 4, 8] {
+            let got = run_campaign(&golden_scenario(preset, seed, mins, shards))
+                .campaign
+                .fingerprint();
+            assert_eq!(
+                got, expected,
+                "{label} at {shards} shards: explicit heaviest engine diverged \
+                 ({got:#018x} vs {expected:#018x})"
+            );
+        }
+    }
+}
+
+/// A random DAG-growing plan: each step forks off some earlier block and
+/// may reference up to two earlier blocks as uncles (uncle references are
+/// unvalidated bookkeeping in the tree, but they feed the GHOST score).
+fn arb_growth_plan() -> impl Strategy<Value = Vec<(usize, u16, usize, usize)>> {
+    proptest::collection::vec((0usize..1000, 0u16..4, 0usize..1000, 0usize..3), 1..50)
+}
+
+fn build_blocks(plan: &[(usize, u16, usize, usize)]) -> Vec<Block> {
+    let tree = BlockTree::new();
+    let mut hashes: Vec<(BlockHash, u64)> = vec![(tree.genesis_hash(), 0)];
+    let mut blocks = Vec::new();
+    for (i, &(sel, miner, usel, uncles)) in plan.iter().enumerate() {
+        let (parent, pnum) = hashes[sel % hashes.len()];
+        let mut refs: Vec<BlockHash> = Vec::new();
+        for k in 0..uncles {
+            // Skip genesis (index 0): it can never be an uncle.
+            if hashes.len() > 1 {
+                let (h, _) = hashes[1 + (usel + k) % (hashes.len() - 1)];
+                if h != parent && !refs.contains(&h) {
+                    refs.push(h);
+                }
+            }
+        }
+        let block = BlockBuilder::new(parent, pnum + 1, PoolId(miner))
+            .uncles(refs)
+            .salt(i as u64)
+            .build();
+        hashes.push((block.hash(), block.number()));
+        blocks.push(block);
+    }
+    blocks
+}
+
+/// The non-default engines under test: both order their fork choice by
+/// the full `(score, hash)` key, so their head is a pure function of the
+/// block *set*.
+const HASH_ORDERED: [ConsensusKind; 2] = [ConsensusKind::Longest, ConsensusKind::UncleGhost];
+
+proptest! {
+    /// Every engine's head is an attached block whose recorded height
+    /// matches the block it names, and the hash-ordered engines pick the
+    /// global `(score, hash)` argmax over all attached blocks.
+    #[test]
+    fn heads_are_attached_argmax_blocks(plan in arb_growth_plan()) {
+        let blocks = build_blocks(&plan);
+        for kind in ConsensusKind::ALL {
+            let mut tree = BlockTree::with_consensus(kind.build());
+            for b in &blocks {
+                let _ = tree.insert(b.clone());
+            }
+            let head = tree.head();
+            prop_assert!(tree.contains(head), "{kind}: head not attached");
+            let head_block = tree.get(head).expect("attached");
+            prop_assert_eq!(tree.head_number(), head_block.number());
+            let head_score = tree.score(head).expect("scored");
+            if HASH_ORDERED.contains(&kind) {
+                for b in tree.all_blocks() {
+                    let s = tree.score(b.hash()).expect("scored");
+                    prop_assert!(
+                        (s, b.hash()) <= (head_score, head),
+                        "{} beats the {} head", b.hash(), kind
+                    );
+                }
+            } else {
+                // Heaviest keeps the first-seen block on ties: the head
+                // score is still maximal, only the hash may differ.
+                for b in tree.all_blocks() {
+                    prop_assert!(tree.score(b.hash()).expect("scored") <= head_score);
+                }
+            }
+        }
+    }
+
+    /// Hash-ordered engines are insertion-order independent: any arrival
+    /// permutation (orphan buffering included) converges to the same
+    /// head — the property that makes the sharded merge well-defined.
+    #[test]
+    fn hash_ordered_heads_ignore_arrival_order(
+        plan in arb_growth_plan(),
+        shuffle_seed in 0u64..1000,
+    ) {
+        let blocks = build_blocks(&plan);
+        for kind in HASH_ORDERED {
+            let mut in_order = BlockTree::with_consensus(kind.build());
+            for b in &blocks {
+                let _ = in_order.insert(b.clone());
+            }
+            let mut rng = ethmeter::sim::Xoshiro256::seed_from_u64(shuffle_seed);
+            let mut shuffled = blocks.clone();
+            rng.shuffle(&mut shuffled);
+            let mut out_of_order = BlockTree::with_consensus(kind.build());
+            for b in &shuffled {
+                let _ = out_of_order.insert(b.clone());
+            }
+            prop_assert_eq!(out_of_order.len(), in_order.len(), "{} lost blocks", kind);
+            prop_assert_eq!(
+                out_of_order.head(),
+                in_order.head(),
+                "{} head depends on arrival order", kind
+            );
+            prop_assert_eq!(out_of_order.safe(), in_order.safe());
+            prop_assert_eq!(out_of_order.finalized(), in_order.finalized());
+        }
+    }
+
+    /// Longest-chain scores by height, so its head height never
+    /// decreases as blocks arrive in causal order.
+    #[test]
+    fn longest_chain_height_is_monotone(plan in arb_growth_plan()) {
+        let blocks = build_blocks(&plan);
+        let mut tree = BlockTree::with_consensus(ConsensusKind::Longest.build());
+        let mut last = 0;
+        for b in &blocks {
+            let _ = tree.insert(b.clone());
+            prop_assert!(
+                tree.head_number() >= last,
+                "height regressed {} -> {}", last, tree.head_number()
+            );
+            last = tree.head_number();
+        }
+    }
+}

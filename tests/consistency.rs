@@ -44,7 +44,7 @@ proptest! {
         let mut view = HeaderView::new(tree.genesis_hash(), 512);
         for b in &blocks {
             let _ = tree.insert(b.clone());
-            let _ = view.insert(b.hash(), b.parent(), b.number(), b.miner(), b.uncles());
+            let _ = view.insert(b.hash(), b.parent(), b.number(), b.miner(), b.header().difficulty(), b.uncles());
         }
         prop_assert_eq!(view.head(), tree.head(), "head mismatch");
         prop_assert_eq!(view.head_number(), tree.head_number());
@@ -138,7 +138,14 @@ fn uncle_selection_agrees_between_tree_and_view() {
         let b = BlockBuilder::new(parent, i + 1, PoolId(0)).salt(i).build();
         parent = b.hash();
         main.push(b.clone());
-        view.insert(b.hash(), b.parent(), b.number(), b.miner(), &[]);
+        view.insert(
+            b.hash(),
+            b.parent(),
+            b.number(),
+            b.miner(),
+            b.header().difficulty(),
+            &[],
+        );
         tree.insert(b).expect("main");
     }
     // Forks at heights 2 and 4 by another miner.
@@ -147,7 +154,14 @@ fn uncle_selection_agrees_between_tree_and_view() {
         let f = BlockBuilder::new(fork_parent, h, PoolId(1))
             .salt(salt)
             .build();
-        view.insert(f.hash(), f.parent(), f.number(), f.miner(), &[]);
+        view.insert(
+            f.hash(),
+            f.parent(),
+            f.number(),
+            f.miner(),
+            f.header().difficulty(),
+            &[],
+        );
         tree.insert(f).expect("fork");
     }
     let policy = ethmeter::chain::uncles::UnclePolicy::Standard;
